@@ -1,0 +1,27 @@
+"""DSE bench: Bayesian-optimization tiling search (Alg. 1).
+
+Benchmarks one search on a synthetic landscape and asserts convergence
+behaviour: the incumbent improves past the random-initialization phase and
+lands near the uniform-grid oracle.
+"""
+
+from repro.core.dse import BayesianDse, DsePoint, grid_search
+
+
+def _loss(point: DsePoint) -> float:
+    tc_term = sum((tc - 16) ** 2 for tc in point.tc_per_layer) / 400.0
+    return tc_term + (point.top_k - 0.25) ** 2 * 8
+
+
+def _search():
+    dse = BayesianDse(_loss, n_layers=3, seq_len=512, alpha=0.1, beta=0.1, seed=17)
+    return dse, dse.search(n_iterations=24, n_init=6, n_candidates=96)
+
+
+def test_dse_search(benchmark):
+    dse, result = benchmark.pedantic(_search, rounds=2, iterations=1)
+    curve = result.best_so_far
+    assert curve[-1] <= curve[5]
+    oracle = grid_search(dse.objective, n_layers=3, tc_choices=(8, 16, 24),
+                         topk_choices=(0.15, 0.25, 0.35))
+    assert result.best_objective <= oracle.best_objective + 0.1

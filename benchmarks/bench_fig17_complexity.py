@@ -1,0 +1,25 @@
+"""Fig. 17 bench: the DLZS/SADS/SU-FA complexity-reduction ablation.
+
+Benchmarks one full case measurement (the unit of work behind the figure);
+asserts the stacked reductions are ordered and in the paper's neighbourhood
+(paper: -18% / -25% / -28%).
+"""
+
+from repro.experiments.suite import measure_case
+
+
+def _measure_uncached():
+    measure_case.cache_clear()
+    return measure_case("bert-b/sst2", 2.0)
+
+
+def test_fig17_complexity_ablation(benchmark, experiment):
+    m = benchmark.pedantic(_measure_uncached, rounds=3, iterations=1)
+    c = m.complexity
+    assert c["sofa"] < c["dlzs"] < c["baseline"]
+
+    result = experiment("fig17")
+    h = result.headline
+    assert h["dlzs_reduction_pct"] < h["dlzs_sads_reduction_pct"]
+    assert h["dlzs_sads_reduction_pct"] <= h["sofa_reduction_pct"]
+    assert 10 < h["sofa_reduction_pct"] < 55

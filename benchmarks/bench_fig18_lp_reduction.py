@@ -1,0 +1,26 @@
+"""Fig. 18 bench: LP computation reduction across loss budgets.
+
+Asserts the operating-curve shape: attention reduction grows with the loss
+budget (paper: 81.3% -> 87.7% -> 92.6%) and QKV+attention reduction stays
+below the attention-only number (on-demand KV cannot save the Q projection).
+"""
+
+from repro.experiments.suite import measure_case
+
+
+def _reductions():
+    return [measure_case("llama-7b/wikitext2", b).atten_reduction for b in (0.0, 1.0, 2.0)]
+
+
+def test_fig18_lp_reduction(benchmark, experiment):
+    reds = benchmark(_reductions)
+    assert reds[0] < reds[1] < reds[2]
+
+    result = experiment("fig18")
+    h = result.headline
+    assert h["atten_reduction_pct_loss2"] > 80
+    for budget in ("0", "1", "2"):
+        assert (
+            h[f"qkv_atten_reduction_pct_loss{budget}"]
+            < h[f"atten_reduction_pct_loss{budget}"]
+        )

@@ -1,0 +1,25 @@
+"""Fig. 19 bench: SOFA throughput gain over the A100 baselines.
+
+Shape assertions (paper anchors): speedup grows with the loss budget toward
+~9.5x at 2% loss, and SOFA's advantage over GPU LP+FA2 sits near 3x.
+"""
+
+from repro.experiments.gains import case_gains
+from repro.experiments.suite import measure_case
+
+
+def _gain_chain():
+    m = measure_case("llama-7b/wikitext2", 2.0)
+    return case_gains(m, "gpu")
+
+
+def test_fig19_throughput_gain(benchmark, experiment):
+    gains = benchmark(_gain_chain)
+    assert gains.total > gains.software > 1.0
+
+    result = experiment("fig19")
+    h = result.headline
+    assert h["sofa_speedup_loss0"] < h["sofa_speedup_loss2"]
+    assert 5.0 < h["sofa_speedup_loss2"] < 14.0
+    assert 2.0 < h["sofa_over_lp_fa2"] < 4.5
+    assert h["sofa_over_lp_fa1"] > h["sofa_over_lp_fa2"]

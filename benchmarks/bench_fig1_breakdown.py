@@ -1,0 +1,23 @@
+"""Fig. 1 bench: memory/compute breakdown profiles across sequence lengths.
+
+Regenerates the Fig. 1 rows and times the analytic profiler over the full
+Llama-7B sweep.  Shape assertions: attention's compute share crosses 50%
+past ~32k tokens and dominates at 128k.
+"""
+
+from repro.model.config import get_model
+from repro.model.profiler import breakdown_shares
+
+
+def _sweep():
+    cfg = get_model("llama-7b")
+    return [breakdown_shares(cfg, s) for s in (4096, 16384, 32768, 65536, 131072)]
+
+
+def test_fig1_profile_sweep(benchmark, experiment):
+    shares = benchmark(_sweep)
+    assert shares[0]["attention"]["compute_share"] < 0.5
+    assert shares[-1]["attention"]["compute_share"] > 0.75
+
+    result = experiment("fig1")
+    assert result.headline["llama7b_attention_compute_share_at_128k"] > 75.0

@@ -1,0 +1,25 @@
+"""Fig. 20 bench: memory-access reduction and energy-efficiency gain.
+
+Shape assertions: RASS alone reduces traffic, the full tiled stack reduces
+much more (paper: -23% and -79%), and the energy-efficiency gain over the
+A100 grows with the loss budget toward ~71.5x.
+"""
+
+from repro.experiments.gains import energy_efficiency_gain
+from repro.experiments.suite import measure_case
+
+
+def _energy_gain():
+    return energy_efficiency_gain(measure_case("llama-7b/wikitext2", 2.0), "gpu")
+
+
+def test_fig20_memory_energy(benchmark, experiment):
+    gain = benchmark(_energy_gain)
+    assert gain > 10.0
+
+    result = experiment("fig20")
+    h = result.headline
+    assert h["rass_memory_reduction_pct"] > 15.0
+    assert h["sofa_memory_reduction_pct"] > h["rass_memory_reduction_pct"]
+    assert h["energy_gain_loss0"] < h["energy_gain_loss2"]
+    assert 35 < h["energy_gain_loss2"] < 110

@@ -1,0 +1,27 @@
+"""Fig. 21 bench: per-engine gain breakdown on GPU and TPU.
+
+Shape assertions: every engine contributes >1x on both devices, the TPU
+benefits more from DLZS/SADS/RASS (its control weaknesses) while the GPU
+benefits more from SU-FA - the asymmetry the paper reports.
+"""
+
+from repro.experiments.gains import case_gains
+from repro.experiments.suite import measure_case
+
+
+def _both_devices():
+    m = measure_case("bloom-1b7/wikitext2", 2.0)
+    return case_gains(m, "gpu"), case_gains(m, "tpu")
+
+
+def test_fig21_breakdown(benchmark, experiment):
+    gpu, tpu = benchmark(_both_devices)
+    assert gpu.hardware > 1.0 and tpu.hardware > 1.0
+
+    result = experiment("fig21")
+    h = result.headline
+    assert h["tpu_dlzs_gain"] > h["gpu_dlzs_gain"]
+    assert h["tpu_sads_gain"] > h["gpu_sads_gain"]
+    assert h["gpu_sufa_gain"] > h["tpu_sufa_gain"]
+    assert h["tpu_rass_gain"] > h["gpu_rass_gain"]
+    assert h["gpu_total_gain"] > 4.0

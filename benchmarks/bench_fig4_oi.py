@@ -1,0 +1,30 @@
+"""Fig. 4 bench: operational intensity per part and vs token parallelism.
+
+Shape assertions: MHA's OI is a small fraction of FFN's (paper: ~15%), and
+attention OI rises monotonically with parallelism (the reuse gain that
+motivates LTPP).
+"""
+
+from repro.model.config import get_model
+from repro.model.profiler import attention_oi_vs_parallelism, profile_parts
+
+
+def _oi_table():
+    rows = []
+    for name in ("vit-base", "bert-base", "gpt2-large", "bloom-3b"):
+        parts = profile_parts(get_model(name))
+        rows.append((name, parts["attention"].operational_intensity,
+                     parts["ffn"].operational_intensity))
+    return rows
+
+
+def test_fig4_oi(benchmark, experiment):
+    rows = benchmark(_oi_table)
+    for _, mha, ffn in rows:
+        assert mha < 0.35 * ffn
+
+    ois = [attention_oi_vs_parallelism(get_model("bloom-3b"), t) for t in (1, 8, 64)]
+    assert ois[0] < ois[1] < ois[2]
+
+    result = experiment("fig4")
+    assert result.headline["bloom3b_oi_gain_t128_over_t1"] > 10.0

@@ -1,0 +1,34 @@
+"""Fig. 5 bench: FlashAttention-2 op growth vs vanilla attention.
+
+Benchmarks the executed FA-2 simulator; shape assertions mirror the paper's
+panel claims: exp/rescale work grows with tile count, and finer tiling costs
+strictly more normalized complexity at every sequence length.
+"""
+
+import numpy as np
+
+from repro.attention.flash import flash_attention, vanilla_attention_ops
+from repro.utils.rng import make_rng
+
+
+def _run_fa2(q, k, v):
+    return flash_attention(q, k, v, tile_cols=16)
+
+
+def test_fig5_fa2_kernel(benchmark, experiment):
+    rng = make_rng(5)
+    q = rng.normal(size=(64, 64))
+    k = rng.normal(size=(1024, 64))
+    v = rng.normal(size=(1024, 64))
+    res = benchmark(_run_fa2, q, k, v)
+
+    vanilla = vanilla_attention_ops(64, 1024, 64)
+    assert res.ops["exp"] > vanilla["exp"]
+    np.testing.assert_allclose(
+        res.output, flash_attention(q, k, v, tile_cols=256).output, atol=1e-9
+    )
+
+    result = experiment("fig5")
+    by_key = {(r[0], r[1]): r[5] for r in result.rows}
+    for s in sorted({r[0] for r in result.rows}):
+        assert by_key[(s, 4)] > by_key[(s, 16)] > by_key[(s, 64)]

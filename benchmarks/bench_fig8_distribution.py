@@ -1,0 +1,24 @@
+"""Fig. 8 bench: attention-row taxonomy classification throughput + shares.
+
+Shape assertions: Type-I + Type-II cover >90% of rows for every model family
+(the Distributed Cluster Effect premise), with Type-II predominant.
+"""
+
+from repro.model.distribution import RowType, classify_rows
+from repro.model.workloads import synthetic_scores
+from repro.utils.rng import make_rng
+
+
+def _classify_batch():
+    rng = make_rng(88)
+    scores = synthetic_scores(rng, 256, 512, "nlp-decoder")
+    return classify_rows(scores)
+
+
+def test_fig8_classification(benchmark, experiment):
+    shares = benchmark(_classify_batch)
+    assert shares[RowType.TYPE_II] > shares[RowType.TYPE_I]
+    assert shares[RowType.TYPE_I] + shares[RowType.TYPE_II] > 0.9
+
+    result = experiment("fig8")
+    assert result.headline["min_type12_share_pct"] > 90.0

@@ -1,0 +1,15 @@
+"""Table I bench: qualitative optimization-coverage catalogue.
+
+Asserts SOFA is the only design covering all five optimization axes.
+"""
+
+from repro.baselines.specs import table_i_rows
+
+
+def test_table1_coverage(benchmark, experiment):
+    rows = benchmark(table_i_rows)
+    full = [name for name, *flags in rows if all(flags)]
+    assert full == ["sofa"]
+
+    result = experiment("table1")
+    assert result.headline["designs_covering_all_axes"] == 1.0

@@ -1,0 +1,24 @@
+"""Table II bench: normalized SOTA accelerator comparison.
+
+Asserts the paper's aggregate advantages: ~15.8x device energy efficiency,
+~10.3x area efficiency, ~9.3x latency, and the worked FACT latency example
+(295 ms) plus SOFA's 45 ms.
+"""
+
+from repro.baselines.specs import ACCELERATOR_SPECS, protocol_latency_ms
+
+
+def _all_latencies():
+    return {name: protocol_latency_ms(spec) for name, spec in ACCELERATOR_SPECS.items()}
+
+
+def test_table2_sota_comparison(benchmark, experiment):
+    latencies = benchmark(_all_latencies)
+    assert min(latencies, key=latencies.get) == "sofa"
+    assert abs(latencies["fact"] - 295.3) < 1.0
+
+    result = experiment("table2")
+    h = result.headline
+    assert abs(h["mean_device_eff_advantage"] - 15.8) / 15.8 < 0.15
+    assert abs(h["mean_area_eff_advantage"] - 10.3) / 10.3 < 0.15
+    assert abs(h["mean_latency_advantage"] - 9.3) / 9.3 < 0.15

@@ -1,0 +1,21 @@
+"""Table III bench: SOFA area/power breakdown accounting.
+
+Asserts the published totals (5.69 mm^2, ~0.95 W) and the LP mechanism's
+small footprint (~18% area, ~15% power).
+"""
+
+from repro.hw.area_power import lp_area_fraction, total_area_mm2, total_core_power_w
+
+
+def _totals():
+    return total_area_mm2(), total_core_power_w(), lp_area_fraction()
+
+
+def test_table3_area_power(benchmark, experiment):
+    area, power, lp_frac = benchmark(_totals)
+    assert abs(area - 5.69) < 0.01
+    assert abs(power - 0.9498) < 0.001
+    assert abs(lp_frac - 0.18) < 0.01
+
+    result = experiment("table3")
+    assert abs(result.headline["lp_power_fraction_pct"] - 15.0) < 1.0

@@ -1,0 +1,18 @@
+"""Table IV bench: core / interface / DRAM power split at 59.8 GB/s.
+
+Asserts the published split: 0.95 W core, 0.53 W interface, 1.92 W DRAM,
+3.40 W overall.
+"""
+
+from repro.hw.area_power import table_iv_power_breakdown
+
+
+def test_table4_power_split(benchmark, experiment):
+    split = benchmark(table_iv_power_breakdown)
+    assert abs(split["core_w"] - 0.95) < 0.01
+    assert abs(split["interface_w"] - 0.53) < 0.01
+    assert abs(split["dram_w"] - 1.92) < 0.01
+    assert abs(split["overall_w"] - 3.40) < 0.02
+
+    result = experiment("table4")
+    assert abs(result.headline["overall_power_w"] - 3.40) < 0.02

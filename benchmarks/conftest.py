@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures: experiment results cached per session.
+
+Suite-backed experiments reuse the lru-cached :func:`measure_case`, so each
+is computed once per pytest session regardless of how many benchmarks read
+its rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import get_experiment
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """Factory returning (and caching) quick-mode experiment results."""
+    cache: dict[str, object] = {}
+
+    def run(experiment_id: str):
+        if experiment_id not in cache:
+            cache[experiment_id] = get_experiment(experiment_id)(quick=True)
+        return cache[experiment_id]
+
+    return run

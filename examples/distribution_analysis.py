@@ -1,0 +1,75 @@
+"""Attention-distribution analysis: the Distributed Cluster Effect (Fig. 8).
+
+Classifies attention rows of every model family into the paper's
+Type-I/II/III taxonomy and demonstrates why the DCE licenses distributed
+sorting: per-segment top-(k/n) recall stays high exactly when Type-I+II
+dominate, and collapses on adversarial Type-III rows.
+
+Run:  python examples/distribution_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.topk import topk_recall
+from repro.core.config import SadsConfig
+from repro.core.sads import SadsSorter
+from repro.model.config import MODEL_ZOO
+from repro.model.distribution import RowType, classify_rows
+from repro.model.workloads import synthetic_scores
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+SEQ_LEN = 512
+N_ROWS = 512
+K = 64
+
+
+def main() -> None:
+    print("Attention-row taxonomy and the Distributed Cluster Effect")
+    print("=" * 70)
+
+    rows = []
+    for name in ("bert-base", "vit-base", "gpt2", "llama-7b"):
+        family = MODEL_ZOO[name].family
+        rng = make_rng(88)
+        scores = synthetic_scores(rng, N_ROWS, SEQ_LEN, family)
+        shares = classify_rows(scores)
+        recall4 = topk_recall(
+            SadsSorter(SadsConfig(n_segments=4)).select(scores[:64], K).indices,
+            scores[:64], K,
+        )
+        rows.append(
+            (
+                name,
+                shares[RowType.TYPE_I] * 100,
+                shares[RowType.TYPE_II] * 100,
+                shares[RowType.TYPE_III] * 100,
+                recall4,
+            )
+        )
+    print(
+        format_table(
+            ["model", "type-I %", "type-II %", "type-III %", "SADS recall (n=4)"],
+            rows,
+            formats=[None, ".1f", ".1f", ".1f", ".3f"],
+        )
+    )
+
+    print("\nAdversarial check: a Type-III-only workload (dominants packed")
+    print("into one region) vs the adjustive-exchange repair:")
+    rng = make_rng(13)
+    bad = rng.normal(0, 0.6, size=(32, SEQ_LEN))
+    start = 100
+    bad[:, start : start + 40] += 7.0
+    for rounds in (0, 4, 16):
+        sorter = SadsSorter(SadsConfig(n_segments=8, adjust_rounds=rounds))
+        recall = topk_recall(sorter.select(bad, 32).indices, bad, 32)
+        print(f"  adjust_rounds={rounds:>2}: recall {recall:.3f}")
+    print("\nType-I+II dominance (>95%) is what makes per-tile sorting safe;")
+    print("the exchange iterations recover the rare concentrated rows.")
+
+
+if __name__ == "__main__":
+    main()

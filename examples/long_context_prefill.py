@@ -1,0 +1,87 @@
+"""Long-context LLM prefill: the LTPP scenario that motivates SOFA.
+
+Sweeps a Llama-7B-style attention head across sequence lengths in the
+large-scale token-parallel regime (prefill: all queries processed together),
+comparing the SOFA accelerator's cycles, DRAM traffic and energy against the
+whole-row dynamic-sparsity baseline on identical hardware resources.
+
+Run:  python examples/long_context_prefill.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SofaConfig
+from repro.core.pipeline import SofaAttention
+from repro.hw.accelerator import SofaAccelerator, shape_from_pipeline
+from repro.model.workloads import make_workload
+from repro.utils.tables import format_table
+
+
+def run_point(seq_len: int, n_queries: int) -> tuple:
+    workload = make_workload(
+        "llama-7b/wikitext2", n_queries=min(n_queries, 64), head_dim=64,
+        seq_len=min(seq_len, 512), seed=7,
+    )
+    config = SofaConfig(tile_cols=64, top_k=0.12)
+    pipeline = SofaAttention(workload.wk, workload.wv, config)
+    res = pipeline(workload.tokens, workload.q)
+
+    # Scale the measured selection statistics to the full LTPP geometry.
+    unique_frac = np.unique(res.selected).size / workload.seq_len
+    shape = shape_from_pipeline(
+        n_queries, seq_len, workload.tokens.shape[1], workload.head_dim,
+        res.selected, res.assurance_triggers,
+    )
+    shape = type(shape)(
+        n_queries=n_queries,
+        seq_len=seq_len,
+        hidden=shape.hidden,
+        head_dim=shape.head_dim,
+        selected_per_row=max(int(0.12 * seq_len), 1),
+        unique_selected=min(int(unique_frac * seq_len) + 1, seq_len),
+        assurance_fraction=shape.assurance_fraction,
+    )
+    accelerator = SofaAccelerator(config=config)
+    sofa = accelerator.run(shape)
+    baseline = accelerator.run_whole_row_baseline(shape)
+    return seq_len, n_queries, sofa, baseline
+
+
+def main() -> None:
+    print("Long-context prefill (LTPP) on the SOFA accelerator model")
+    print("=" * 72)
+    rows = []
+    for seq_len in (1024, 2048, 4096, 8192):
+        n_queries = min(seq_len, 2048)
+        s, t, sofa, base = run_point(seq_len, n_queries)
+        rows.append(
+            (
+                s,
+                t,
+                base.cycles / sofa.cycles,
+                1 - sofa.dram_bytes / base.dram_bytes,
+                base.total_energy_j / sofa.total_energy_j,
+                sofa.pipeline_speedup,
+                sofa.latency_s * 1e3,
+            )
+        )
+    print(
+        format_table(
+            [
+                "seq_len", "parallel queries", "speedup vs whole-row",
+                "dram reduction", "energy ratio", "pipeline speedup", "latency_ms",
+            ],
+            rows,
+            formats=[None, None, ".2f", ".1%", ".1f", ".2f", ".2f"],
+        )
+    )
+    print(
+        "\nWhole-row baselines stall on DRAM as parallelism scales (paper "
+        "Fig. 3); the cross-stage tiled pipeline keeps intermediates on chip."
+    )
+
+
+if __name__ == "__main__":
+    main()

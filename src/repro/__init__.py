@@ -1,0 +1,45 @@
+"""SOFA reproduction: compute-memory optimized sparsity acceleration via
+cross-stage coordinated tiling (MICRO 2024).
+
+The package is organised as a stack of substrates topped by the paper's
+contribution:
+
+``repro.numerics``
+    Fixed-point arithmetic, leading-zero counting circuits, softmax references
+    and the arithmetic-complexity model used for every operation count.
+``repro.model``
+    A numpy Transformer substrate: model configurations, layers, a
+    FLOPs/bytes profiler and synthetic attention workload generators.
+``repro.attention``
+    Dense attention, FlashAttention-1/2 simulators with operation counting,
+    and the classic whole-row dynamic-sparsity baseline.
+``repro.core``
+    The SOFA algorithms: DLZS prediction, SADS distributed sorting, SU-FA
+    sorted-updating FlashAttention, the cross-stage tiled pipeline and the
+    Bayesian-optimisation design-space exploration.
+``repro.hw``
+    A cycle-approximate model of the SOFA accelerator: engines, SRAM/DRAM,
+    RASS scheduling and area/power accounting.
+``repro.baselines``
+    Device models (A100 GPU, TPU) and the published SOTA accelerator specs.
+``repro.experiments``
+    One module per paper table/figure, regenerating its rows.
+"""
+
+from repro.core.config import SofaConfig
+from repro.core.dlzs import DlzsPredictor
+from repro.core.pipeline import SofaAttention, sofa_attention
+from repro.core.sads import SadsSorter
+from repro.core.sufa import sorted_updating_attention
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SofaConfig",
+    "SofaAttention",
+    "sofa_attention",
+    "DlzsPredictor",
+    "SadsSorter",
+    "sorted_updating_attention",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Attention substrate: dense reference, FlashAttention sims, sparse baseline.
+
+* :mod:`repro.attention.reference` - exact dense attention (golden model).
+* :mod:`repro.attention.flash` - FlashAttention-1/2 tiled simulators with
+  per-operation counting; used both as a numerical baseline for SU-FA and to
+  regenerate the Fig. 5 op-growth analysis.
+* :mod:`repro.attention.dynamic_sparse` - the classic 3-stage dynamic
+  sparsity baseline with whole-row processing (pre-compute -> full-row top-k
+  -> formal compute), including its DRAM traffic accounting.
+* :mod:`repro.attention.topk` - top-k mask utilities shared by all sparse
+  paths.
+* :mod:`repro.attention.metrics` - fidelity metrics mapping sparse outputs to
+  the paper's "accuracy loss" budget.
+"""
+
+from repro.attention.reference import dense_attention, masked_attention
+from repro.attention.flash import flash_attention, FlashVariant
+from repro.attention.dynamic_sparse import dynamic_sparse_attention
+from repro.attention.topk import exact_topk_indices, topk_mask, topk_recall
+from repro.attention.metrics import output_relative_error, accuracy_loss_proxy
+
+__all__ = [
+    "dense_attention",
+    "masked_attention",
+    "flash_attention",
+    "FlashVariant",
+    "dynamic_sparse_attention",
+    "exact_topk_indices",
+    "topk_mask",
+    "topk_recall",
+    "output_relative_error",
+    "accuracy_loss_proxy",
+]

@@ -1,0 +1,149 @@
+"""The classic whole-row dynamic-sparsity baseline (pre-SOFA workflow).
+
+This is the three-stage pipeline the paper's Fig. 2 criticizes:
+
+1. **Pre-compute** - estimate the attention matrix at low precision (we use a
+   4-bit quantized matmul, matching the paper's baseline assumption).
+2. **Top-k sort** - full-row top-k over each S-long row.  Because the sort
+   needs the *whole* row, the Pre-Atten matrix must be materialized; when it
+   exceeds SRAM it spills to DRAM and is read back row-wise.
+3. **Formal compute** - high-precision attention over the selected pairs,
+   again materializing the Atten matrix row-wise.
+
+The DRAM traffic bookkeeping implements that "whole-row-processing" cost so
+Fig. 20(a)'s memory-access comparison has a concrete baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.reference import attention_scores, masked_attention
+from repro.attention.topk import exact_topk_indices, indices_to_mask
+from repro.numerics.complexity import OpCounter, matmul_ops, softmax_ops
+from repro.numerics.fixed_point import quantize
+
+
+@dataclass
+class SparseBaselineResult:
+    """Output and cost accounting of the whole-row dynamic-sparsity baseline.
+
+    Attributes
+    ----------
+    output:
+        ``(T, D)`` sparse attention output.
+    selected:
+        ``(T, k)`` chosen key indices per query.
+    ops:
+        Operation tally across all three stages.
+    dram_bytes:
+        Off-chip traffic in bytes: spills/reloads of Pre-Atten and Atten plus
+        K/V and output streams.
+    sram_bytes_needed:
+        Working set a spill-free execution would need (the paper's 5 MB for
+        T=512, S=2048 example).
+    """
+
+    output: np.ndarray
+    selected: np.ndarray
+    ops: OpCounter
+    dram_bytes: float
+    sram_bytes_needed: float
+
+
+def dynamic_sparse_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    top_k: int,
+    sram_bytes: float = 2 * 2**20,
+    pred_bits: int = 4,
+    formal_bytes_per_elt: int = 2,
+) -> SparseBaselineResult:
+    """Run the classic 3-stage dynamic sparsity flow with cost accounting.
+
+    Parameters
+    ----------
+    q, k, v:
+        Formal-precision inputs: ``(T, D)``, ``(S, D)``, ``(S, D)``.
+    top_k:
+        Keys kept per query row.
+    sram_bytes:
+        On-chip capacity; the Pre-Atten/Atten matrices spill to DRAM when the
+        row-block working set exceeds it (paper assumes 2 MB for Fig. 3).
+    pred_bits:
+        Pre-compute stage precision (the paper's baseline uses 4-bit).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    t, d = q.shape
+    s = k.shape[0]
+
+    ops = OpCounter()
+
+    # Stage 1: low-precision prediction of the full (T, S) Pre-Atten matrix.
+    q_q = quantize(q, pred_bits)
+    k_q = quantize(k, pred_bits)
+    pre_atten = (q_q.values @ k_q.values.T).astype(np.float64) * (q_q.scale * k_q.scale)
+    ops = ops + matmul_ops(t, d, s)
+
+    # Stage 2: full-row top-k. A hardware sorter scans each row once per
+    # selected element (selection-style network): ~k*S comparisons per row.
+    selected = exact_topk_indices(pre_atten, top_k)
+    ops.add_op("compare", float(t) * top_k * s)
+
+    # Stage 3: formal high-precision attention on the selected pairs.
+    mask = indices_to_mask(selected, s)
+    output = masked_attention(q, k, v, mask)
+    ops = ops + matmul_ops(t, d, top_k)
+    ops = ops + softmax_ops(t, top_k)
+    ops = ops + matmul_ops(t, top_k, v.shape[1])
+
+    # DRAM accounting: the Pre-Atten matrix is produced column-block by
+    # column-block (K streamed), but consumed row-wise by the sorter, so when
+    # it exceeds SRAM it must round-trip DRAM; likewise the Atten matrix
+    # between softmax and the PV matmul.
+    pred_elt = max(pred_bits // 8, 1)
+    pre_atten_bytes = float(t) * s * pred_elt
+    atten_bytes = float(t) * top_k * formal_bytes_per_elt
+    dram = 0.0
+    working = pre_atten_bytes + atten_bytes
+    if working > sram_bytes:
+        dram += 2 * pre_atten_bytes  # store then reload row-wise
+        dram += 2 * atten_bytes
+    # K/V streams: prediction reads all K once; formal reads selected K and V.
+    dram += float(s) * d * pred_elt
+    unique_cols = np.unique(selected)
+    dram += 2.0 * unique_cols.size * d * formal_bytes_per_elt
+    dram += float(t) * v.shape[1] * formal_bytes_per_elt  # output write
+
+    return SparseBaselineResult(
+        output=output,
+        selected=selected,
+        ops=ops,
+        dram_bytes=dram,
+        sram_bytes_needed=working,
+    )
+
+
+def scores_for_prediction(q: np.ndarray, k: np.ndarray, bits: int) -> np.ndarray:
+    """Low-precision score estimate used by ablations (shared helper)."""
+    q_q = quantize(np.asarray(q, dtype=np.float64), bits)
+    k_q = quantize(np.asarray(k, dtype=np.float64), bits)
+    return (q_q.values @ k_q.values.T).astype(np.float64) * (q_q.scale * k_q.scale)
+
+
+def prediction_rank_fidelity(q: np.ndarray, k: np.ndarray, bits: int, top_k: int) -> float:
+    """Recall of low-precision prediction's top-k vs exact scores.
+
+    Convenience metric for comparing INT-k prediction against DLZS.
+    """
+    from repro.attention.topk import topk_recall
+
+    exact = attention_scores(q, k)
+    approx = scores_for_prediction(q, k, bits)
+    sel = exact_topk_indices(approx, top_k)
+    return topk_recall(sel, exact, top_k)

@@ -1,0 +1,62 @@
+"""Fidelity metrics mapping sparse attention outputs to an accuracy budget.
+
+The paper reports computation reduction *at fixed end-task accuracy loss*
+(0%/1%/2%).  Without the original checkpoints we use an output-fidelity proxy
+(DESIGN.md substitution table): the mean relative L2 error between the sparse
+and dense attention outputs, which is monotone in how much softmax mass the
+selection dropped.  The mapping constant is chosen so that the paper's
+operating points (top-k around 10-25% of tokens) land at proxy losses around
+0-2%, matching Sec. V-B's reported sparsity/accuracy pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Proxy calibration: accuracy-loss percent per unit mean relative error.
+#: With this constant, retaining ~99.5% of softmax mass (typical for top-20%
+#: on Type-II rows) maps to <1% loss, mirroring the paper's operating points.
+LOSS_PER_RELATIVE_ERROR = 25.0
+
+
+def output_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Mean per-row relative L2 error ``||approx - exact|| / ||exact||``."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approx.shape != exact.shape:
+        raise ValueError(f"shape mismatch {approx.shape} vs {exact.shape}")
+    num = np.linalg.norm(approx - exact, axis=-1)
+    den = np.linalg.norm(exact, axis=-1)
+    den = np.where(den == 0, 1.0, den)
+    return float(np.mean(num / den))
+
+
+def accuracy_loss_proxy(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Map output error to an accuracy-loss percentage (0 = lossless)."""
+    return LOSS_PER_RELATIVE_ERROR * output_relative_error(approx, exact)
+
+
+def kl_divergence_rows(p_scores: np.ndarray, q_scores: np.ndarray) -> float:
+    """Mean KL(softmax(p) || softmax(q)) across rows; a sharper fidelity lens."""
+    from repro.numerics.softmax import softmax
+
+    p = softmax(np.asarray(p_scores, dtype=np.float64), axis=-1)
+    q = softmax(np.asarray(q_scores, dtype=np.float64), axis=-1)
+    eps = 1e-12
+    return float(np.mean(np.sum(p * (np.log(p + eps) - np.log(q + eps)), axis=-1)))
+
+
+def loss_to_topk_fraction(loss_budget_pct: float) -> float:
+    """The paper's loss-budget -> top-k fraction operating curve.
+
+    Interpolates the Sec. V-B operating points implied by the reported
+    computation reductions (81.3%/87.7%/92.6% attention reduction at
+    0%/1%/2% loss after fine-tuning): 0% loss keeps ~18% of tokens, 1%
+    ~12%, 2% ~7.5%.  Used when an experiment needs "the top-k the paper
+    would have used at this loss tolerance".
+    """
+    pts_loss = np.array([0.0, 1.0, 2.0])
+    pts_keep = np.array([0.18, 0.12, 0.075])
+    if loss_budget_pct < 0:
+        raise ValueError("loss budget cannot be negative")
+    return float(np.interp(loss_budget_pct, pts_loss, pts_keep))

@@ -1,0 +1,49 @@
+"""Exact dense and masked attention references.
+
+These are the golden models: every tiled, sparse or log-domain variant in the
+repository is validated against :func:`dense_attention` (for exact paths) or
+:func:`masked_attention` (for top-k restricted paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.softmax import softmax
+
+
+def attention_scores(q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Scaled scores ``Q K^T / sqrt(d)`` for ``q``: (T, D), ``k``: (S, D)."""
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    if q.ndim != 2 or k.ndim != 2 or q.shape[1] != k.shape[1]:
+        raise ValueError(f"incompatible shapes {q.shape} x {k.shape}")
+    return q @ k.T / np.sqrt(q.shape[1])
+
+
+def dense_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Exact ``softmax(QK^T/sqrt(d)) V``."""
+    scores = attention_scores(q, k)
+    if v.shape[0] != k.shape[0]:
+        raise ValueError("V rows must match K rows")
+    return softmax(scores, axis=-1) @ np.asarray(v, dtype=np.float64)
+
+
+def masked_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Attention restricted to ``mask`` (bool, shape (T, S)): the top-k target.
+
+    Unselected positions receive -inf before softmax, i.e. exactly the
+    computation a dynamic-sparsity accelerator aims to produce.  Rows with an
+    empty mask are rejected - a sparse attention with no selected keys is a
+    configuration bug, not a numerical corner.
+    """
+    scores = attention_scores(q, k)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != scores.shape:
+        raise ValueError(f"mask shape {mask.shape} != scores shape {scores.shape}")
+    if not mask.any(axis=1).all():
+        raise ValueError("every query row must select at least one key")
+    neg = np.where(mask, scores, -np.inf)
+    return softmax(neg, axis=-1) @ np.asarray(v, dtype=np.float64)

@@ -1,0 +1,79 @@
+"""Top-k selection utilities shared by every sparse attention path.
+
+Dynamic-sparsity accelerators reduce attention to the k most important keys
+per query row.  These helpers provide the exact selection (the quality
+target SADS is measured against), mask construction, and recall metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def exact_topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest entries per row, sorted by descending score.
+
+    Returns an ``(T, k)`` int array.  Ties broken by lower index first (in
+    line with a deterministic hardware comparator tree).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must be 2-D (rows x keys)")
+    t, s = scores.shape
+    if not 1 <= k <= s:
+        raise ValueError(f"k={k} out of range for row length {s}")
+    # lexsort on (-score, index): stable deterministic tie-break.
+    idx = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+    return idx.astype(np.int64)
+
+
+def topk_mask(scores: np.ndarray, k: int) -> np.ndarray:
+    """Boolean ``(T, S)`` mask selecting the exact per-row top-k."""
+    scores = np.asarray(scores, dtype=np.float64)
+    idx = exact_topk_indices(scores, k)
+    mask = np.zeros(scores.shape, dtype=bool)
+    np.put_along_axis(mask, idx, True, axis=1)
+    return mask
+
+
+def indices_to_mask(indices: np.ndarray, row_len: int) -> np.ndarray:
+    """Convert per-row index lists (``(T, k)``) into a boolean mask."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 2:
+        raise ValueError("indices must be 2-D")
+    if indices.size and (indices.min() < 0 or indices.max() >= row_len):
+        raise ValueError("index out of range")
+    mask = np.zeros((indices.shape[0], row_len), dtype=bool)
+    np.put_along_axis(mask, indices, True, axis=1)
+    return mask
+
+
+def topk_recall(selected: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of the exact top-k that an approximate selection captured.
+
+    ``selected`` is a boolean mask or an index array; recall is averaged over
+    rows.  This is the SADS quality metric: the paper argues DCE keeps it
+    near 1 for Type-I/II dominated workloads.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if selected.dtype != bool:
+        selected = indices_to_mask(selected, scores.shape[1])
+    truth = topk_mask(scores, k)
+    hits = np.logical_and(selected, truth).sum(axis=1)
+    return float(np.mean(hits / k))
+
+
+def retained_softmax_mass(selected: np.ndarray, scores: np.ndarray) -> float:
+    """Mean softmax probability mass captured by the selected positions.
+
+    A selection can miss exact top-k members yet retain nearly all mass when
+    the missed members tie with captured ones - this is the quantity that
+    actually drives output fidelity, so metrics report both.
+    """
+    from repro.numerics.softmax import softmax
+
+    scores = np.asarray(scores, dtype=np.float64)
+    if selected.dtype != bool:
+        selected = indices_to_mask(selected, scores.shape[1])
+    probs = softmax(scores, axis=-1)
+    return float(np.mean(np.sum(probs * selected, axis=1)))

@@ -1,0 +1,21 @@
+"""Device baselines: SOTA accelerator specs, GPU/TPU models, MAT models.
+
+* :mod:`repro.baselines.specs` - published spec records of the 8 comparison
+  accelerators plus SOFA (Tables I/II) and the normalization protocol.
+* :mod:`repro.baselines.gpu` / :mod:`repro.baselines.tpu` - analytic A100 /
+  cloud-TPU models used as the denominators of Figs. 19-21.
+* :mod:`repro.baselines.accel_models` - memory-access-time models of FACT
+  and Energon under scaled token parallelism (Fig. 3).
+"""
+
+from repro.baselines.gpu import GpuModel
+from repro.baselines.specs import ACCELERATOR_SPECS, AcceleratorSpec, normalize_spec
+from repro.baselines.tpu import TpuModel
+
+__all__ = [
+    "AcceleratorSpec",
+    "ACCELERATOR_SPECS",
+    "normalize_spec",
+    "GpuModel",
+    "TpuModel",
+]

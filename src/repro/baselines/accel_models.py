@@ -1,0 +1,128 @@
+"""Memory-access-time models of FACT and Energon under scaled parallelism.
+
+Fig. 3 of the paper shows that when SOTA dynamic-sparsity accelerators with
+2 MB SRAM scale the number of parallel tokens T, off-chip access time (MAT)
+grows to dominate latency (~72% average).  The mechanism is whole-row
+processing: the (T, S) Pre-Atten and Atten intermediates stop fitting on
+chip and round-trip DRAM, while per-query KV fetches stop being reusable.
+
+This module models that effect analytically from each accelerator's
+published compute throughput and the shared DRAM bandwidth model, producing
+the Fig. 3 latency-share series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.specs import ACCELERATOR_SPECS
+from repro.hw.dram import DramChannelModel
+from repro.model.config import get_model
+
+
+@dataclass(frozen=True)
+class MatBreakdown:
+    """Latency split of one (accelerator, model, parallelism) point."""
+
+    accelerator: str
+    model: str
+    parallelism: int
+    compute_s: float
+    memory_s: float
+
+    @property
+    def mat_share(self) -> float:
+        total = self.compute_s + self.memory_s
+        return self.memory_s / total if total else 0.0
+
+
+#: Fraction of peak throughput SOTA sparse accelerators sustain on the
+#: fine-grained dynamic-sparsity dataflow (gathered operands, short rows).
+SPARSE_COMPUTE_UTILIZATION = 0.5
+
+
+def mat_breakdown(
+    accelerator: str,
+    model: str,
+    seq_len: int,
+    parallelism: int,
+    keep: float = 0.25,
+    sram_bytes: float = 2 * 2**20,
+    dram_bandwidth_gbs: float = 25.6,
+) -> MatBreakdown:
+    """Compute/memory latency split of a prefill at parallelism T.
+
+    Model: the S-token prefill executes in ``ceil(S/T)`` batches of T
+    queries.  Whole-row processing keeps every head's (T, S) Pre-Atten plus
+    the (T, k) Atten slice live across the stage barrier; when that live set
+    exceeds SRAM it round-trips DRAM each batch, and the K/V working set can
+    no longer be retained between batches either - the paper's Fig. 2
+    mechanism.  ``dram_bandwidth_gbs`` defaults to the DDR4 figure the paper
+    cites for this accelerator class (25.6 GB/s).
+    """
+    spec = ACCELERATOR_SPECS[accelerator]
+    cfg = get_model(model)
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    heads, d = cfg.n_heads, cfg.head_dim
+    s, t = seq_len, parallelism
+    k = max(int(s * keep), 1)
+    n_batches = -(-s // t)
+
+    # Compute: 4-bit prediction (quarter-rate) + formal top-k attention,
+    # for all heads over the whole prefill.
+    gops = heads * (s * s * d * 0.25 + 2 * 2.0 * s * k * d) / 1e9
+    compute_s = gops / (spec.throughput_gops * SPARSE_COMPUTE_UTILIZATION)
+
+    # Memory: the live intermediate set at the top-k stage barrier (scores
+    # held at sorting precision, 16-bit accumulators).
+    live_inter = heads * (float(t) * s * 2.0 + float(t) * k * 2.0)
+    kv_bytes = heads * 2.0 * s * d * 2.0
+    stream = float(s) * cfg.hidden * 2.0 + float(s) * d * heads * 2.0  # tokens+Q
+    if live_inter > sram_bytes:
+        spill = 2.0 * live_inter * n_batches
+        kv_traffic = kv_bytes  # K/V streamed once per batch group, evicted
+        per_batch_kv = heads * float(min(t * k, s)) * d * 2.0 * 2.0
+        kv_traffic = max(kv_bytes, per_batch_kv * n_batches)
+    else:
+        spill = 0.0
+        kv_traffic = kv_bytes
+    memory_bytes = spill + kv_traffic + stream
+    memory_s = memory_bytes / (dram_bandwidth_gbs * 1e9)
+    return MatBreakdown(
+        accelerator=accelerator,
+        model=model,
+        parallelism=parallelism,
+        compute_s=compute_s,
+        memory_s=memory_s,
+    )
+
+
+#: The four (model, seq_len, max parallelism) panels of Fig. 3.
+FIG3_PANELS: tuple[tuple[str, int, int], ...] = (
+    ("bert-large", 512, 512),
+    ("gpt2", 1024, 256),
+    ("bloom-3b", 2048, 128),
+    ("llama-13b", 4096, 8),
+)
+
+
+def fig3_series(accelerator: str) -> list[MatBreakdown]:
+    """MAT breakdowns at T=1 and T=max for every Fig. 3 panel."""
+    rows = []
+    for model, seq_len, t_max in FIG3_PANELS:
+        for t in (1, t_max):
+            rows.append(mat_breakdown(accelerator, model, seq_len, t))
+    return rows
+
+
+def average_mat_share_at_scale() -> float:
+    """Mean MAT share across both accelerators at max parallelism (~72%)."""
+    shares = []
+    for accel in ("fact", "energon"):
+        for model, seq_len, t_max in FIG3_PANELS:
+            shares.append(mat_breakdown(accel, model, seq_len, t_max).mat_share)
+    return float(sum(shares) / len(shares))
+
+
+_ = DramChannelModel  # re-exported for callers wanting the HBM-class model

@@ -1,0 +1,156 @@
+"""Published SOTA accelerator specifications and Table II normalization.
+
+Rows follow the paper's Table II verbatim (accuracy loss, saved computation,
+technology, frequency, area, core/IO power, throughput, core energy
+efficiency).  Derived columns (device efficiency, area efficiency, latency)
+are *computed* by this module through the paper's stated protocol:
+
+* technology normalization to 28 nm / 1.0 V with f ∝ 1/s² and
+  P_core ∝ (1/s)(1.0/Vdd)² (see :mod:`repro.hw.scaling`);
+* the latency benchmark: the attention part of Llama-7B (137 GOPs), with
+  every accelerator scaled to 128 multipliers clocked at 1 GHz (Sec. V-D's
+  FACT example: 928 GOPS at 500 MHz with 512 multipliers ->
+  latency = 2 x 137 / 928 s = 295 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.scaling import TechnologyNode, scale_area, scale_power
+
+#: The latency benchmark workload: Llama-7B attention part, giga-operations.
+LLAMA7B_ATTENTION_GOPS = 137.0
+#: Latency protocol normalization: multipliers and clock every design is scaled to.
+PROTOCOL_MULTIPLIERS = 128
+PROTOCOL_CLOCK_HZ = 1e9
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One comparison accelerator's published numbers (Table II row).
+
+    ``sparsity_kind`` is "unstructured"/"structured"; ``io_power_w`` is None
+    when the paper lists '-'.  ``n_multipliers`` and ``freq_hz`` feed the
+    latency protocol.  ``optimizes`` mirrors Table I's coverage flags.
+    """
+
+    name: str
+    sparsity_kind: str
+    accuracy_loss_pct: float
+    saved_computation: float
+    tech_nm: float
+    freq_hz: float
+    area_mm2: float
+    core_power_w: float
+    io_power_w: float | None
+    throughput_gops: float
+    core_eff_gops_per_w: float
+    n_multipliers: int
+    optimizes: tuple[str, ...]
+
+
+ACCELERATOR_SPECS: dict[str, AcceleratorSpec] = {
+    spec.name: spec
+    for spec in (
+        AcceleratorSpec(
+            "a3", "unstructured", 5.3, 0.40, 40, 1e9, 2.08, 0.205, 0.617,
+            221, 1863, 128, ("attention-compute",),
+        ),
+        AcceleratorSpec(
+            "elsa", "unstructured", 2.0, 0.73, 40, 1e9, 1.26, 0.969, 0.525,
+            1090, 1944, 256, ("attention-compute",),
+        ),
+        AcceleratorSpec(
+            "sanger", "structured", 0.0, 0.76, 55, 500e6, 16.9, 2.76, None,
+            2285, 2342, 1024, ("attention-compute",),
+        ),
+        AcceleratorSpec(
+            # n_multipliers back-solved from the paper's 448 ms protocol latency
+            "dota", "structured", 0.8, 0.80, 22, 1e9, 4.44, 3.02, None,
+            4905, 817, 2048, ("attention-compute",),
+        ),
+        AcceleratorSpec(
+            "energon", "unstructured", 0.9, 0.77, 45, 1e9, 4.2, 0.32, 2.4,
+            1153, 7007, 512, ("attention-compute", "attention-memory-low"),
+        ),
+        AcceleratorSpec(
+            # n_multipliers back-solved from the paper's 652 ms protocol latency
+            "dtatrans", "unstructured", 0.74, 0.74, 40, 1e9, 1.49, 0.734, None,
+            1304, 3071, 800, ("attention-compute",),
+        ),
+        AcceleratorSpec(
+            "spatten", "structured", 0.9, 0.67, 40, 1e9, 1.55, 0.325, 0.617,
+            360, 1915, 128, ("qkv-compute", "attention-compute", "attention-memory-low"),
+        ),
+        AcceleratorSpec(
+            "fact", "unstructured", 0.0, 0.79, 28, 500e6, 6.03, 0.337, None,
+            928, 2754, 512, ("qkv-compute", "attention-compute"),
+        ),
+        AcceleratorSpec(
+            "sofa", "unstructured", 0.0, 0.82, 28, 1e9, 5.69, 0.95, 2.45,
+            24423, 25708, 1024,
+            (
+                "qkv-compute", "attention-compute",
+                "qkv-memory", "attention-memory", "cross-stage",
+            ),
+        ),
+    )
+}
+
+
+def normalize_spec(spec: AcceleratorSpec) -> dict[str, float]:
+    """Scale a spec's power/area to 28 nm / 1.0 V (Table II's footnote)."""
+    node = TechnologyNode(feature_nm=spec.tech_nm, vdd=1.0)
+    return {
+        "core_power_w": scale_power(spec.core_power_w, node),
+        "area_mm2": scale_area(spec.area_mm2, node),
+    }
+
+
+def device_efficiency_gops_per_w(spec: AcceleratorSpec) -> float | None:
+    """Device (core + IO) energy efficiency; None when IO power unpublished."""
+    if spec.io_power_w is None:
+        return None
+    node = TechnologyNode(feature_nm=spec.tech_nm, vdd=1.0)
+    core = scale_power(spec.core_power_w, node)
+    return spec.throughput_gops / (core + spec.io_power_w)
+
+
+def area_efficiency_gops_per_mm2(spec: AcceleratorSpec) -> float:
+    """Normalized throughput per normalized area (Table II column)."""
+    norm = normalize_spec(spec)
+    return spec.throughput_gops / norm["area_mm2"]
+
+
+def protocol_latency_ms(spec: AcceleratorSpec) -> float:
+    """Latency to run 137 GOPs of Llama-7B attention, scaled to 128 mults @1GHz.
+
+    The paper's protocol (Sec. V-D): effective throughput is first scaled to
+    the common 128-multiplier / 1 GHz budget, then latency = workload /
+    scaled throughput.  The worked example (FACT) reads
+    ``2 * 137 / 928 s = 295 ms``: 512 multipliers at 500 MHz hold 4x the
+    protocol's multiplier-cycles, and moving to 1 GHz doubles the rate, so
+    the scale factor is ``(128 / n_mult) * (1 GHz / freq)``.
+    """
+    scale = (PROTOCOL_MULTIPLIERS / spec.n_multipliers) * (PROTOCOL_CLOCK_HZ / spec.freq_hz)
+    scaled_gops = spec.throughput_gops * scale
+    return LLAMA7B_ATTENTION_GOPS / scaled_gops * 1e3
+
+
+def table_i_rows() -> list[tuple[str, bool, bool, bool, bool, bool]]:
+    """Table I's qualitative coverage: (name, qkv-c, attn-c, qkv-m, attn-m, cross)."""
+    rows = []
+    for spec in ACCELERATOR_SPECS.values():
+        opts = set(spec.optimizes)
+        rows.append(
+            (
+                spec.name,
+                "qkv-compute" in opts,
+                "attention-compute" in opts,
+                "qkv-memory" in opts,
+                "attention-memory" in opts or "attention-memory-low" in opts,
+                "cross-stage" in opts,
+            )
+        )
+    return rows

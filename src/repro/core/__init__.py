@@ -1,0 +1,29 @@
+"""SOFA core algorithms (the paper's primary contribution).
+
+* :mod:`repro.core.dlzs` - differential leading-zero summation prediction.
+* :mod:`repro.core.sads` - sphere-search aided distributed sorting.
+* :mod:`repro.core.sufa` - sorted-updating FlashAttention.
+* :mod:`repro.core.pipeline` - the cross-stage coordinated tiled pipeline
+  that fuses the three stages and eliminates intermediate DRAM traffic.
+* :mod:`repro.core.dse` - Bayesian-optimization design-space exploration for
+  per-layer tiling size and top-k.
+* :mod:`repro.core.config` - user-facing configuration.
+"""
+
+from repro.core.config import SofaConfig
+from repro.core.dlzs import DlzsPredictor, dlzs_matmul, vanilla_lz_matmul
+from repro.core.pipeline import SofaAttention, sofa_attention
+from repro.core.sads import SadsSorter
+from repro.core.sufa import UpdateOrder, sorted_updating_attention
+
+__all__ = [
+    "SofaConfig",
+    "DlzsPredictor",
+    "dlzs_matmul",
+    "vanilla_lz_matmul",
+    "SofaAttention",
+    "sofa_attention",
+    "SadsSorter",
+    "UpdateOrder",
+    "sorted_updating_attention",
+]

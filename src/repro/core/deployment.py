@@ -1,0 +1,144 @@
+"""Deployment flow: pre-deployment preparation and user inference (Fig. 16).
+
+The paper splits SOFA's lifecycle into two phases:
+
+* **Pre-deployment preparation (offline)** - for each (model, task) pair the
+  server runs the DSE for per-layer tiling sizes, tunes the top-k budget to
+  the task's loss tolerance, and pre-converts the key-projection weights
+  into leading-zero format.  Everything lands in a *configuration list*.
+* **User inference (online)** - a user picks a prepared entry; the runtime
+  loads the stored configuration and executes real-time dynamic-sparsity
+  inference without any further tuning.
+
+This module implements that split as a small registry so the examples and
+tests exercise the same artifact hand-off the figure describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.metrics import loss_to_topk_fraction
+from repro.core.config import DlzsConfig, SadsConfig, SofaConfig, SufaConfig
+from repro.core.dlzs import DlzsPredictor
+from repro.core.dse import BayesianDse, DsePoint
+from repro.core.pipeline import SofaAttention
+
+
+@dataclass(frozen=True)
+class PreparedModel:
+    """One configuration-list entry: everything user inference needs.
+
+    Attributes
+    ----------
+    name / task:
+        Registry key components.
+    config:
+        The tuned :class:`SofaConfig` (tile width, top-k, stage settings).
+    wk_signs / wk_lz:
+        The pre-converted key-projection weights (sign + LZ code) - the
+        artifact that makes phase-1.1 prediction converter-free online.
+    wk / wv:
+        Full-precision projections for the formal stage.
+    dse_objective:
+        The DSE objective value achieved during preparation (provenance).
+    """
+
+    name: str
+    task: str
+    config: SofaConfig
+    wk_signs: np.ndarray
+    wk_lz: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    dse_objective: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}/{self.task}"
+
+
+@dataclass
+class DeploymentServer:
+    """The offline preparation side: builds and stores configuration entries."""
+
+    configurations: dict[str, PreparedModel] = field(default_factory=dict)
+
+    def prepare(
+        self,
+        name: str,
+        task: str,
+        wk: np.ndarray,
+        wv: np.ndarray,
+        seq_len: int,
+        loss_budget_pct: float = 1.0,
+        n_layers: int = 1,
+        dse_iterations: int = 16,
+        evaluate_loss=None,
+        seed: int | None = None,
+    ) -> PreparedModel:
+        """Run the offline pipeline: DSE -> top-k tuning -> LZ conversion.
+
+        ``evaluate_loss`` is the task-loss callable handed to the DSE; when
+        omitted a neutral landscape is used (the complexity penalties alone
+        pick the tiling), which matches preparing a model before its
+        calibration data arrives.
+        """
+        if evaluate_loss is None:
+            evaluate_loss = lambda point: 0.0  # noqa: E731 - neutral landscape
+        dse = BayesianDse(
+            evaluate_loss, n_layers=n_layers, seq_len=seq_len, seed=seed
+        )
+        result = dse.search(n_iterations=dse_iterations, n_init=4)
+        best: DsePoint = result.best_point
+        tile_cols = max(seq_len // best.tc_per_layer[0], 1)
+
+        keep = loss_to_topk_fraction(loss_budget_pct)
+        config = SofaConfig(
+            tile_cols=tile_cols,
+            top_k=keep,
+            dlzs=DlzsConfig(),
+            sads=SadsConfig(),
+            sufa=SufaConfig(),
+        )
+        predictor = DlzsPredictor(wk, config.dlzs)
+        prepared = PreparedModel(
+            name=name,
+            task=task,
+            config=config,
+            wk_signs=predictor._wk_signs.copy(),
+            wk_lz=predictor._wk_lz.copy(),
+            wk=np.asarray(wk, dtype=np.float64),
+            wv=np.asarray(wv, dtype=np.float64),
+            dse_objective=result.best_objective,
+        )
+        self.configurations[prepared.key] = prepared
+        return prepared
+
+    def available(self) -> list[str]:
+        """The configuration list shown to users."""
+        return sorted(self.configurations)
+
+
+class InferenceSession:
+    """The online side: load a prepared entry and serve inference calls."""
+
+    def __init__(self, server: DeploymentServer, key: str):
+        try:
+            self.prepared = server.configurations[key]
+        except KeyError:
+            known = ", ".join(server.available()) or "(none prepared)"
+            raise KeyError(f"model {key!r} not prepared; available: {known}") from None
+        self._operator = SofaAttention(
+            self.prepared.wk, self.prepared.wv, self.prepared.config
+        )
+        # Online conversion must be unnecessary: verify the stored LZ codes
+        # match what the operator derived (the hand-off is consistent).
+        if not np.array_equal(self._operator.predictor._wk_lz, self.prepared.wk_lz):
+            raise RuntimeError("stored LZ codes disagree with the loaded weights")
+
+    def infer(self, tokens: np.ndarray, q: np.ndarray, **scales):
+        """One real-time dynamic-sparsity attention call."""
+        return self._operator(tokens, q, **scales)

@@ -1,0 +1,242 @@
+"""DLZS: differential leading-zero summation sparsity prediction (Sec. III-A).
+
+DLZS replaces the multiplications of the pre-compute stage with shift-adds by
+converting *one* operand of each product into the log domain:
+
+    x * y  ~=  XOR(sign_x, sign_y) * |x| << (W - LZ(y))
+
+where ``LZ(y)`` is y's leading-zero count in a W-bit field.  Keeping x exact
+("differential") halves both the converter hardware and the approximation
+error relative to the vanilla scheme that one-hot encodes *both* operands.
+
+The cross-phase flow (paper Fig. 7(a)):
+
+1.1 *Key prediction*: ``K_hat = tokens @ Wk`` with Wk pre-converted to LZ
+    codes offline (weights are static), so no LZE runs at inference.
+1.2 *Attention prediction*: ``A_hat = Q @ K_hat^T`` with **Q** converted to
+    the log domain (not K_hat - converting the freshly-estimated operand
+    would compound the phase-1 error).
+
+Both phases are add/shift-only; the module counts shifts/adds/LZC uses so
+ablations can compare DLZS against 4-bit multiplication baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DlzsConfig
+from repro.numerics.complexity import OpCounter
+from repro.numerics.fixed_point import quantize
+from repro.numerics.leading_zero import (
+    ConfigurableLZE,
+    leading_zeros,
+    lz_decode_magnitude,
+    shift_by_exponent,
+)
+
+
+@dataclass
+class DlzsMatmulResult:
+    """Approximate product matrix plus operation accounting."""
+
+    values: np.ndarray
+    ops: OpCounter
+
+
+def dlzs_matmul(
+    exact_operand: np.ndarray,
+    converted_operand: np.ndarray,
+    width: int,
+    count_conversion: bool = True,
+) -> DlzsMatmulResult:
+    """Approximate ``exact_operand @ converted_operand`` with shift-adds.
+
+    Parameters
+    ----------
+    exact_operand:
+        ``(M, K)`` integer matrix kept at full precision (the "differential"
+        operand that is only shifted).
+    converted_operand:
+        ``(K, N)`` integer matrix replaced by sign * 2^(width - LZ).
+    width:
+        Bit width of the converted operand's field.
+    count_conversion:
+        Whether LZC work is charged (False when codes were pre-converted
+        offline, as for the static Wk).
+    """
+    a = np.asarray(exact_operand, dtype=np.int64)
+    b = np.asarray(converted_operand, dtype=np.int64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+
+    signs = np.sign(b)
+    lz = leading_zeros(b, width)
+    ops = OpCounter()
+    if count_conversion:
+        ops.add_op("lzc", b.size)
+
+    # Each product |a_mk| << (width - lz_kn) with the XOR'd sign, then summed
+    # over k. Vectorized: decode the power-of-two magnitude once per b entry.
+    pow2 = lz_decode_magnitude(lz, width)  # (K, N)
+    signed_pow2 = signs * pow2
+    approx = a @ signed_pow2  # shifts realized as power-of-two multiplies
+
+    m, k_dim = a.shape
+    n = b.shape[1]
+    nonzero = int(np.count_nonzero(signed_pow2))
+    # One shift + one XOR per contributing product; adds for accumulation.
+    ops.add_op("shift", float(m) * nonzero)
+    ops.add_op("xor", float(m) * nonzero)
+    ops.add_op("add", float(m) * max(k_dim - 1, 0) * n)
+    return DlzsMatmulResult(values=approx.astype(np.int64), ops=ops)
+
+
+def vanilla_lz_matmul(
+    a: np.ndarray, b: np.ndarray, width: int
+) -> DlzsMatmulResult:
+    """The vanilla leading-zero scheme: BOTH operands one-hot encoded.
+
+    Used by the Fig. 7(c) comparison: it needs two converters per product and
+    its error is roughly double DLZS's because both mantissas are dropped.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    ops = OpCounter()
+    ops.add_op("lzc", a.size + b.size)
+    a_pow = np.sign(a) * lz_decode_magnitude(leading_zeros(a, width), width)
+    b_pow = np.sign(b) * lz_decode_magnitude(leading_zeros(b, width), width)
+    approx = a_pow @ b_pow
+    m, k_dim = a.shape
+    n = b.shape[1]
+    nonzero = int(np.count_nonzero(b_pow))
+    ops.add_op("shift", float(m) * nonzero)
+    ops.add_op("xor", float(m) * nonzero)
+    ops.add_op("add", float(m) * max(k_dim - 1, 0) * n)
+    return DlzsMatmulResult(values=approx.astype(np.int64), ops=ops)
+
+
+@dataclass
+class PredictionResult:
+    """Cross-phase DLZS prediction output.
+
+    ``a_hat`` approximates the formal scores up to a positive per-workload
+    scale (rank order is what the top-k stage consumes, so any positive
+    scaling is irrelevant); ``k_hat`` is the intermediate key estimate.
+    """
+
+    a_hat: np.ndarray
+    k_hat: np.ndarray
+    ops: OpCounter
+    scale: float
+
+
+class DlzsPredictor:
+    """Stateful cross-phase DLZS predictor with pre-converted weights.
+
+    Mirrors the hardware flow: construction pre-converts ``Wk`` to (sign, LZ)
+    codes (the offline "model preparation" step of Fig. 16); calls to
+    :meth:`predict` then run phases 1.1/1.2 with add/shift work only.
+    """
+
+    def __init__(self, wk: np.ndarray, config: DlzsConfig | None = None):
+        self.config = config or DlzsConfig()
+        wk = np.asarray(wk)
+        if wk.ndim != 2:
+            raise ValueError("Wk must be 2-D (H, D)")
+        if np.issubdtype(wk.dtype, np.floating):
+            self._wk_int = quantize(wk, self.config.weight_bits).values
+        else:
+            self._wk_int = wk.astype(np.int64)
+        w = self.config.weight_bits
+        self._wk_signs = np.sign(self._wk_int)
+        self._wk_lz = leading_zeros(self._wk_int, w)
+        self._wk_pow2 = self._wk_signs * lz_decode_magnitude(self._wk_lz, w)
+
+    @property
+    def stored_weight_bits(self) -> int:
+        """Bits stored per weight: sign + LZ code (paper: 8-bit -> 4-bit)."""
+        w = self.config.weight_bits
+        return 1 + max(int(np.ceil(np.log2(w + 1))), 1)
+
+    def predict_keys(self, tokens: np.ndarray) -> DlzsMatmulResult:
+        """Phase 1.1: ``K_hat = tokens @ Wk`` via pre-converted LZ weights.
+
+        No LZE runs here - the conversion happened offline (that is the
+        "converter free" feature of Fig. 7(b)).
+        """
+        tok = np.asarray(tokens)
+        if np.issubdtype(tok.dtype, np.floating):
+            tok = quantize(tok, self.config.token_bits).values
+        tok = tok.astype(np.int64)
+        approx = tok @ self._wk_pow2
+        ops = OpCounter()
+        m = tok.shape[0]
+        nonzero = int(np.count_nonzero(self._wk_pow2))
+        ops.add_op("shift", float(m) * nonzero)
+        ops.add_op("xor", float(m) * nonzero)
+        ops.add_op("add", float(m) * max(tok.shape[1] - 1, 0) * self._wk_pow2.shape[1])
+        return DlzsMatmulResult(values=approx.astype(np.int64), ops=ops)
+
+    def predict(self, tokens: np.ndarray, q: np.ndarray) -> PredictionResult:
+        """Full cross-phase prediction: tokens -> K_hat -> A_hat.
+
+        Phase 1.2 converts **Q** through the 16-bit-mode configurable LZE and
+        shifts the (truncated) K_hat estimate, following the paper's error
+        containment argument.
+        """
+        key_res = self.predict_keys(tokens)
+        ops = key_res.ops
+
+        # Truncate K_hat to the intermediate width (hardware keeps <=16 bits).
+        k_hat_q = quantize(key_res.values, self.config.intermediate_bits)
+        k_hat = k_hat_q.values
+
+        q_arr = np.asarray(q)
+        if np.issubdtype(q_arr.dtype, np.floating):
+            q_q = quantize(q_arr, self.config.query_bits)
+            q_int, q_scale = q_q.values, q_q.scale
+        else:
+            q_int, q_scale = q_arr.astype(np.int64), 1.0
+
+        lze = ConfigurableLZE(mode_bits=self.config.query_bits)
+        q_signs, q_lz = lze.encode(q_int)
+        ops.add_op("lzc", q_int.size)
+
+        # A_hat[t, s] = sum_d K_hat[s, d] << (W - LZ(Q[t, d])), signed.
+        width = self.config.query_bits
+        pow2 = q_signs * lz_decode_magnitude(q_lz, width)  # (T, D)
+        a_hat = pow2 @ k_hat.T  # (T, S)
+        t, d = q_int.shape
+        nonzero = int(np.count_nonzero(pow2))
+        ops.add_op("shift", float(k_hat.shape[0]) * nonzero)
+        ops.add_op("xor", float(k_hat.shape[0]) * nonzero)
+        ops.add_op("add", float(t) * max(d - 1, 0) * k_hat.shape[0])
+
+        scale = q_scale * k_hat_q.scale
+        return PredictionResult(
+            a_hat=a_hat.astype(np.float64) * scale,
+            k_hat=k_hat,
+            ops=ops,
+            scale=scale,
+        )
+
+
+def dlzs_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Scale-free relative error between score matrices.
+
+    Because DLZS systematically over-scales (the dropped mantissa is in
+    [0.5, 1)), we first remove the best positive scalar fit; what remains is
+    the rank-corrupting error the top-k stage actually suffers.
+    """
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    denom = float(approx @ approx)
+    alpha = float(approx @ exact) / denom if denom > 0 else 0.0
+    resid = np.linalg.norm(alpha * approx - exact)
+    norm = np.linalg.norm(exact)
+    return float(resid / norm) if norm > 0 else 0.0

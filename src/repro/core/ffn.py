@@ -1,0 +1,156 @@
+"""Layer-specific FFN sparsity (the paper's fourth design, Fig. 6 flow).
+
+Besides attention, SOFA's end-to-end flow lists a *layer-specific FFN
+sparsity* mechanism: FFN intermediate activations are highly sparse after
+the GELU (most pre-activations are negative and map near zero), and the
+usable sparsity level differs per layer, so each layer carries its own
+keep-fraction calibrated offline (the same pre-deployment preparation step
+that fine-tunes attention top-k in Fig. 16).
+
+The mechanism mirrors the attention pipeline's cross-phase structure:
+
+1. *Predict* the intermediate pre-activations ``h = x @ W1`` with the DLZS
+   shift-add paradigm (W1 pre-converted to LZ codes offline);
+2. *Select* the top-k neurons per token from the estimates;
+3. *Compute* exactly only the selected columns of W1 and rows of W2 -
+   the FFN analogue of on-demand KV generation.
+
+Because GELU is monotone, ranking pre-activations ranks post-activations
+(up to the small negative tail), so top-k on the estimate is a faithful
+proxy for post-activation magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.topk import exact_topk_indices
+from repro.core.dlzs import DlzsPredictor
+from repro.model.layers import gelu
+from repro.numerics.complexity import OpCounter, matmul_ops
+
+
+@dataclass
+class SparseFfnResult:
+    """Output and accounting of one sparse FFN forward.
+
+    ``output`` is exact over the selected neuron set; ``selected`` holds the
+    per-token neuron indices; ``ops`` covers prediction + selection + the
+    sparse formal computation; ``dense_ops`` is the matched dense tally for
+    reduction reporting.
+    """
+
+    output: np.ndarray
+    selected: np.ndarray
+    ops: OpCounter
+    dense_ops: OpCounter
+
+    @property
+    def computation_reduction(self) -> float:
+        dense = self.dense_ops.normalized()
+        return 1.0 - self.ops.normalized() / dense if dense else 0.0
+
+
+class LayerSpecificFfnSparsity:
+    """Per-layer sparse FFN executor with DLZS neuron prediction.
+
+    Parameters
+    ----------
+    w1 / w2:
+        Dense FFN weights, ``(H, F)`` and ``(F, H)``.
+    keep_fraction:
+        This layer's calibrated fraction of intermediate neurons to keep.
+        The paper's pre-deployment DSE assigns each layer its own value;
+        :func:`calibrate_keep_fractions` provides that offline step.
+    """
+
+    def __init__(self, w1: np.ndarray, w2: np.ndarray, keep_fraction: float = 0.3):
+        w1 = np.asarray(w1, dtype=np.float64)
+        w2 = np.asarray(w2, dtype=np.float64)
+        if w1.ndim != 2 or w2.ndim != 2 or w1.shape[1] != w2.shape[0]:
+            raise ValueError(f"inconsistent FFN shapes {w1.shape} x {w2.shape}")
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        self.w1 = w1
+        self.w2 = w2
+        self.keep_fraction = keep_fraction
+        self.predictor = DlzsPredictor(w1)
+
+    @property
+    def n_neurons(self) -> int:
+        return self.w1.shape[1]
+
+    def predict_neurons(self, x: np.ndarray) -> tuple[np.ndarray, OpCounter]:
+        """Rank intermediate neurons per token from the DLZS estimate.
+
+        Returns ``(T, k)`` neuron indices (descending estimated magnitude)
+        and the prediction op tally.  Magnitude (not signed value) ranks the
+        neurons: a large-negative pre-activation still contributes ~0 after
+        GELU, so the estimate ranks ``h`` directly - GELU's monotonicity
+        makes the positive side dominate the ranking.
+        """
+        est = self.predictor.predict_keys(x)
+        k = max(1, int(round(self.keep_fraction * self.n_neurons)))
+        indices = exact_topk_indices(est.values.astype(np.float64), k)
+        ops = est.ops
+        ops.add_op("compare", float(x.shape[0]) * self.n_neurons)  # selection scan
+        return indices, ops
+
+    def __call__(self, x: np.ndarray) -> SparseFfnResult:
+        """Sparse forward: compute only the selected neurons exactly."""
+        x = np.asarray(x, dtype=np.float64)
+        t, h = x.shape
+        if h != self.w1.shape[0]:
+            raise ValueError(f"expected (T, {self.w1.shape[0]}) input, got {x.shape}")
+        selected, ops = self.predict_neurons(x)
+        k = selected.shape[1]
+        f = self.n_neurons
+
+        output = np.zeros((t, self.w2.shape[1]))
+        for i in range(t):
+            cols = selected[i]
+            hidden = x[i] @ self.w1[:, cols]
+            output[i] = gelu(hidden) @ self.w2[cols]
+        ops = ops + matmul_ops(t, h, k)
+        ops.add_op("exp", float(t) * k)  # gelu nonlinearity per kept neuron
+        ops = ops + matmul_ops(t, k, self.w2.shape[1])
+
+        dense = matmul_ops(t, h, f)
+        dense.add_op("exp", float(t) * f)
+        dense = dense + matmul_ops(t, f, self.w2.shape[1])
+        return SparseFfnResult(output=output, selected=selected, ops=ops, dense_ops=dense)
+
+    def dense_forward(self, x: np.ndarray) -> np.ndarray:
+        """The exact dense FFN (golden model)."""
+        return gelu(np.asarray(x, dtype=np.float64) @ self.w1) @ self.w2
+
+
+def calibrate_keep_fractions(
+    layers: list[tuple[np.ndarray, np.ndarray]],
+    sample_inputs: list[np.ndarray],
+    error_budget: float = 0.05,
+    candidates: tuple[float, ...] = (0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0),
+) -> list[float]:
+    """Offline per-layer keep-fraction calibration (pre-deployment step).
+
+    For each layer, pick the smallest keep fraction whose sparse output
+    stays within ``error_budget`` relative L2 error of the dense output on
+    the sample inputs - "layer specific" because activation sparsity varies
+    across depth.
+    """
+    if len(layers) != len(sample_inputs):
+        raise ValueError("need one sample input batch per layer")
+    fractions: list[float] = []
+    for (w1, w2), x in zip(layers, sample_inputs, strict=True):
+        dense = LayerSpecificFfnSparsity(w1, w2, 1.0).dense_forward(x)
+        norm = np.linalg.norm(dense) or 1.0
+        chosen = 1.0
+        for frac in sorted(candidates):
+            sparse = LayerSpecificFfnSparsity(w1, w2, frac)(x).output
+            if np.linalg.norm(sparse - dense) / norm <= error_budget:
+                chosen = frac
+                break
+        fractions.append(chosen)
+    return fractions

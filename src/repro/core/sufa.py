@@ -1,0 +1,207 @@
+"""SU-FA: sorted-updating FlashAttention (Sec. III-C).
+
+Classic FlashAttention must refresh a running row-max across K/V tiles and
+rescale its running normalizer/output by ``exp(m_prev - m)`` whenever the max
+moves - the recomputation the paper's Fig. 5 shows exploding with tile count.
+SU-FA removes that work by consuming the *ordering* the top-k stage already
+produced: processing selected keys in **descending** estimated-score order
+means the first element is the row max, so the running max never changes and
+each step costs one exp + one add for the normalizer (Eq. (2) of Fig. 10).
+
+Processing in **ascending** order also avoids comparisons but each step still
+pays an extra exp-mul rescale (Eq. (1)); the paper measures descending at
+~11% less complexity than ascending and ~25% less than classic FA.
+
+Because the ordering comes from the *approximate* DLZS scores, the predicted
+max can be wrong.  The Max-Ensuring circuit (Sec. IV-D) is modeled by
+``max_assurance=True``: whenever a streamed score exceeds the running max the
+engine falls back to one classic-FA rescale step (counted), keeping the
+result exact regardless of prediction quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.numerics.complexity import OpCounter, matmul_ops
+
+
+class UpdateOrder(Enum):
+    """Processing order of the selected keys."""
+
+    DESCENDING = "descending"
+    ASCENDING = "ascending"
+
+
+#: Entries scanned in max-update mode before streaming begins (the hardware
+#: runs the AP module in mode 1 during the first phase of a tile).
+_WARMUP_SCAN = 4
+
+
+@dataclass
+class SufaRowResult:
+    """SU-FA output for one query row."""
+
+    output: np.ndarray
+    ops: OpCounter
+    assurance_triggers: int
+
+
+@dataclass
+class SufaResult:
+    """Batched SU-FA output.
+
+    ``assurance_triggers`` counts how often the Max-Ensuring circuit fired
+    (0 when the sorting info was exact); it is the hardware-visible measure
+    of DLZS prediction quality.
+    """
+
+    output: np.ndarray
+    ops: OpCounter
+    assurance_triggers: int
+
+
+def _stream_row(
+    scores: np.ndarray,
+    values: np.ndarray,
+    order: UpdateOrder,
+    max_assurance: bool,
+    tile_cols: int,
+) -> SufaRowResult:
+    """Stream one row's (score, value) pairs in the given order.
+
+    ``scores``/``values`` must already be arranged in the processing order
+    (the caller applies the top-k stage's permutation).  Tiling only affects
+    the synchronization op count (one tile-boundary bookkeeping compare per
+    tile), not the numerics - the state (m, l, o) carries across tiles.
+    """
+    ops = OpCounter()
+    k = scores.size
+    d = values.shape[1]
+    triggers = 0
+
+    # Mode-1 warmup: the sorter guarantees exact ordering only for the top-1
+    # and top-2 entries (paper Sec. IV-C), and the Max-Ensuring circuit runs
+    # in max-update mode over the first block, so the engine starts from the
+    # true maximum of the leading entries rather than trusting scores[0].
+    warmup = min(_WARMUP_SCAN, k)
+    m = float(np.max(scores[:warmup]))
+    ops.add_op("compare", warmup - 1)
+    l = 0.0
+    o = np.zeros(d)
+
+    for j in range(k):
+        x = float(scores[j])
+        if x > m:
+            if not max_assurance:
+                raise RuntimeError(
+                    "running max violated but max assurance is disabled; "
+                    "the predicted ordering was wrong"
+                )
+            # Max-Ensuring circuit: one classic-FA rescale step.
+            corr = np.exp(m - x)
+            ops.add_op("exp", 1)
+            l *= corr
+            o *= corr
+            ops.add_op("mul", 1 + d)
+            ops.add_op("compare", 1)
+            m = x
+            triggers += 1
+        p = np.exp(x - m)
+        ops.add_op("exp", 1)
+        if order is UpdateOrder.ASCENDING and j > 0:
+            # Eq. (1): ascending updates rescale l by exp(m_prev - m) even
+            # though the exponent simplification makes p == 1; that rescale
+            # is one extra mul per step relative to descending.
+            ops.add_op("mul", 1)
+        l += p
+        ops.add_op("add", 1)
+        o += p * values[j]
+        ops.add_op("mul", d)
+        ops.add_op("add", d)
+
+    # tile synchronization bookkeeping: one boundary op per tile
+    n_tiles = -(-k // tile_cols) if tile_cols >= 1 else 1
+    ops.add_op("compare", n_tiles)
+
+    o /= l
+    ops.add_op("div", d)
+    return SufaRowResult(output=o, ops=ops, assurance_triggers=triggers)
+
+
+def sorted_updating_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    sorted_indices: np.ndarray,
+    order: UpdateOrder = UpdateOrder.DESCENDING,
+    max_assurance: bool = True,
+    tile_cols: int = 64,
+) -> SufaResult:
+    """Sparse attention over pre-sorted selected keys (the SU-FA engine).
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(T, D)``, ``(S, D)``, ``(S, D)`` float matrices.
+    sorted_indices:
+        ``(T, kk)`` selected key indices per row, sorted by *descending
+        estimated* score (the SADS output convention).  For ascending order
+        the engine walks them back-to-front.
+    order:
+        Update order; descending is the paper's default.
+    max_assurance:
+        Model the Max-Ensuring circuit; disabling it raises on mispredicted
+        orderings instead of silently producing overflow-prone results.
+    tile_cols:
+        Bc, only affects synchronization op counts.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    sorted_indices = np.asarray(sorted_indices, dtype=np.int64)
+    t, d = q.shape
+    if sorted_indices.ndim != 2 or sorted_indices.shape[0] != t:
+        raise ValueError("sorted_indices must be (T, k)")
+    kk = sorted_indices.shape[1]
+    scale = 1.0 / np.sqrt(d)
+
+    ops = OpCounter()
+    outputs = np.zeros((t, v.shape[1]))
+    triggers = 0
+    for i in range(t):
+        sel = sorted_indices[i]
+        scores = (k[sel] @ q[i]) * scale  # (kk,) - the QK^T work
+        ops_row = matmul_ops(1, d, kk)
+        if order is UpdateOrder.ASCENDING:
+            sel_order = slice(None, None, -1)
+        else:
+            sel_order = slice(None)
+        res = _stream_row(
+            scores[sel_order],
+            v[sel][sel_order],
+            order,
+            max_assurance,
+            tile_cols,
+        )
+        outputs[i] = res.output
+        ops = ops + ops_row + res.ops
+        triggers += res.assurance_triggers
+    return SufaResult(output=outputs, ops=ops, assurance_triggers=triggers)
+
+
+def sufa_update_ops_per_step(order: UpdateOrder, d: int) -> dict[str, float]:
+    """Closed-form per-step softmax-state cost of each order (Fig. 10).
+
+    Excludes the shared P*V accumulation work; descending needs one exp and
+    one add for l, ascending adds one mul (the exp(m_prev - m) rescale).
+    Classic FA additionally rescales o (d muls) and compares (1) per step in
+    the worst case, which is how the ~25% total saving arises.
+    """
+    base = {"exp": 1.0, "add": 1.0}
+    if order is UpdateOrder.ASCENDING:
+        base["mul"] = 1.0
+    return base

@@ -1,0 +1,10 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run ``python -m repro.experiments <id>`` (or ``all``) to regenerate a
+table/figure's rows.  Each module exposes ``run(...) -> ExperimentResult``;
+the registry below maps experiment ids (DESIGN.md index) to modules.
+"""
+
+from repro.experiments.harness import ExperimentResult, REGISTRY, get_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "get_experiment"]

@@ -1,0 +1,39 @@
+"""CLI: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments fig17          # one experiment
+    python -m repro.experiments all            # everything
+    python -m repro.experiments fig19 --quick  # representative subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.harness import REGISTRY, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate SOFA paper experiments")
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(sorted(REGISTRY))}) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="use the representative benchmark subset"
+    )
+    args = parser.parse_args(argv)
+
+    ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        run = get_experiment(exp_id)
+        result = run(quick=args.quick)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

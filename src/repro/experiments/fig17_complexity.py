@@ -1,0 +1,63 @@
+"""Fig. 17: complexity-reduction ablation of DLZS, SADS and SU-FA.
+
+Against the ``4-bit multiplication + vanilla (full-row bitonic) sorting +
+FA-2`` baseline at matched sparsity, report the normalized-complexity
+reduction of the three stacked substitutions.  Paper values: DLZS -18%,
++SADS -25%, +SU-FA -28% (each model's loss kept under 2%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.suite import geomean, measure_case, suite_cases
+
+LOSS_BUDGET = 2.0  # "each model's loss remains under 2%"
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    reductions = {"dlzs": [], "dlzs_sads": [], "sofa": []}
+    for case in suite_cases(quick=quick):
+        m = measure_case(case.name, LOSS_BUDGET)
+        base = m.complexity["baseline"]
+        row_red = {
+            cfg: 1 - m.complexity[cfg] / base for cfg in ("dlzs", "dlzs_sads", "sofa")
+        }
+        for cfg, val in row_red.items():
+            reductions[cfg].append(val)
+        rows.append(
+            (
+                case.name,
+                m.measured_loss_pct,
+                row_red["dlzs"] * 100,
+                row_red["dlzs_sads"] * 100,
+                row_red["sofa"] * 100,
+            )
+        )
+    means = {cfg: float(np.mean(vals)) for cfg, vals in reductions.items()}
+    rows.append(
+        (
+            "MEAN",
+            0.0,
+            means["dlzs"] * 100,
+            means["dlzs_sads"] * 100,
+            means["sofa"] * 100,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Fig. 17: normalized complexity reduction vs 4bit+vanilla-sort+FA2",
+        headers=["benchmark", "measured_loss%", "DLZS%", "+SADS%", "+SU-FA%"],
+        rows=rows,
+        formats=[None, ".2f", ".1f", ".1f", ".1f"],
+        headline={
+            "dlzs_reduction_pct": means["dlzs"] * 100,
+            "dlzs_sads_reduction_pct": means["dlzs_sads"] * 100,
+            "sofa_reduction_pct": means["sofa"] * 100,
+            "geomean_sofa_keep_ratio": geomean(
+                [1 - r for r in reductions["sofa"]]
+            ),
+        },
+    )

@@ -1,0 +1,53 @@
+"""Fig. 18: computation reduction by LP prediction at 0/1/2% loss budgets.
+
+For every benchmark and loss budget, report the fractional computation
+reduction of (a) the attention part alone and (b) QKV+attention combined
+(on-demand KV generation credits the QKV side).  Paper averages:
+attention 81.3%/87.7%/92.6%, QKV+attention 56.8%/62.6%/67.4% at 0/1/2% loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.suite import measure_case, suite_cases
+
+LOSS_BUDGETS = (0.0, 1.0, 2.0)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    agg: dict[float, dict[str, list[float]]] = {
+        b: {"atten": [], "qkv_atten": []} for b in LOSS_BUDGETS
+    }
+    for case in suite_cases(quick=quick):
+        cells = [case.name]
+        for budget in LOSS_BUDGETS:
+            m = measure_case(case.name, budget)
+            agg[budget]["atten"].append(m.atten_reduction)
+            agg[budget]["qkv_atten"].append(m.qkv_atten_reduction)
+            cells.extend([m.atten_reduction * 100, m.qkv_atten_reduction * 100])
+        rows.append(tuple(cells))
+    mean_cells = ["MEAN"]
+    headline = {}
+    for budget in LOSS_BUDGETS:
+        a = float(np.mean(agg[budget]["atten"])) * 100
+        qa = float(np.mean(agg[budget]["qkv_atten"])) * 100
+        mean_cells.extend([a, qa])
+        headline[f"atten_reduction_pct_loss{budget:g}"] = a
+        headline[f"qkv_atten_reduction_pct_loss{budget:g}"] = qa
+    rows.append(tuple(mean_cells))
+    return ExperimentResult(
+        experiment_id="fig18",
+        title="Fig. 18: LP computation reduction [attention, QKV+attention] per loss budget",
+        headers=[
+            "benchmark",
+            "atten%@0", "qkv+a%@0",
+            "atten%@1", "qkv+a%@1",
+            "atten%@2", "qkv+a%@2",
+        ],
+        rows=rows,
+        formats=[None, ".1f", ".1f", ".1f", ".1f", ".1f", ".1f"],
+        headline=headline,
+    )

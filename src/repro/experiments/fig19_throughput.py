@@ -1,0 +1,70 @@
+"""Fig. 19: throughput gain of SOFA over the A100 GPU baselines.
+
+Panel (a): SOFA vs GPU-with-LP at 0/1/2% loss (paper GeoMean: SOFA 6.1x /
+7.2x / 9.5x over dense; GPU-LP only 1.08-1.78x).  Panel (b): SOFA at 2%
+loss vs GPU LP+FlashAttention-1/2 (paper: 9.5x total, 3.57x over LP+FA1 and
+3.01x over LP+FA2).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gpu import GpuModel
+from repro.experiments.gains import case_gains
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.suite import geomean, measure_case, suite_cases
+
+LOSS_BUDGETS = (0.0, 1.0, 2.0)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    gpu = GpuModel()
+    rows = []
+    sofa_by_budget: dict[float, list[float]] = {b: [] for b in LOSS_BUDGETS}
+    lp_by_budget: dict[float, list[float]] = {b: [] for b in LOSS_BUDGETS}
+    fa1_ratio: list[float] = []
+    fa2_ratio: list[float] = []
+    for case in suite_cases(quick=quick):
+        cells = [case.name]
+        for budget in LOSS_BUDGETS:
+            m = measure_case(case.name, budget)
+            gains = case_gains(m, "gpu")
+            lp = gpu.lp_speedup(min(m.atten_reduction, 0.99))
+            sofa = gains.total
+            lp_by_budget[budget].append(lp)
+            sofa_by_budget[budget].append(sofa)
+            cells.extend([lp, sofa])
+            if budget == 2.0:
+                lp_fa1 = gpu.lp_fa_speedup(min(m.atten_reduction, 0.99), fa2=False)
+                lp_fa2 = gpu.lp_fa_speedup(min(m.atten_reduction, 0.99), fa2=True)
+                fa1_ratio.append(sofa / lp_fa1)
+                fa2_ratio.append(sofa / lp_fa2)
+        rows.append(tuple(cells))
+
+    gm = {b: geomean(sofa_by_budget[b]) for b in LOSS_BUDGETS}
+    rows.append(
+        (
+            "GEOMEAN",
+            geomean(lp_by_budget[0.0]), gm[0.0],
+            geomean(lp_by_budget[1.0]), gm[1.0],
+            geomean(lp_by_budget[2.0]), gm[2.0],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig19",
+        title="Fig. 19: throughput gain over dense A100 (LP-on-GPU vs SOFA)",
+        headers=[
+            "benchmark",
+            "gpu_lp@0", "sofa@0",
+            "gpu_lp@1", "sofa@1",
+            "gpu_lp@2", "sofa@2",
+        ],
+        rows=rows,
+        formats=[None, ".2f", ".2f", ".2f", ".2f", ".2f", ".2f"],
+        headline={
+            "sofa_speedup_loss0": gm[0.0],
+            "sofa_speedup_loss1": gm[1.0],
+            "sofa_speedup_loss2": gm[2.0],
+            "sofa_over_lp_fa1": geomean(fa1_ratio),
+            "sofa_over_lp_fa2": geomean(fa2_ratio),
+        },
+    )

@@ -1,0 +1,64 @@
+"""Fig. 1: Transformer memory and computation breakdown for long sequences.
+
+For Llama-7B and ViT-B across sequence lengths, report each part's share of
+total compute and total memory traffic plus the absolute footprint.  The
+paper's observation to reproduce: attention's compute share crosses 50%
+around S ~ 32k and dominates both axes at 128k.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.model.config import get_model
+from repro.model.profiler import breakdown_shares, memory_footprint_bytes
+
+#: The sequence sweeps of Fig. 1's two panels.
+SWEEPS: dict[str, tuple[int, ...]] = {
+    "llama-7b": (4096, 16384, 32768, 65536, 131072),
+    "vit-base": (4096, 8192, 14336, 32768, 126976),
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    crossover_seq = None
+    for model_name, seq_lens in SWEEPS.items():
+        cfg = get_model(model_name)
+        for s in seq_lens:
+            shares = breakdown_shares(cfg, s)
+            att = shares["attention"]
+            rows.append(
+                (
+                    model_name,
+                    s,
+                    shares["qkv"]["compute_share"] * 100,
+                    att["compute_share"] * 100,
+                    shares["ffn"]["compute_share"] * 100,
+                    shares["qkv"]["memory_share"] * 100,
+                    att["memory_share"] * 100,
+                    shares["ffn"]["memory_share"] * 100,
+                    memory_footprint_bytes(cfg, s) / 2**20,
+                )
+            )
+            if (
+                model_name == "llama-7b"
+                and crossover_seq is None
+                and att["compute_share"] > 0.5
+            ):
+                crossover_seq = s
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Fig. 1: memory & computation breakdown vs sequence length",
+        headers=[
+            "model", "seq_len", "qkv_comp%", "atten_comp%", "ffn_comp%",
+            "qkv_mem%", "atten_mem%", "ffn_mem%", "footprint_MiB",
+        ],
+        rows=rows,
+        formats=[None, None, ".1f", ".1f", ".1f", ".1f", ".1f", ".1f", ".0f"],
+        headline={
+            "llama7b_attention_compute_share_at_128k": next(
+                r[3] for r in rows if r[0] == "llama-7b" and r[1] == 131072
+            ),
+            "llama7b_compute_crossover_seq": float(crossover_seq or 0),
+        },
+    )

@@ -1,0 +1,67 @@
+"""Fig. 20: memory-access reduction and energy-efficiency gain.
+
+Panel (a): DRAM traffic of (vanilla LP) vs (LP+RASS) vs (full SOFA with
+SU-FA + tiled pipeline dataflow), normalized to vanilla LP.  Paper: RASS
+alone removes ~23%, the full stack ~79%.  Panel (b): energy-efficiency gain
+over the A100 at 0/1/2% loss (paper GeoMean: 49.8x / 57.6x / 71.5x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.gains import energy_efficiency_gain
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.suite import geomean, measure_case, suite_cases
+
+LOSS_BUDGETS = (0.0, 1.0, 2.0)
+MEM_LOSS_BUDGET = 2.0
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    rass_reductions = []
+    sofa_reductions = []
+    eff_by_budget: dict[float, list[float]] = {b: [] for b in LOSS_BUDGETS}
+    for case in suite_cases(quick=quick):
+        m = measure_case(case.name, MEM_LOSS_BUDGET)
+        vanilla = m.mem_bytes["vanilla_lp"]
+        rass_red = 1 - m.mem_bytes["lp_rass"] / vanilla
+        sofa_red = 1 - m.mem_bytes["sofa"] / vanilla
+        rass_reductions.append(rass_red)
+        sofa_reductions.append(sofa_red)
+        effs = []
+        for budget in LOSS_BUDGETS:
+            mb = measure_case(case.name, budget)
+            gain = energy_efficiency_gain(mb, "gpu")
+            eff_by_budget[budget].append(gain)
+            effs.append(gain)
+        rows.append(
+            (case.name, rass_red * 100, sofa_red * 100, effs[0], effs[1], effs[2])
+        )
+    gm = {b: geomean(eff_by_budget[b]) for b in LOSS_BUDGETS}
+    rows.append(
+        (
+            "MEAN/GEOMEAN",
+            float(np.mean(rass_reductions)) * 100,
+            float(np.mean(sofa_reductions)) * 100,
+            gm[0.0], gm[1.0], gm[2.0],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig20",
+        title="Fig. 20: memory-access reduction (vs vanilla LP) and energy gain vs A100",
+        headers=[
+            "benchmark", "rass_mem_red%", "sofa_mem_red%",
+            "energy_gain@0", "energy_gain@1", "energy_gain@2",
+        ],
+        rows=rows,
+        formats=[None, ".1f", ".1f", ".1f", ".1f", ".1f"],
+        headline={
+            "rass_memory_reduction_pct": float(np.mean(rass_reductions)) * 100,
+            "sofa_memory_reduction_pct": float(np.mean(sofa_reductions)) * 100,
+            "energy_gain_loss0": gm[0.0],
+            "energy_gain_loss1": gm[1.0],
+            "energy_gain_loss2": gm[2.0],
+        },
+    )

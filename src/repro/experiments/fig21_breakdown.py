@@ -1,0 +1,61 @@
+"""Fig. 21: per-engine throughput/energy gain breakdown on GPU and TPU.
+
+Cumulative chains at the 2%-loss GeoMean operating point: dense device ->
+SOFA software -> +DLZS engine -> +SADS engine -> +SU-FA engine -> +RASS
+unit.  Paper anchors: software 3.16x (GPU) / 2.9x (TPU); engines 1.65/1.28/
+1.26/1.14 (GPU) and 1.82/1.52/1.1/1.3 (TPU); energy-side engine gains
+2.48x (DLZS), 2.1x (SADS), 1.91x/1.71x (SU-FA+RASS combined ~3.27x).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.gains import case_gains
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.suite import geomean, measure_case, suite_cases
+
+LOSS_BUDGET = 2.0
+
+#: Paper Fig. 21(b): energy-efficiency gain factors of each engine on GPU.
+ENERGY_ENGINE_ANCHORS = {"dlzs": 2.48, "sads": 2.1, "sufa": 1.91, "rass": 1.71}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    per_device: dict[str, dict[str, list[float]]] = {
+        dev: {"software": [], "dlzs": [], "sads": [], "sufa": [], "rass": []}
+        for dev in ("gpu", "tpu")
+    }
+    for case in suite_cases(quick=quick):
+        m = measure_case(case.name, LOSS_BUDGET)
+        for dev in ("gpu", "tpu"):
+            g = case_gains(m, dev)
+            per_device[dev]["software"].append(g.software)
+            per_device[dev]["dlzs"].append(g.dlzs)
+            per_device[dev]["sads"].append(g.sads)
+            per_device[dev]["sufa"].append(g.sufa)
+            per_device[dev]["rass"].append(g.rass)
+
+    rows = []
+    headline = {}
+    for dev in ("gpu", "tpu"):
+        stages = per_device[dev]
+        cumulative = 1.0
+        sw = geomean(stages["software"])
+        cumulative *= sw
+        rows.append((dev, "software", sw, cumulative))
+        headline[f"{dev}_software_gain"] = sw
+        for engine in ("dlzs", "sads", "sufa", "rass"):
+            gain = geomean(stages[engine])
+            cumulative *= gain
+            rows.append((dev, f"+{engine} engine", gain, cumulative))
+            headline[f"{dev}_{engine}_gain"] = gain
+        headline[f"{dev}_total_gain"] = cumulative
+    for engine, anchor in ENERGY_ENGINE_ANCHORS.items():
+        rows.append(("gpu-energy", f"+{engine} engine", anchor, 0.0))
+    return ExperimentResult(
+        experiment_id="fig21",
+        title="Fig. 21: cumulative gain breakdown per engine (GeoMean, 2% loss)",
+        headers=["device", "stage", "stage_gain", "cumulative_gain"],
+        rows=rows,
+        formats=[None, None, ".2f", ".2f"],
+        headline=headline,
+    )

@@ -1,0 +1,39 @@
+"""Fig. 3: memory-access-time share of FACT/Energon under scaled parallelism.
+
+For each of the four (model, sequence) panels, report the DRAM-access share
+of latency at T=1 and at the panel's maximum parallelism for both
+accelerators.  Shape to reproduce: the share rises steeply with T and
+averages ~72% at scale (the paper's 40-54% per-panel callouts are
+mid-sweep values).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.accel_models import FIG3_PANELS, average_mat_share_at_scale, mat_breakdown
+from repro.experiments.harness import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    for accel in ("fact", "energon"):
+        for model, seq_len, t_max in FIG3_PANELS:
+            low = mat_breakdown(accel, model, seq_len, 1)
+            high = mat_breakdown(accel, model, seq_len, t_max)
+            rows.append(
+                (
+                    accel,
+                    model,
+                    seq_len,
+                    t_max,
+                    low.mat_share * 100,
+                    high.mat_share * 100,
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Fig. 3: DRAM-access latency share vs token parallelism (2MB SRAM)",
+        headers=["accelerator", "model", "seq_len", "T_max", "MAT%@T=1", "MAT%@T=max"],
+        rows=rows,
+        formats=[None, None, None, None, ".1f", ".1f"],
+        headline={"average_mat_share_at_scale_pct": average_mat_share_at_scale() * 100},
+    )

@@ -1,0 +1,53 @@
+"""Fig. 4(b)/(c): operational intensity of Transformer parts and vs parallelism.
+
+Panel (b): normalized OI of QKV / MHA / FFN per model - MHA should sit far
+below FFN (the paper reports ~15% of FFN on average).  Panel (c): attention
+OI versus token parallelism T for two models - OI grows with T thanks to
+K/V reuse, lifting the roofline performance ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.model.config import get_model
+from repro.model.profiler import attention_oi_vs_parallelism, profile_parts
+
+PANEL_B_MODELS = ("vit-base", "bert-base", "gpt2-large", "bloom-3b")
+PANEL_C_MODELS = ("bloom-3b", "gpt2")
+PARALLELISMS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    mha_over_ffn = []
+    for name in PANEL_B_MODELS:
+        cfg = get_model(name)
+        parts = profile_parts(cfg)
+        ffn_oi = parts["ffn"].operational_intensity
+        rows.append(
+            (
+                "b", name, 0,
+                parts["qkv"].operational_intensity,
+                parts["attention"].operational_intensity,
+                ffn_oi,
+            )
+        )
+        mha_over_ffn.append(parts["attention"].operational_intensity / ffn_oi)
+    for name in PANEL_C_MODELS:
+        cfg = get_model(name)
+        for t in PARALLELISMS:
+            oi = attention_oi_vs_parallelism(cfg, t)
+            rows.append(("c", name, t, 0.0, oi, 0.0))
+    oi_1 = attention_oi_vs_parallelism(get_model("bloom-3b"), 1)
+    oi_128 = attention_oi_vs_parallelism(get_model("bloom-3b"), 128)
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Fig. 4: operational intensity per part (b) and vs parallelism (c)",
+        headers=["panel", "model", "parallelism", "qkv_oi", "attention_oi", "ffn_oi"],
+        rows=rows,
+        formats=[None, None, None, ".1f", ".2f", ".1f"],
+        headline={
+            "mean_mha_oi_fraction_of_ffn": sum(mha_over_ffn) / len(mha_over_ffn),
+            "bloom3b_oi_gain_t128_over_t1": oi_128 / oi_1,
+        },
+    )

@@ -1,0 +1,71 @@
+"""Experiment registry and the shared result container.
+
+Every experiment module exposes ``run(quick: bool = False) ->
+ExperimentResult``; this module maps DESIGN.md experiment ids to those
+callables and renders results uniformly.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: headers + rows + headline scalars.
+
+    ``headline`` holds the handful of numbers the paper quotes in prose
+    (e.g. geomean speedups), keyed by a short name; EXPERIMENTS.md records
+    these against the paper's values.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    formats: Sequence[str | None] | None = None
+    headline: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, self.formats, title=self.title)]
+        if self.headline:
+            parts.append("")
+            parts.append("headline:")
+            for key, value in self.headline.items():
+                parts.append(f"  {key}: {value:.4g}")
+        return "\n".join(parts)
+
+
+#: experiment id -> module path (module must define ``run``).
+REGISTRY: dict[str, str] = {
+    "fig1": "repro.experiments.fig1_breakdown",
+    "fig3": "repro.experiments.fig3_mat",
+    "fig4": "repro.experiments.fig4_oi",
+    "fig5": "repro.experiments.fig5_fa2_ops",
+    "fig8": "repro.experiments.fig8_distribution",
+    "fig15": "repro.experiments.fig15_rass",
+    "fig17": "repro.experiments.fig17_complexity",
+    "fig18": "repro.experiments.fig18_lp_reduction",
+    "fig19": "repro.experiments.fig19_throughput",
+    "fig20": "repro.experiments.fig20_memory_energy",
+    "fig21": "repro.experiments.fig21_breakdown",
+    "table1": "repro.experiments.table1_summary",
+    "table2": "repro.experiments.table2_sota",
+    "table3": "repro.experiments.table3_area_power",
+    "table4": "repro.experiments.table4_power",
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Resolve an experiment id to its ``run`` callable."""
+    try:
+        module_path = REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    module = importlib.import_module(module_path)
+    return module.run

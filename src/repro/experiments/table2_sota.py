@@ -1,0 +1,74 @@
+"""Table II: normalized comparison with 8 SOTA accelerators.
+
+For each accelerator: published specs plus the derived columns computed by
+our normalization protocol - device (core+IO) energy efficiency at 28 nm,
+area efficiency, and the 137-GOPs Llama-7B attention latency at the
+128-multiplier / 1 GHz budget.  Headlines: SOFA's mean advantage (paper:
+15.8x energy efficiency, 10.3x area efficiency, 9.3x speedup on average
+across the eight designs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.specs import (
+    ACCELERATOR_SPECS,
+    area_efficiency_gops_per_mm2,
+    device_efficiency_gops_per_w,
+    protocol_latency_ms,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    device_eff_ratios = []
+    area_eff_ratios = []
+    latency_ratios = []
+    sofa = ACCELERATOR_SPECS["sofa"]
+    sofa_dev_eff = device_efficiency_gops_per_w(sofa)
+    sofa_area_eff = area_efficiency_gops_per_mm2(sofa)
+    sofa_latency = protocol_latency_ms(sofa)
+    for spec in ACCELERATOR_SPECS.values():
+        dev_eff = device_efficiency_gops_per_w(spec)
+        area_eff = area_efficiency_gops_per_mm2(spec)
+        latency = protocol_latency_ms(spec)
+        rows.append(
+            (
+                spec.name,
+                spec.sparsity_kind,
+                spec.accuracy_loss_pct,
+                spec.saved_computation * 100,
+                spec.tech_nm,
+                spec.throughput_gops,
+                spec.core_eff_gops_per_w,
+                dev_eff if dev_eff is not None else float("nan"),
+                area_eff,
+                latency,
+            )
+        )
+        if spec.name != "sofa":
+            if dev_eff is not None and sofa_dev_eff is not None:
+                device_eff_ratios.append(sofa_dev_eff / dev_eff)
+            area_eff_ratios.append(sofa_area_eff / area_eff)
+            latency_ratios.append(latency / sofa_latency)
+    # The paper's "average 15.8x / 10.3x / 9.3x" aggregates per-design
+    # ratios (SOFA over each competitor), not a ratio of means.
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table II: comparison with SOTA accelerators (normalized to 28nm)",
+        headers=[
+            "accelerator", "sparsity", "loss%", "saved%", "tech_nm",
+            "GOPS", "core_eff", "device_eff", "area_eff", "latency_ms",
+        ],
+        rows=rows,
+        formats=[None, None, ".1f", ".0f", ".0f", ".0f", ".0f", ".0f", ".0f", ".0f"],
+        headline={
+            "mean_device_eff_advantage": float(np.mean(device_eff_ratios)),
+            "mean_area_eff_advantage": float(np.mean(area_eff_ratios)),
+            "mean_latency_advantage": float(np.mean(latency_ratios)),
+            "sofa_latency_ms": sofa_latency,
+            "fact_latency_ms": protocol_latency_ms(ACCELERATOR_SPECS["fact"]),
+        },
+    )

@@ -1,0 +1,32 @@
+"""Table III: SOFA area and power breakdown by module (TSMC 28 nm, 1 GHz)."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.hw.area_power import (
+    SOFA_MODULES,
+    lp_area_fraction,
+    lp_power_fraction,
+    total_area_mm2,
+    total_core_power_w,
+)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = [
+        (m.name, m.parameters, m.area_mm2, m.power_w * 1e3) for m in SOFA_MODULES
+    ]
+    rows.append(("TOTAL", "-", total_area_mm2(), total_core_power_w() * 1e3))
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Table III: SOFA area/power breakdown @ 28nm 1GHz",
+        headers=["module", "parameters", "area_mm2", "power_mW"],
+        rows=rows,
+        formats=[None, None, ".3f", ".2f"],
+        headline={
+            "total_area_mm2": total_area_mm2(),
+            "total_power_w": total_core_power_w(),
+            "lp_area_fraction_pct": lp_area_fraction() * 100,
+            "lp_power_fraction_pct": lp_power_fraction() * 100,
+        },
+    )

@@ -1,0 +1,32 @@
+"""Table IV: power split across core, memory interface and DRAM.
+
+Derived from the core module specs plus the DRAM channel model at the
+59.8 GB/s operating point (paper: 0.95 W core, 0.53 W interface, 1.92 W
+DRAM, 3.40 W overall).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.hw.area_power import TABLE_IV_BANDWIDTH_BYTES_PER_S, table_iv_power_breakdown
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    split = table_iv_power_breakdown()
+    rows = [
+        ("core", split["core_w"]),
+        ("memory interface", split["interface_w"]),
+        ("DRAM", split["dram_w"]),
+        ("overall", split["overall_w"]),
+    ]
+    return ExperimentResult(
+        experiment_id="table4",
+        title=f"Table IV: power breakdown at {TABLE_IV_BANDWIDTH_BYTES_PER_S/1e9:.1f} GB/s",
+        headers=["component", "power_w"],
+        rows=rows,
+        formats=[None, ".2f"],
+        headline={
+            "overall_power_w": split["overall_w"],
+            "core_power_w": split["core_w"],
+        },
+    )

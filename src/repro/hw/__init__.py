@@ -1,0 +1,29 @@
+"""Cycle-approximate hardware model of the SOFA accelerator.
+
+The package mirrors the block diagram of paper Fig. 11:
+
+* :mod:`repro.hw.scaling` - technology scaling rules (Table II footnote).
+* :mod:`repro.hw.energy` - per-operation energy tables (Horowitz-style,
+  scaled to the target node).
+* :mod:`repro.hw.sram` / :mod:`repro.hw.dram` - on-chip buffers and the
+  HBM2 off-chip channel with interface/DRAM power split (Table IV).
+* :mod:`repro.hw.pe_array` - output-stationary systolic array timing.
+* :mod:`repro.hw.units` - the four engines: DLZS prediction, iterative SADS,
+  KV generation and SU-FA.
+* :mod:`repro.hw.scheduler` - RASS reuse-aware KV scheduling plus the tiled
+  out-of-order pipeline controller.
+* :mod:`repro.hw.accelerator` - the top-level :class:`SofaAccelerator`.
+* :mod:`repro.hw.area_power` - Table III/IV area and power accounting.
+"""
+
+from repro.hw.accelerator import AcceleratorReport, SofaAccelerator
+from repro.hw.energy import EnergyModel
+from repro.hw.scaling import TechnologyNode, scale_to_28nm
+
+__all__ = [
+    "SofaAccelerator",
+    "AcceleratorReport",
+    "EnergyModel",
+    "TechnologyNode",
+    "scale_to_28nm",
+]

@@ -1,0 +1,375 @@
+"""Top-level SOFA accelerator model (paper Fig. 11).
+
+:class:`SofaAccelerator` executes one attention workload through the engine
+models under the cross-stage tiled pipeline, producing an
+:class:`AcceleratorReport` with cycles, per-module energy, DRAM traffic and
+PE utilization.  :meth:`run_whole_row_baseline` executes the same workload
+the pre-SOFA way (serial stages, Pre-Atten/Atten spilled to DRAM, full KV
+generation, classic FA in the formal stage) so every speedup/energy ratio in
+the experiments comes from two runs of the *same* machinery with different
+dataflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SofaConfig
+from repro.hw.dram import DramChannelModel
+from repro.hw.energy import EnergyModel
+from repro.hw.scheduler.controller import StageLatencies, TiledPipelineController
+from repro.hw.scheduler.rass import naive_schedule, rass_schedule
+from repro.hw.sram import sofa_srams
+from repro.hw.units import DlzsEngine, KvGenerationUnit, SadsEngine, SufaEngine
+
+
+@dataclass
+class WorkloadShape:
+    """Geometry of one attention-head workload fed to the accelerator.
+
+    ``selected_per_row`` is the top-k count; ``unique_selected`` the number
+    of distinct tokens selected across the T parallel queries (drives
+    on-demand KV generation); ``assurance_fraction`` the measured SU-FA
+    Max-Ensuring trigger rate from the functional pipeline.
+    """
+
+    n_queries: int
+    seq_len: int
+    hidden: int
+    head_dim: int
+    selected_per_row: int
+    unique_selected: int
+    assurance_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.unique_selected > self.seq_len:
+            raise ValueError("unique selected tokens cannot exceed the sequence length")
+        if not 0 < self.selected_per_row <= self.seq_len:
+            raise ValueError("selected_per_row out of range")
+
+
+@dataclass
+class AcceleratorReport:
+    """Cycles/energy/traffic accounting of one accelerator run.
+
+    Units: cycles (at ``clock_hz``), joules, bytes.  ``energy_core_j`` maps
+    module name -> compute energy; memory energy is reported separately as
+    SRAM and DRAM (interface + device).
+    """
+
+    cycles: float
+    clock_hz: float
+    energy_core_j: dict[str, float]
+    sram_energy_j: float
+    dram_interface_energy_j: float
+    dram_device_energy_j: float
+    dram_bytes: float
+    kv_vector_loads: int
+    pipeline_speedup: float
+    effective_gops: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.cycles / self.clock_hz
+
+    @property
+    def total_energy_j(self) -> float:
+        return (
+            sum(self.energy_core_j.values())
+            + self.sram_energy_j
+            + self.dram_interface_energy_j
+            + self.dram_device_energy_j
+        )
+
+    @property
+    def throughput_gops(self) -> float:
+        """Dense-equivalent throughput: credited work over latency."""
+        return self.effective_gops / self.latency_s if self.latency_s else 0.0
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_energy_j / self.latency_s if self.latency_s else 0.0
+
+    @property
+    def energy_efficiency_gops_per_w(self) -> float:
+        power = self.average_power_w
+        return self.throughput_gops / power if power else 0.0
+
+
+def _effective_gops_of(shape: WorkloadShape) -> float:
+    """Dense-equivalent giga-operations of the attention computation.
+
+    Following the paper's throughput convention, effective work is the dense
+    attention the accelerator *replaces*: 2 matmuls of (T x S x D) at 2 ops
+    per MAC.  Sparse execution does less raw work but gets credited with the
+    dense total - that is how ">1 PE-peak" effective GOPS arise in Table II.
+    """
+    t, s, d = shape.n_queries, shape.seq_len, shape.head_dim
+    return 2 * 2.0 * t * s * d / 1e9
+
+
+class SofaAccelerator:
+    """The SOFA accelerator with Table III configuration.
+
+    ``query_parallelism`` is the hardware lane count (paper: 128 queries in
+    parallel); workloads with more queries execute in waves, which is what
+    keeps the per-wave tile state inside the 28 KB temp SRAM.
+    """
+
+    QUERY_PARALLELISM = 128
+
+    def __init__(
+        self,
+        clock_hz: float = 1e9,
+        config: SofaConfig | None = None,
+        energy: EnergyModel | None = None,
+    ):
+        self.clock_hz = clock_hz
+        self.config = config or SofaConfig()
+        energy = energy or EnergyModel()
+        self.dlzs = DlzsEngine(energy=energy)
+        self.sads = SadsEngine(energy=energy)
+        self.kv_gen = KvGenerationUnit(energy=energy)
+        self.sufa = SufaEngine(energy=energy)
+        self.controller = TiledPipelineController()
+        self.energy = energy
+
+    # ------------------------------------------------------------------ SOFA
+    def run(
+        self,
+        shape: WorkloadShape,
+        kv_requirements: list[set[int]] | None = None,
+        kv_buffer_pairs: int = 64,
+    ) -> AcceleratorReport:
+        """Execute one workload through the cross-stage tiled pipeline.
+
+        ``kv_requirements`` (per-query selected KV id sets) activates the
+        RASS scheduler for KV load counting; when omitted, each unique
+        selected KV pair is charged one load (the RASS ideal).
+        """
+        cfg = self.config
+        bc = cfg.tile_cols
+        n_tiles = -(-shape.seq_len // bc)
+        total_queries = shape.n_queries
+        n_waves = -(-total_queries // self.QUERY_PARALLELISM)
+        t = min(total_queries, self.QUERY_PARALLELISM)  # queries per wave
+        d, h = shape.head_dim, shape.hidden
+        k_per_tile = max(shape.selected_per_row // n_tiles, 1)
+
+        srams = sofa_srams()
+        dram = DramChannelModel(clock_hz=self.clock_hz)
+
+        # Per-tile stage latencies (one wave of <=128 queries) ---------------------
+        pred_keys = self.dlzs.predict_keys(bc, h, d)
+        pred_attn = self.dlzs.predict_attention(t, d, bc)
+        sort_rep = self.sads.sort_tile(t, bc)
+        exch_rep = self.sads.exchange_rounds(t, cfg.sads.adjust_rounds, bc)
+        # On-demand KV generation batches all selected tokens through the
+        # 128-row array (per-tile trickles would idle most rows); its cycles
+        # and energy amortize evenly across tiles.
+        kv_total = self.kv_gen.generate(shape.unique_selected, h, d)
+        kv_rep = type(kv_total)(
+            cycles=kv_total.cycles / n_tiles,
+            energy_j=kv_total.energy_j / n_tiles,
+            ops=kv_total.ops,
+        )
+        sufa_rep = self.sufa.attend_tile(
+            t, k_per_tile, d,
+            assurance_fraction=shape.assurance_fraction,
+            descending=cfg.sufa.descending,
+        )
+
+        # Wave amortization: key prediction and on-demand KV generation run
+        # once (keys are shared by all query waves); attention prediction,
+        # sorting and SU-FA repeat every wave.
+        first_wave = StageLatencies(
+            predict=pred_keys.cycles + pred_attn.cycles,
+            sort=sort_rep.cycles + exch_rep.cycles,
+            formal=kv_rep.cycles + sufa_rep.cycles,
+        )
+        steady_wave = StageLatencies(
+            predict=pred_attn.cycles,
+            sort=sort_rep.cycles + exch_rep.cycles,
+            formal=sufa_rep.cycles,
+        )
+        timing = self.controller.uniform_timing(first_wave, n_tiles)
+        steady = self.controller.uniform_timing(steady_wave, n_tiles)
+        epi = self.sufa.epilogue(t, d)
+        cycles = (
+            timing.pipelined_cycles
+            + (n_waves - 1) * steady.pipelined_cycles
+            + n_waves * epi.cycles
+        )
+
+        # SRAM residency & traffic -------------------------------------------------
+        srams["token"].allocate("tile_tokens", bc * h)  # 8-bit tokens
+        srams["weight"].allocate("wk_lz", int(h * d * 0.5))  # 4-bit LZ codes
+        srams["weight"].allocate("wv", h * d)
+        # Pre-Atten tiles are stored at prediction precision (8-bit estimates).
+        srams["temp"].allocate("pre_atten_tile", t * bc * 1)
+        srams["temp"].allocate("sufa_state", t * (d + 2) * 2)
+        srams["token"].read(n_tiles * bc * h)
+        srams["temp"].write(n_tiles * t * bc * 1)
+        srams["temp"].read(n_tiles * t * bc * 1)
+
+        # DRAM traffic: tokens in (8-bit), Wk LZ codes, Wv, Q in, O out.
+        dram.transfer(shape.seq_len * h * 1.0)
+        dram.transfer(h * d * 0.5 + h * d * 1.0)
+        dram.transfer(total_queries * d * 2.0)
+        dram.transfer(total_queries * d * 2.0)
+
+        # KV scheduling ------------------------------------------------------------
+        if kv_requirements is not None:
+            schedule = rass_schedule(kv_requirements, kv_buffer_pairs)
+            kv_loads = schedule.vector_loads
+        else:
+            kv_loads = 2 * shape.unique_selected
+        # selected tokens re-read for on-demand generation (8-bit rows)
+        dram.transfer(shape.unique_selected * h * 1.0)
+
+        energy_core = {
+            "dlzs_prediction": n_tiles
+            * (pred_keys.energy_j + n_waves * pred_attn.energy_j),
+            "sads": n_waves * n_tiles * (sort_rep.energy_j + exch_rep.energy_j),
+            "kv_generation": n_tiles * kv_rep.energy_j,
+            "sufa": n_waves * (n_tiles * sufa_rep.energy_j + epi.energy_j),
+        }
+        sram_energy = sum(b.total_energy_j for b in srams.values())
+        return AcceleratorReport(
+            cycles=cycles,
+            clock_hz=self.clock_hz,
+            energy_core_j=energy_core,
+            sram_energy_j=sram_energy,
+            dram_interface_energy_j=dram.interface_energy_j,
+            dram_device_energy_j=dram.dram_energy_j,
+            dram_bytes=dram.transferred_bytes,
+            kv_vector_loads=kv_loads,
+            pipeline_speedup=timing.speedup,
+            effective_gops=_effective_gops_of(shape),
+        )
+
+    # -------------------------------------------------------------- baseline
+    def run_whole_row_baseline(
+        self,
+        shape: WorkloadShape,
+        kv_requirements: list[set[int]] | None = None,
+        kv_buffer_pairs: int = 64,
+        sram_budget_bytes: float = 2 * 2**20,
+    ) -> AcceleratorReport:
+        """The pre-SOFA dataflow on the same hardware resources.
+
+        Differences from :meth:`run`: (1) stages serialize across the whole
+        row; (2) the (T, S) Pre-Atten matrix spills to DRAM when it exceeds
+        the SRAM budget, and the formal-stage Atten matrix round-trips as
+        well; (3) KV generation is *not* on demand - every token is
+        projected; (4) the formal stage pays classic-FA max bookkeeping
+        (modeled as a 100% assurance fraction); (5) naive KV scheduling.
+        """
+        cfg = self.config
+        bc = cfg.tile_cols
+        n_tiles = -(-shape.seq_len // bc)
+        total_queries = shape.n_queries
+        n_waves = -(-total_queries // self.QUERY_PARALLELISM)
+        t = min(total_queries, self.QUERY_PARALLELISM)
+        d, h = shape.head_dim, shape.hidden
+        k_per_tile = max(shape.selected_per_row // n_tiles, 1)
+
+        dram = DramChannelModel(clock_hz=self.clock_hz)
+        srams = sofa_srams()
+
+        pred_keys = self.dlzs.predict_keys(bc, h, d)
+        pred_attn = self.dlzs.predict_attention(t, d, bc)
+        sort_rep = self.sads.sort_tile(t, shape.seq_len)  # whole-row sort
+        # Full (not on-demand) KV generation for every token, batched.
+        kv_total = self.kv_gen.generate(shape.seq_len, h, d)
+        kv_rep = type(kv_total)(
+            cycles=kv_total.cycles / n_tiles,
+            energy_j=kv_total.energy_j / n_tiles,
+            ops=kv_total.ops,
+        )
+        sufa_rep = self.sufa.attend_tile(
+            t, k_per_tile, d, assurance_fraction=1.0, descending=False
+        )
+        epi = self.sufa.epilogue(t, d)
+
+        # Serial stage execution: every stage completes over all tiles before
+        # the next starts; key prediction and full KV generation amortize
+        # across waves, everything else repeats per wave.
+        cycles = (
+            n_tiles * pred_keys.cycles
+            + n_waves * n_tiles * pred_attn.cycles
+            + n_waves * sort_rep.cycles
+            + n_tiles * kv_rep.cycles
+            + n_waves * (n_tiles * sufa_rep.cycles + epi.cycles)
+        )
+
+        # DRAM: inputs as in SOFA ...
+        dram.transfer(shape.seq_len * h * 1.0)
+        dram.transfer(2 * h * d * 1.0)  # full-precision Wk and Wv (no LZ codes)
+        dram.transfer(total_queries * d * 2.0)
+        dram.transfer(total_queries * d * 2.0)
+        # ... plus the whole-row intermediates when they exceed SRAM:
+        pre_atten_bytes = float(total_queries) * shape.seq_len * 1.0  # 8-bit
+        atten_bytes = float(total_queries) * shape.selected_per_row * 2.0
+        if pre_atten_bytes + atten_bytes > sram_budget_bytes:
+            dram.transfer(2 * pre_atten_bytes)
+            dram.transfer(2 * atten_bytes)
+        # Full KV generation streams every token's K and V at 16-bit.
+        dram.transfer(2 * shape.seq_len * d * 2.0)
+
+        if kv_requirements is not None:
+            schedule = naive_schedule(kv_requirements, kv_buffer_pairs)
+            kv_loads = schedule.vector_loads
+        else:
+            kv_loads = 2 * total_queries * shape.selected_per_row  # no reuse
+        # Traditional flow: selected K/V vectors are fetched from DRAM per
+        # query (16-bit), with reuse limited to the naive schedule's buffer.
+        dram.transfer(float(kv_loads) * d * 2.0)
+
+        cycles += dram.transferred_bytes / 64.0  # serialized spill traffic stalls
+
+        energy_core = {
+            "dlzs_prediction": n_tiles
+            * (pred_keys.energy_j + n_waves * pred_attn.energy_j),
+            "sads": n_waves * sort_rep.energy_j,
+            "kv_generation": n_tiles * kv_rep.energy_j,
+            "sufa": n_waves * (n_tiles * sufa_rep.energy_j + epi.energy_j),
+        }
+        srams["token"].read(n_tiles * bc * h)
+        sram_energy = sum(b.total_energy_j for b in srams.values())
+        return AcceleratorReport(
+            cycles=cycles,
+            clock_hz=self.clock_hz,
+            energy_core_j=energy_core,
+            sram_energy_j=sram_energy,
+            dram_interface_energy_j=dram.interface_energy_j,
+            dram_device_energy_j=dram.dram_energy_j,
+            dram_bytes=dram.transferred_bytes,
+            kv_vector_loads=kv_loads,
+            pipeline_speedup=1.0,
+            effective_gops=_effective_gops_of(shape),
+        )
+
+
+def shape_from_pipeline(
+    n_queries: int,
+    seq_len: int,
+    hidden: int,
+    head_dim: int,
+    selected: np.ndarray,
+    assurance_triggers: int,
+) -> WorkloadShape:
+    """Build a :class:`WorkloadShape` from a functional pipeline result."""
+    selected = np.asarray(selected)
+    total_steps = selected.size if selected.size else 1
+    return WorkloadShape(
+        n_queries=n_queries,
+        seq_len=seq_len,
+        hidden=hidden,
+        head_dim=head_dim,
+        selected_per_row=selected.shape[1],
+        unique_selected=int(np.unique(selected).size),
+        assurance_fraction=min(assurance_triggers / total_steps, 1.0),
+    )

@@ -1,0 +1,78 @@
+"""Area and power accounting for the SOFA accelerator (Tables III and IV).
+
+Table III's module inventory is encoded as spec records; the totals and the
+Table IV power split (core / memory interface / DRAM at the 59.8 GB/s
+operating point) are derived from them plus the DRAM model.  The records
+also drive the per-module energy attribution of the accelerator reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.dram import DramChannelModel
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One row of Table III: a hardware module's parameters, area and power."""
+
+    name: str
+    parameters: str
+    area_mm2: float
+    power_w: float
+
+
+#: Table III rows (TSMC 28 nm @ 1 GHz).
+SOFA_MODULES: tuple[ModuleSpec, ...] = (
+    ModuleSpec("dlzs_prediction", "128x32 shift PEs + 128 LZEs", 0.351, 0.02905),
+    ModuleSpec("sads", "128 16-4 sort cores + 128 clipping units", 0.679, 0.11279),
+    ModuleSpec("kv_generation", "128x4 16-bit PEs", 0.875, 0.14621),
+    ModuleSpec("sufa", "128x4 16-bit PEs + 128 EXP + 128 DIV", 3.012, 0.48512),
+    ModuleSpec("memory", "192KB token + 96KB weight + 28KB temp SRAM", 0.497, 0.17023),
+    ModuleSpec("scheduler_others", "RASS FSM, controller, routers", 0.280, 0.00645),
+)
+
+#: Table IV operating point.
+TABLE_IV_BANDWIDTH_BYTES_PER_S = 59.8e9
+
+
+def total_area_mm2() -> float:
+    """Total core area (paper: 5.69 mm^2)."""
+    return sum(m.area_mm2 for m in SOFA_MODULES)
+
+
+def total_core_power_w() -> float:
+    """Total core power (paper: ~0.95 W)."""
+    return sum(m.power_w for m in SOFA_MODULES)
+
+
+def module_power_shares() -> dict[str, float]:
+    """Fraction of core power per module."""
+    total = total_core_power_w()
+    return {m.name: m.power_w / total for m in SOFA_MODULES}
+
+
+def lp_area_fraction() -> float:
+    """Area share of the LP mechanism (DLZS + SADS); paper: ~18%."""
+    lp = sum(m.area_mm2 for m in SOFA_MODULES if m.name in ("dlzs_prediction", "sads"))
+    return lp / total_area_mm2()
+
+
+def lp_power_fraction() -> float:
+    """Power share of the LP mechanism; paper: ~15%."""
+    lp = sum(m.power_w for m in SOFA_MODULES if m.name in ("dlzs_prediction", "sads"))
+    return lp / total_core_power_w()
+
+
+def table_iv_power_breakdown() -> dict[str, float]:
+    """Core / interface / DRAM / overall watts at 59.8 GB/s (Table IV)."""
+    dram = DramChannelModel()
+    split = dram.power_at_bandwidth(TABLE_IV_BANDWIDTH_BYTES_PER_S)
+    core = total_core_power_w()
+    return {
+        "core_w": core,
+        "interface_w": split["interface_w"],
+        "dram_w": split["dram_w"],
+        "overall_w": core + split["interface_w"] + split["dram_w"],
+    }

@@ -1,0 +1,72 @@
+"""Per-operation energy tables with technology scaling.
+
+Baseline energies follow the widely-cited 45 nm figures from Horowitz's
+ISSCC'14 survey (the paper cites the same source [44] for its DRAM-vs-SRAM
+energy argument): integer adds cost fractions of a picojoule, multiplies a
+few picojoules, SRAM ~0.1 pJ/bit, DRAM 5-20 pJ/bit.  Exponential and divide
+units are charged as small multiples of a multiply, consistent with the
+iterative/piecewise implementations accelerators ship.
+
+The :class:`EnergyModel` scales everything to a target node via
+:mod:`repro.hw.scaling` and exposes one method - :meth:`op_energy` - used by
+all engine models, so relative energies stay consistent across modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.scaling import TechnologyNode, scale_energy_per_op
+from repro.numerics.complexity import OpCounter
+
+#: 45 nm reference energies in joules per operation (INT datapath widths as
+#: deployed by SOFA: 8-bit prediction ops, 16-bit formal ops).
+_BASE_45NM: dict[str, float] = {
+    "add": 0.05e-12,       # 16-bit integer add
+    "compare": 0.05e-12,   # comparator ~ subtractor
+    "shift": 0.02e-12,     # barrel shift, cheaper than an add
+    "mul": 1.0e-12,        # 16-bit multiply
+    "exp": 3.0e-12,        # piecewise exp unit ~ 3 multiplies
+    "div": 2.0e-12,        # iterative divider ~ 2 multiplies
+    "lzc": 0.02e-12,       # priority encoder
+    "xor": 0.005e-12,      # single gate level
+    "mem_read": 0.0,       # memory charged by SRAM/DRAM models instead
+    "mem_write": 0.0,
+}
+
+_REFERENCE_45NM = TechnologyNode(feature_nm=45.0, vdd=1.0)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy per primitive operation at a given technology node.
+
+    Parameters
+    ----------
+    node:
+        Target process (default: the paper's TSMC 28 nm at 1.0 V).
+    overrides:
+        Optional per-op energy overrides in joules *at the target node* -
+        used by calibration tests.
+    """
+
+    node: TechnologyNode = field(default_factory=lambda: TechnologyNode(28.0, 1.0))
+    overrides: dict[str, float] = field(default_factory=dict)
+
+    def op_energy(self, op: str) -> float:
+        """Energy in joules of one ``op`` at the model's node."""
+        if op in self.overrides:
+            return self.overrides[op]
+        try:
+            base = _BASE_45NM[op]
+        except KeyError:
+            raise KeyError(f"unknown operation kind: {op!r}") from None
+        return scale_energy_per_op(base, _REFERENCE_45NM, self.node)
+
+    def counter_energy(self, ops: OpCounter) -> float:
+        """Total joules of an operation tally."""
+        return float(sum(self.op_energy(op) * n for op, n in ops))
+
+
+#: Convenience singleton at the paper's node.
+ENERGY_28NM = EnergyModel()

@@ -1,0 +1,67 @@
+"""Output-stationary systolic array timing model.
+
+Both the KV-generation array and the two SU-FA arrays (Fig. 14) are modeled
+as output-stationary systolic grids: an ``R x C`` array computes an
+``(M, K) @ (K, N)`` product by tiling outputs into ``ceil(M/R) * ceil(N/C)``
+passes, each streaming the K dimension plus a fill/drain latency of
+``R + C - 2`` cycles.  Utilization reports how much of the array the tile
+shapes actually occupied, which drives the PE-utilization claims of Sec. V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatmulTiming:
+    """Cycle estimate of one matmul pass through a systolic array."""
+
+    cycles: float
+    macs: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """An R x C output-stationary multiply-accumulate grid."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+
+    @property
+    def n_pes(self) -> int:
+        return self.rows * self.cols
+
+    def matmul_cycles(self, m: int, k: int, n: int) -> MatmulTiming:
+        """Cycles to compute ``(m,k) @ (k,n)`` with output tiling.
+
+        Each output tile of shape ``(<=rows, <=cols)`` streams ``k`` operand
+        pairs; consecutive tiles overlap their skew (pipelined streaming), so
+        the fill/drain latency ``rows + cols - 2`` is paid once per call.
+        """
+        if min(m, k, n) < 1:
+            raise ValueError("matmul dimensions must be positive")
+        row_tiles = -(-m // self.rows)
+        col_tiles = -(-n // self.cols)
+        cycles = float(row_tiles * col_tiles * k + self.rows + self.cols - 2)
+        macs = float(m) * k * n
+        peak_macs = cycles * self.n_pes
+        return MatmulTiming(cycles=cycles, macs=macs, utilization=macs / peak_macs)
+
+    def stream_cycles(self, n_elements: int, elements_per_cycle: float | None = None) -> float:
+        """Cycles to stream ``n_elements`` through the array one-per-lane.
+
+        Used for elementwise phases (shift-add streams in the DLZS array)
+        where each of the ``rows`` lanes consumes ``elements_per_cycle``
+        (default: ``cols``, the row width) items per cycle.
+        """
+        if n_elements < 0:
+            raise ValueError("element count cannot be negative")
+        per_cycle = elements_per_cycle if elements_per_cycle is not None else float(self.cols)
+        lanes = float(self.rows) * per_cycle
+        return n_elements / lanes if lanes else float("inf")

@@ -1,0 +1,86 @@
+"""Technology scaling rules used to normalize published accelerator numbers.
+
+Table II of the paper scales every comparison point to 28 nm / 1.0 V CMOS
+using the classical Dennard-style relations cited from [61], [65]:
+
+    s = tech_nm / 28
+    frequency   scales as  f * s**2        (f ∝ 1/s²)
+    core power  scales as  P * (1/s) * (1.0 / Vdd)**2
+    area        scales as  A / s**2
+
+(i.e. a 40 nm design at 1 GHz is credited with the frequency it would reach
+at 28 nm, its power shrinks linearly with feature size and quadratically
+with voltage, and its area shrinks with the square of feature size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS process point: feature size in nm and supply voltage."""
+
+    feature_nm: float
+    vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError("feature size must be positive")
+        if self.vdd <= 0:
+            raise ValueError("Vdd must be positive")
+
+
+REFERENCE_NODE = TechnologyNode(feature_nm=28.0, vdd=1.0)
+
+
+def scale_factor(node: TechnologyNode, target: TechnologyNode = REFERENCE_NODE) -> float:
+    """The paper's ``s`` = source feature size over target feature size."""
+    return node.feature_nm / target.feature_nm
+
+
+def scale_frequency(freq_hz: float, node: TechnologyNode,
+                    target: TechnologyNode = REFERENCE_NODE) -> float:
+    """Frequency normalization: f ∝ 1/s² (faster at smaller nodes)."""
+    s = scale_factor(node, target)
+    return freq_hz * s**2
+
+
+def scale_power(power_w: float, node: TechnologyNode,
+                target: TechnologyNode = REFERENCE_NODE) -> float:
+    """Core power normalization: P ∝ (1/s)(1/Vdd²) toward the target node."""
+    s = scale_factor(node, target)
+    return power_w * (1.0 / s) * (target.vdd / node.vdd) ** 2
+
+
+def scale_area(area_mm2: float, node: TechnologyNode,
+               target: TechnologyNode = REFERENCE_NODE) -> float:
+    """Area normalization: A ∝ s² (shrinks quadratically)."""
+    s = scale_factor(node, target)
+    return area_mm2 / s**2
+
+
+def scale_energy_per_op(energy_j: float, node: TechnologyNode,
+                        target: TechnologyNode = REFERENCE_NODE) -> float:
+    """Energy/op scaling: E = P/f ∝ (1/s)(1/Vdd²) / (1/s²) = s³... simplified.
+
+    Following the same relations, energy per operation scales as
+    ``power_scale / frequency_scale``; for the default voltages that is
+    ``1/s³`` moving from a larger node to 28 nm.
+    """
+    s = scale_factor(node, target)
+    power_scale = (1.0 / s) * (target.vdd / node.vdd) ** 2
+    freq_scale = s**2
+    return energy_j * power_scale / freq_scale
+
+
+def scale_to_28nm(
+    *, freq_hz: float, power_w: float, area_mm2: float, node: TechnologyNode
+) -> dict[str, float]:
+    """Normalize a (frequency, power, area) triple to 28 nm / 1.0 V."""
+    return {
+        "freq_hz": scale_frequency(freq_hz, node),
+        "power_w": scale_power(power_w, node),
+        "area_mm2": scale_area(area_mm2, node),
+    }

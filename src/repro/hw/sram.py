@@ -1,0 +1,95 @@
+"""On-chip SRAM buffer model with capacity enforcement and energy accounting.
+
+SOFA's buffers (Table III): 192 KB token SRAM, 96 KB weight SRAM, 28 KB temp
+SRAM.  The model charges a CACTI-like per-byte access energy that grows with
+the square root of capacity (bitline/wordline length scaling) anchored at the
+paper's cited ~0.1 pJ/bit for small arrays, and enforces capacity: the tiled
+dataflow argument of Fig. 6 is that per-tile working sets *fit*, and a model
+that silently exceeded capacity would hide exactly the failure SOFA avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SramCapacityError(RuntimeError):
+    """Raised when an allocation exceeds the buffer capacity."""
+
+
+@dataclass
+class SramBuffer:
+    """A single on-chip buffer.
+
+    Attributes
+    ----------
+    name / capacity_bytes:
+        Identity and size.
+    bytes_per_cycle:
+        Port bandwidth (reads or writes per cycle).
+    """
+
+    name: str
+    capacity_bytes: int
+    bytes_per_cycle: float = 64.0
+    _allocations: dict[str, int] = field(default_factory=dict)
+    reads_bytes: float = 0.0
+    writes_bytes: float = 0.0
+
+    def access_energy_per_byte(self) -> float:
+        """CACTI-style fit: 0.1 pJ/bit at 8 KB, growing with sqrt(capacity)."""
+        base = 0.1e-12 * 8  # J per byte at the 8 KB anchor
+        return base * float(np.sqrt(self.capacity_bytes / 8192.0))
+
+    # ------------------------------------------------------------ allocation
+    def allocate(self, tag: str, n_bytes: int) -> None:
+        """Reserve ``n_bytes`` under ``tag``; raises when over capacity."""
+        if n_bytes < 0:
+            raise ValueError("allocation size cannot be negative")
+        current = sum(self._allocations.values()) - self._allocations.get(tag, 0)
+        if current + n_bytes > self.capacity_bytes:
+            raise SramCapacityError(
+                f"{self.name}: allocating {n_bytes} B under {tag!r} exceeds "
+                f"capacity {self.capacity_bytes} B (in use: {current} B)"
+            )
+        self._allocations[tag] = n_bytes
+
+    def free(self, tag: str) -> None:
+        self._allocations.pop(tag, None)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(self._allocations.values())
+
+    # ---------------------------------------------------------------- access
+    def read(self, n_bytes: float) -> float:
+        """Record a read; returns the cycles it occupies the port."""
+        if n_bytes < 0:
+            raise ValueError("read size cannot be negative")
+        self.reads_bytes += n_bytes
+        return n_bytes / self.bytes_per_cycle
+
+    def write(self, n_bytes: float) -> float:
+        if n_bytes < 0:
+            raise ValueError("write size cannot be negative")
+        self.writes_bytes += n_bytes
+        return n_bytes / self.bytes_per_cycle
+
+    @property
+    def total_energy_j(self) -> float:
+        return (self.reads_bytes + self.writes_bytes) * self.access_energy_per_byte()
+
+    def reset_counters(self) -> None:
+        self.reads_bytes = 0.0
+        self.writes_bytes = 0.0
+
+
+def sofa_srams() -> dict[str, SramBuffer]:
+    """The three buffers of Table III."""
+    return {
+        "token": SramBuffer("token", 192 * 1024),
+        "weight": SramBuffer("weight", 96 * 1024),
+        "temp": SramBuffer("temp", 28 * 1024),
+    }

@@ -1,0 +1,14 @@
+"""Engine models of the four SOFA compute units (paper Figs. 12-14).
+
+Each engine converts a unit of algorithmic work (tile prediction, tile sort,
+selected-KV generation, SU-FA tile update) into cycles + energy, using the
+Table III hardware parameters (array shapes, unit counts) and the shared
+:class:`~repro.hw.energy.EnergyModel`.
+"""
+
+from repro.hw.units.dlzs_engine import DlzsEngine
+from repro.hw.units.kv_gen import KvGenerationUnit
+from repro.hw.units.sads_engine import SadsEngine
+from repro.hw.units.sufa_engine import SufaEngine
+
+__all__ = ["DlzsEngine", "SadsEngine", "KvGenerationUnit", "SufaEngine"]

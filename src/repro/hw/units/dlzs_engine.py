@@ -1,0 +1,90 @@
+"""The reusable & configurable DLZS prediction engine (paper Fig. 12).
+
+Hardware configuration (Table III): a 128 x 32 systolic shift-adder array
+plus 128 configurable LZEs, preceded by a zero-eliminator.  The same array is
+reused across the two phases:
+
+* **K-estimation datapath** - 8-bit tokens stream against pre-converted 4-bit
+  LZ weights; no LZE activity (weights were converted offline).
+* **QxK^T datapath** - 16-bit queries pass through the LZE array (16-bit
+  mode) and their 5-bit LZ codes shift the cached K estimates.
+
+The zero-eliminator removes products whose converted operand is zero; its
+benefit is workload-dependent, so the engine takes the measured nonzero
+fraction as an input rather than assuming one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import EnergyModel
+from repro.hw.pe_array import SystolicArray
+from repro.numerics.complexity import OpCounter
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Cycles and energy of one engine invocation."""
+
+    cycles: float
+    energy_j: float
+    ops: OpCounter
+
+
+@dataclass
+class DlzsEngine:
+    """Timing/energy model of the DLZS prediction unit."""
+
+    array: SystolicArray = field(default_factory=lambda: SystolicArray(128, 32))
+    n_lze: int = 128
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def predict_keys(
+        self, n_tokens: int, hidden: int, head_dim: int, nonzero_fraction: float = 1.0
+    ) -> EngineReport:
+        """Phase 1.1: estimate K for ``n_tokens`` tokens.
+
+        Work: ``n_tokens * hidden * head_dim`` shift-adds, thinned by the
+        zero-eliminator to ``nonzero_fraction``.
+        """
+        if not 0.0 <= nonzero_fraction <= 1.0:
+            raise ValueError("nonzero_fraction must be in [0, 1]")
+        products = n_tokens * hidden * head_dim * nonzero_fraction
+        timing = self.array.matmul_cycles(n_tokens, hidden, head_dim)
+        ops = OpCounter()
+        ops.add_op("shift", products)
+        ops.add_op("xor", products)
+        ops.add_op("add", products)
+        return EngineReport(
+            cycles=timing.cycles,
+            energy_j=self.energy.counter_energy(ops),
+            ops=ops,
+        )
+
+    def predict_attention(
+        self,
+        n_queries: int,
+        head_dim: int,
+        tile_cols: int,
+        nonzero_fraction: float = 1.0,
+    ) -> EngineReport:
+        """Phase 1.2: estimate one (T x Bc) tile of the attention matrix.
+
+        Queries go through the LZE array first (one LZC op per element, the
+        128 LZEs convert 128 values per cycle), then shift the cached K tile.
+        """
+        products = n_queries * head_dim * tile_cols * nonzero_fraction
+        lze_elems = n_queries * head_dim
+        lze_cycles = lze_elems / self.n_lze
+        timing = self.array.matmul_cycles(n_queries, head_dim, tile_cols)
+        ops = OpCounter()
+        ops.add_op("lzc", lze_elems)
+        ops.add_op("shift", products)
+        ops.add_op("xor", products)
+        ops.add_op("add", products)
+        return EngineReport(
+            cycles=lze_cycles + timing.cycles,
+            energy_j=self.energy.counter_energy(ops),
+            ops=ops,
+        )

@@ -1,0 +1,40 @@
+"""On-demand KV generation unit (paper Fig. 11 block 6, Table III row 3).
+
+Hardware configuration: a 128 x 4 array of 16-bit PEs.  The unit projects
+*only the selected tokens* into K and V (``K_i = x_i W_k``, ``V_i = x_i
+W_v``) - the on-demand strategy of Sec. III-A that avoids generating KV rows
+destined to be pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import EnergyModel
+from repro.hw.pe_array import SystolicArray
+from repro.hw.units.dlzs_engine import EngineReport
+from repro.numerics.complexity import OpCounter
+
+
+@dataclass
+class KvGenerationUnit:
+    """Timing/energy model of the selected-token KV projection."""
+
+    array: SystolicArray = field(default_factory=lambda: SystolicArray(128, 4))
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def generate(self, n_selected: int, hidden: int, head_dim: int) -> EngineReport:
+        """Project ``n_selected`` tokens into both K and V."""
+        if n_selected == 0:
+            return EngineReport(cycles=0.0, energy_j=0.0, ops=OpCounter())
+        k_t = self.array.matmul_cycles(n_selected, hidden, head_dim)
+        v_t = self.array.matmul_cycles(n_selected, hidden, head_dim)
+        ops = OpCounter()
+        macs = 2.0 * n_selected * hidden * head_dim
+        ops.add_op("mul", macs)
+        ops.add_op("add", macs)
+        return EngineReport(
+            cycles=k_t.cycles + v_t.cycles,
+            energy_j=self.energy.counter_energy(ops),
+            ops=ops,
+        )

@@ -1,0 +1,83 @@
+"""The SU-FA engine: two systolic arrays, AP module, O-updating (Fig. 14).
+
+Hardware configuration (Table III): 128 x 4 16-bit PEs (split across two
+output-stationary systolic arrays), 128 EXP units and 128 DIV units.  The
+folded auxiliary-process (AP) module sits between the arrays and operates in
+two modes:
+
+* **mode 0 (compute)** - subtract the cached Max and evaluate exp;
+* **mode 1 (max update)** - compare the incoming score against the cached
+  Max and update the register (activated at tile switches and on the first
+  phase of a tile - the Max-Ensuring behaviour covering DLZS misprediction).
+
+Per selected key the datapath performs: QK^T dot product (SA-1), one AP exp,
+a P*V multiply-accumulate (SA-2) and the O-update; the epilogue divides by
+the normalizer through the 128 DIV units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import EnergyModel
+from repro.hw.pe_array import SystolicArray
+from repro.hw.units.dlzs_engine import EngineReport
+from repro.numerics.complexity import OpCounter
+
+
+@dataclass
+class SufaEngine:
+    """Timing/energy model of the sorted-updating FlashAttention unit."""
+
+    qk_array: SystolicArray = field(default_factory=lambda: SystolicArray(128, 2))
+    sv_array: SystolicArray = field(default_factory=lambda: SystolicArray(128, 2))
+    n_exp_units: int = 128
+    n_div_units: int = 128
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def attend_tile(
+        self,
+        n_queries: int,
+        keys_in_tile: int,
+        head_dim: int,
+        assurance_fraction: float = 0.0,
+        descending: bool = True,
+    ) -> EngineReport:
+        """Process one tile: ``keys_in_tile`` selected keys per query row.
+
+        ``assurance_fraction`` is the share of steps on which the
+        Max-Ensuring circuit fired (mode 1 rescans); each such step pays one
+        classic-FA rescale (1 exp + (1+D) muls + 1 compare).
+        """
+        if not 0.0 <= assurance_fraction <= 1.0:
+            raise ValueError("assurance_fraction must be in [0, 1]")
+        if keys_in_tile == 0:
+            return EngineReport(cycles=0.0, energy_j=0.0, ops=OpCounter())
+        t, kk, d = n_queries, keys_in_tile, head_dim
+
+        qk = self.qk_array.matmul_cycles(t, d, kk)
+        sv = self.sv_array.matmul_cycles(t, kk, d)
+        exp_cycles = float(t) * kk / self.n_exp_units
+
+        ops = OpCounter()
+        macs = float(t) * d * kk
+        ops.add_op("mul", 2 * macs)  # QK^T and P*V
+        ops.add_op("add", 2 * macs)
+        ops.add_op("exp", float(t) * kk)
+        ops.add_op("add", float(t) * kk)  # l accumulation
+        if not descending:
+            ops.add_op("mul", float(t) * kk)  # ascending rescale of l
+        assured = float(t) * kk * assurance_fraction
+        ops.add_op("exp", assured)
+        ops.add_op("mul", assured * (1 + d))
+        ops.add_op("compare", assured)
+
+        cycles = qk.cycles + exp_cycles + sv.cycles
+        return EngineReport(cycles=cycles, energy_j=self.energy.counter_energy(ops), ops=ops)
+
+    def epilogue(self, n_queries: int, head_dim: int) -> EngineReport:
+        """Final ``O = diag(l)^-1 O`` divide through the DIV units."""
+        ops = OpCounter()
+        ops.add_op("div", float(n_queries) * head_dim)
+        cycles = float(n_queries) * head_dim / self.n_div_units
+        return EngineReport(cycles=cycles, energy_j=self.energy.counter_energy(ops), ops=ops)

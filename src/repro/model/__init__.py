@@ -1,0 +1,31 @@
+"""Transformer substrate: configs, numpy layers, profiler and workloads.
+
+The paper evaluates on BERT-B/L, GPT-2, ViT-B, PVT, Bloom-1.7B and
+Llama-7B/13B across 20 benchmarks.  We cannot ship those checkpoints, so this
+package provides:
+
+* :mod:`repro.model.config` - published architectural parameters of each
+  model (layers, hidden size, heads, FFN width, sequence lengths).
+* :mod:`repro.model.layers` / :mod:`repro.model.transformer` - a complete
+  numpy forward pass (QKV projection, multi-head attention, FFN) so the SOFA
+  algorithms run inside a real end-to-end Transformer computation.
+* :mod:`repro.model.profiler` - analytic FLOPs / bytes / operational-intensity
+  profiles (regenerates Figs. 1 and 4).
+* :mod:`repro.model.workloads` - synthetic attention-score generators
+  calibrated to the paper's Type-I/II/III row taxonomy (Fig. 8), plus the
+  20-benchmark suite descriptor used by the evaluation harness.
+"""
+
+from repro.model.config import ModelConfig, MODEL_ZOO, get_model
+from repro.model.transformer import Transformer
+from repro.model.workloads import AttentionWorkload, BENCHMARK_SUITE, make_workload
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_ZOO",
+    "get_model",
+    "Transformer",
+    "AttentionWorkload",
+    "BENCHMARK_SUITE",
+    "make_workload",
+]

@@ -1,0 +1,83 @@
+"""Model configurations for the paper's evaluation zoo.
+
+Architectural parameters follow the published model cards; sequence lengths
+follow the paper's Sec. V-A setup (e.g. BERT 256-512 by task, Bloom-1.7B 2k,
+Llama-7B/13B 4k, PVT 3192).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architectural description of one Transformer model.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name used throughout reports.
+    n_layers / hidden / n_heads / ffn_hidden:
+        Standard Transformer dimensions; ``ffn_hidden`` is the intermediate
+        width of the two-layer FFN.
+    default_seq_len:
+        The sequence length the paper evaluates this model at.
+    family:
+        ``"nlp-encoder"``, ``"nlp-decoder"`` or ``"vision"`` - selects the
+        attention-row distribution mixture of Fig. 8.
+    """
+
+    name: str
+    n_layers: int
+    hidden: int
+    n_heads: int
+    ffn_hidden: int
+    default_seq_len: int
+    family: str
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.n_heads
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.n_heads != 0:
+            raise ValueError(f"{self.name}: hidden {self.hidden} not divisible by heads")
+
+    def scaled_to(self, seq_len: int) -> "ModelConfig":
+        """Copy of this config at a different sequence length."""
+        return ModelConfig(
+            name=self.name,
+            n_layers=self.n_layers,
+            hidden=self.hidden,
+            n_heads=self.n_heads,
+            ffn_hidden=self.ffn_hidden,
+            default_seq_len=seq_len,
+            family=self.family,
+        )
+
+
+MODEL_ZOO: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        ModelConfig("bert-base", 12, 768, 12, 3072, 512, "nlp-encoder"),
+        ModelConfig("bert-large", 24, 1024, 16, 4096, 512, "nlp-encoder"),
+        ModelConfig("gpt2", 12, 768, 12, 3072, 1024, "nlp-decoder"),
+        ModelConfig("gpt2-large", 36, 1280, 20, 5120, 1024, "nlp-decoder"),
+        ModelConfig("vit-base", 12, 768, 12, 3072, 3192, "vision"),
+        ModelConfig("pvt", 16, 512, 8, 2048, 3192, "vision"),
+        ModelConfig("bloom-1b7", 24, 2048, 16, 8192, 2048, "nlp-decoder"),
+        ModelConfig("bloom-3b", 30, 2560, 32, 10240, 2048, "nlp-decoder"),
+        ModelConfig("llama-7b", 32, 4096, 32, 11008, 4096, "nlp-decoder"),
+        ModelConfig("llama-13b", 40, 5120, 40, 13824, 4096, "nlp-decoder"),
+    )
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model config by name with a helpful error."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

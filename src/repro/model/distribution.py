@@ -1,0 +1,102 @@
+"""Attention-row distribution taxonomy: Type-I / Type-II / Type-III (Fig. 8).
+
+The paper's SADS design rests on an empirical observation about post-softmax
+attention rows:
+
+* **Type-I** - dominated by a *few* tokens (one or two sharp spikes anywhere).
+* **Type-II** - dominated by *several* tokens spread evenly across the row.
+* **Type-III** - dominated by several tokens *concentrated in one region*.
+
+Type-I + Type-II cover >95% of rows across BERT/ViT/GPT-2/Llama, which the
+paper names the *Distributed Cluster Effect* (DCE): each sub-segment of a row
+contains its own share of the dominant values, so per-segment top-(k/n)
+selection loses little.  Type-III is the adversarial case for SADS.
+
+This module provides both a generator-independent *classifier* (used to
+regenerate Fig. 8(b) statistics from synthetic rows and to sanity-check the
+generators) and the mixture tables per model family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.numerics.softmax import softmax
+
+
+class RowType(Enum):
+    """The three attention-row shapes of Fig. 8(a)."""
+
+    TYPE_I = "type-i"
+    TYPE_II = "type-ii"
+    TYPE_III = "type-iii"
+
+
+#: Fractions of (Type-I, Type-II, Type-III) per model family, following the
+#: statistics reported around Fig. 8(b): Type-II predominates everywhere
+#: (>76% average), Type-I averages ~25% on ViT/GPT-2/Llama, Type-III is rare
+#: and nearly absent for autoregressive LLMs.
+FAMILY_MIXTURES: dict[str, tuple[float, float, float]] = {
+    "nlp-encoder": (0.14, 0.82, 0.04),
+    "nlp-decoder": (0.24, 0.755, 0.005),
+    "vision": (0.26, 0.71, 0.03),
+}
+
+
+@dataclass(frozen=True)
+class RowClassification:
+    """Classifier output for one attention row."""
+
+    row_type: RowType
+    dominant_count: int
+    dominant_spread: float
+
+
+def _dominant_indices(probs: np.ndarray, mass: float = 0.5) -> np.ndarray:
+    """Smallest set of indices capturing ``mass`` of the probability."""
+    order = np.argsort(probs)[::-1]
+    cum = np.cumsum(probs[order])
+    cutoff = int(np.searchsorted(cum, mass) + 1)
+    return order[:cutoff]
+
+
+def classify_row(
+    scores: np.ndarray,
+    few_threshold: int = 4,
+    concentration_window: float = 0.25,
+) -> RowClassification:
+    """Classify one row of attention *scores* (pre-softmax) into Fig. 8 types.
+
+    The classifier mirrors the paper's verbal definitions:
+
+    * If at most ``few_threshold`` tokens carry half the softmax mass, the
+      row is **Type-I** ("dominated by a few tokens").
+    * Otherwise, if the dominant tokens span less than a
+      ``concentration_window`` fraction of the row, it is **Type-III**
+      (concentrated region); else **Type-II** (evenly distributed).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size < 4:
+        raise ValueError("need a 1-D row with at least 4 elements")
+    probs = softmax(scores)
+    dom = _dominant_indices(probs)
+    spread = (dom.max() - dom.min()) / max(scores.size - 1, 1) if dom.size > 1 else 0.0
+    if dom.size <= few_threshold:
+        row_type = RowType.TYPE_I
+    elif spread < concentration_window:
+        row_type = RowType.TYPE_III
+    else:
+        row_type = RowType.TYPE_II
+    return RowClassification(row_type=row_type, dominant_count=int(dom.size), dominant_spread=float(spread))
+
+
+def classify_rows(score_matrix: np.ndarray) -> dict[RowType, float]:
+    """Fraction of rows of each type in a score matrix (Fig. 8(b) columns)."""
+    counts = {t: 0 for t in RowType}
+    for row in np.asarray(score_matrix, dtype=np.float64):
+        counts[classify_row(row).row_type] += 1
+    n = score_matrix.shape[0]
+    return {t: counts[t] / n for t in RowType}

@@ -1,0 +1,142 @@
+"""Multi-layer inference runner: a full Transformer with SOFA attention.
+
+Ties the substrates together for end-to-end studies: every attention head of
+every layer runs the DLZS -> SADS -> SU-FA pipeline (per-layer tile sizes as
+chosen by the DSE), and the runner aggregates per-layer operation counts,
+selection statistics and fidelity against the dense forward pass.
+
+This is the integration surface the examples and ablation studies use when
+one attention head is not enough - e.g. measuring how prediction error
+compounds (or doesn't) across depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.metrics import output_relative_error
+from repro.attention.reference import masked_attention
+from repro.attention.topk import indices_to_mask
+from repro.core.config import SadsConfig, SofaConfig
+from repro.core.sads import SadsSorter
+from repro.model.transformer import Transformer
+from repro.numerics.complexity import OpCounter
+
+
+@dataclass
+class LayerStats:
+    """Per-layer aggregate across heads."""
+
+    layer: int
+    ops: OpCounter
+    mean_selected_fraction: float
+    mean_union_fraction: float
+
+
+@dataclass
+class SparseInferenceReport:
+    """Outcome of one sparse forward pass.
+
+    ``output`` is the sparse model output; ``relative_error`` compares it to
+    the dense forward on the same inputs; ``layers`` holds per-layer stats.
+    """
+
+    output: np.ndarray
+    dense_output: np.ndarray
+    layers: list[LayerStats] = field(default_factory=list)
+
+    @property
+    def relative_error(self) -> float:
+        return output_relative_error(self.output, self.dense_output)
+
+    @property
+    def total_ops(self) -> OpCounter:
+        total = OpCounter()
+        for layer in self.layers:
+            total = total + layer.ops
+        return total
+
+
+class SparseInferenceRunner:
+    """Runs a :class:`Transformer` with per-layer SOFA sparse attention.
+
+    Parameters
+    ----------
+    model:
+        The dense numpy Transformer (golden model for fidelity).
+    config:
+        Base SOFA configuration; ``tile_cols_per_layer`` (when given)
+        overrides the tile width layer by layer, mirroring the DSE's
+        layer-specific tiling.
+    """
+
+    def __init__(
+        self,
+        model: Transformer,
+        config: SofaConfig | None = None,
+        tile_cols_per_layer: list[int] | None = None,
+    ):
+        self.model = model
+        self.config = config or SofaConfig(tile_cols=32, top_k=0.25)
+        n_layers = model.config.n_layers
+        if tile_cols_per_layer is not None and len(tile_cols_per_layer) != n_layers:
+            raise ValueError("need one tile width per layer")
+        self.tile_cols_per_layer = tile_cols_per_layer
+
+    def _layer_attention(self, layer_idx: int, stats: list[LayerStats]):
+        """Build the per-head attention hook for one layer."""
+        tile_cols = (
+            self.tile_cols_per_layer[layer_idx]
+            if self.tile_cols_per_layer is not None
+            else self.config.tile_cols
+        )
+
+        def attention(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+            s = k.shape[0]
+            k_count = self.config.resolve_top_k(s)
+            n_tiles = max(-(-s // tile_cols), 1)
+            sorter = SadsSorter(
+                SadsConfig(
+                    n_segments=n_tiles,
+                    radius=self.config.sads.radius,
+                    adjust_rounds=self.config.sads.adjust_rounds,
+                )
+            )
+            scores = q @ k.T / np.sqrt(q.shape[1])
+            sel = sorter.select(scores, k_count)
+            mask = indices_to_mask(sel.indices, s)
+            out = masked_attention(q, k, v, mask)
+
+            entry = stats[layer_idx]
+            entry.ops = entry.ops + sel.ops
+            entry.mean_selected_fraction += k_count / s
+            entry.mean_union_fraction += np.unique(sel.indices).size / s
+            return out
+
+        return attention
+
+    def run(self, x: np.ndarray) -> SparseInferenceReport:
+        """Sparse forward with per-layer stats; dense forward for reference."""
+        n_layers = self.model.config.n_layers
+        stats = [
+            LayerStats(layer=i, ops=OpCounter(), mean_selected_fraction=0.0,
+                       mean_union_fraction=0.0)
+            for i in range(n_layers)
+        ]
+
+        # Run layer by layer so each layer gets its own attention hook.
+        dense = x.copy()
+        sparse = x.copy()
+        from repro.model.layers import layer_norm
+
+        n_heads = self.model.config.n_heads
+        for i, block in enumerate(self.model.blocks):
+            dense = block(dense)
+            sparse = block(sparse, attention_fn=self._layer_attention(i, stats))
+            stats[i].mean_selected_fraction /= n_heads
+            stats[i].mean_union_fraction /= n_heads
+        dense = layer_norm(dense)
+        sparse = layer_norm(sparse)
+        return SparseInferenceReport(output=sparse, dense_output=dense, layers=stats)

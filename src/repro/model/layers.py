@@ -1,0 +1,142 @@
+"""Numpy Transformer layers: projections, multi-head attention, FFN, norm.
+
+These layers provide the dense *reference* computation that every sparse /
+tiled variant is validated against, and give the SOFA pipeline a realistic
+end-to-end host (the examples run whole Transformer blocks, not bare
+matmuls).  Weights are float64 for clean comparisons against quantized paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.numerics.softmax import softmax
+
+
+def layer_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Standard layer normalization over the last axis (no affine params)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximation GELU (the variant BERT/GPT-2 ship)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+@dataclass
+class LinearLayer:
+    """A dense projection ``y = x @ W + b``."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    @classmethod
+    def init(cls, rng: np.random.Generator, d_in: int, d_out: int) -> "LinearLayer":
+        scale = 1.0 / np.sqrt(d_in)
+        return cls(
+            weight=rng.normal(0.0, scale, size=(d_in, d_out)),
+            bias=np.zeros(d_out),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight + self.bias
+
+
+def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """``(S, H) -> (n_heads, S, H/n_heads)``."""
+    s, h = x.shape
+    return x.reshape(s, n_heads, h // n_heads).transpose(1, 0, 2)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """``(n_heads, S, Dh) -> (S, n_heads*Dh)``."""
+    n, s, d = x.shape
+    return x.transpose(1, 0, 2).reshape(s, n * d)
+
+
+@dataclass
+class MultiHeadAttention:
+    """Dense multi-head self-attention with pluggable per-head attention op.
+
+    The ``attention_fn`` hook is how SOFA slots in: the default computes exact
+    ``softmax(QK^T/sqrt(d)) V``; the pipeline passes a function running the
+    DLZS -> SADS -> SU-FA cross-stage flow instead.
+    """
+
+    wq: LinearLayer
+    wk: LinearLayer
+    wv: LinearLayer
+    wo: LinearLayer
+    n_heads: int
+
+    @classmethod
+    def init(cls, rng: np.random.Generator, cfg: ModelConfig) -> "MultiHeadAttention":
+        return cls(
+            wq=LinearLayer.init(rng, cfg.hidden, cfg.hidden),
+            wk=LinearLayer.init(rng, cfg.hidden, cfg.hidden),
+            wv=LinearLayer.init(rng, cfg.hidden, cfg.hidden),
+            wo=LinearLayer.init(rng, cfg.hidden, cfg.hidden),
+            n_heads=cfg.n_heads,
+        )
+
+    def project_qkv(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return per-head (Q, K, V), each ``(n_heads, S, Dh)``."""
+        return (
+            split_heads(self.wq(x), self.n_heads),
+            split_heads(self.wk(x), self.n_heads),
+            split_heads(self.wv(x), self.n_heads),
+        )
+
+    def __call__(self, x: np.ndarray, attention_fn=None) -> np.ndarray:
+        q, k, v = self.project_qkv(x)
+        head_dim = q.shape[-1]
+        outputs = []
+        for h in range(self.n_heads):
+            if attention_fn is None:
+                scores = q[h] @ k[h].T / np.sqrt(head_dim)
+                outputs.append(softmax(scores, axis=-1) @ v[h])
+            else:
+                outputs.append(attention_fn(q[h], k[h], v[h]))
+        return self.wo(merge_heads(np.stack(outputs)))
+
+
+@dataclass
+class FeedForward:
+    """The two-layer FFN with GELU."""
+
+    w1: LinearLayer
+    w2: LinearLayer
+
+    @classmethod
+    def init(cls, rng: np.random.Generator, cfg: ModelConfig) -> "FeedForward":
+        return cls(
+            w1=LinearLayer.init(rng, cfg.hidden, cfg.ffn_hidden),
+            w2=LinearLayer.init(rng, cfg.ffn_hidden, cfg.hidden),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.w2(gelu(self.w1(x)))
+
+
+@dataclass
+class TransformerBlock:
+    """Pre-norm Transformer block: ``x + MHA(LN(x))`` then ``x + FFN(LN(x))``."""
+
+    attn: MultiHeadAttention
+    ffn: FeedForward
+
+    @classmethod
+    def init(cls, rng: np.random.Generator, cfg: ModelConfig) -> "TransformerBlock":
+        return cls(
+            attn=MultiHeadAttention.init(rng, cfg),
+            ffn=FeedForward.init(rng, cfg),
+        )
+
+    def __call__(self, x: np.ndarray, attention_fn=None) -> np.ndarray:
+        x = x + self.attn(layer_norm(x), attention_fn=attention_fn)
+        return x + self.ffn(layer_norm(x))

@@ -1,0 +1,138 @@
+"""Analytic FLOPs / bytes / operational-intensity profiles of Transformer parts.
+
+Regenerates the characterization figures:
+
+* Fig. 1 - memory footprint and computation breakdown (QKV / Attention / FFN)
+  as the sequence length grows; attention dominates past ~32k tokens because
+  its cost is quadratic in S while QKV/FFN are linear.
+* Fig. 4(b) - operational intensity (FLOPs per byte moved, the roofline x-axis
+  [37]) of the three parts; MHA is far below FFN.
+* Fig. 4(c) - OI of attention vs token-processing parallelism T; growing T
+  increases reuse of the K/V working set and lifts the performance ceiling.
+
+The profiles are per-layer-per-head exact arithmetic counts; no simulation is
+involved, which matches how the paper's Fig. 1/4 were produced (profiling the
+static computation graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class PartProfile:
+    """FLOPs and bytes moved of one Transformer part at a given (S, bytes/elt).
+
+    ``flops`` counts multiply-accumulates as 2 ops.  ``bytes_moved`` counts
+    reads of all operands plus writes of all results once - the minimum
+    traffic, i.e. an infinitely large on-chip buffer; relative magnitudes
+    across parts are what the figures compare.
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+
+    @property
+    def operational_intensity(self) -> float:
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+
+def qkv_profile(cfg: ModelConfig, seq_len: int, bytes_per_elt: int = 2) -> PartProfile:
+    """QKV generation: three ``(S,H) @ (H,H)`` projections per layer."""
+    s, h = seq_len, cfg.hidden
+    flops = cfg.n_layers * 3 * 2.0 * s * h * h
+    bytes_moved = cfg.n_layers * bytes_per_elt * (s * h + 3 * h * h + 3 * s * h)
+    return PartProfile("qkv", flops, bytes_moved)
+
+
+def attention_profile(cfg: ModelConfig, seq_len: int, bytes_per_elt: int = 2) -> PartProfile:
+    """Multi-head attention: QK^T, softmax, and score @ V per layer.
+
+    The S^2-sized score/probability matrices are both produced and consumed
+    - and the softmax path runs at fp32 with explicit head-split/transpose
+    materializations (the paper's latency breakdown attributes ~40% of
+    attention time to transpose+softmax and ~16% to split/concat/reshape) -
+    which is what crushes MHA's operational intensity relative to FFN.
+    """
+    s, h = seq_len, cfg.hidden
+    softmax_bytes = 4  # fp32 softmax path
+    # QK^T and PV are (S,S,H) contractions in aggregate over heads.
+    matmul_flops = 2 * 2.0 * s * s * h
+    softmax_flops = 5.0 * s * s  # max, sub, exp, sum, div per element (amortized)
+    flops = cfg.n_layers * (matmul_flops + softmax_flops)
+    score_bytes = 2 * s * s * softmax_bytes  # write scores + read for softmax
+    prob_bytes = 2 * s * s * softmax_bytes  # write probs + read for PV
+    transpose_bytes = 2 * s * s * softmax_bytes  # transpose materialization
+    reshape_bytes = 2 * 4 * s * h * bytes_per_elt  # head split/concat round trips
+    io_bytes = (3 * s * h + s * h) * bytes_per_elt  # read Q,K,V; write O
+    bytes_moved = cfg.n_layers * (
+        score_bytes + prob_bytes + transpose_bytes + reshape_bytes + io_bytes
+    )
+    return PartProfile("attention", flops, bytes_moved)
+
+
+def ffn_profile(cfg: ModelConfig, seq_len: int, bytes_per_elt: int = 2) -> PartProfile:
+    """FFN: two dense layers ``(S,H)@(H,F)`` and ``(S,F)@(F,H)``."""
+    s, h, f = seq_len, cfg.hidden, cfg.ffn_hidden
+    flops = cfg.n_layers * 2 * 2.0 * s * h * f
+    bytes_moved = cfg.n_layers * bytes_per_elt * (2 * h * f + 2 * s * h + 2 * s * f)
+    return PartProfile("ffn", flops, bytes_moved)
+
+
+def profile_parts(
+    cfg: ModelConfig, seq_len: int | None = None, bytes_per_elt: int = 2
+) -> dict[str, PartProfile]:
+    """Profile all three parts; keys ``qkv``, ``attention``, ``ffn``."""
+    s = seq_len if seq_len is not None else cfg.default_seq_len
+    return {
+        "qkv": qkv_profile(cfg, s, bytes_per_elt),
+        "attention": attention_profile(cfg, s, bytes_per_elt),
+        "ffn": ffn_profile(cfg, s, bytes_per_elt),
+    }
+
+
+def breakdown_shares(cfg: ModelConfig, seq_len: int) -> dict[str, dict[str, float]]:
+    """Fractional compute and memory shares per part (rows of Fig. 1)."""
+    parts = profile_parts(cfg, seq_len)
+    total_flops = sum(p.flops for p in parts.values())
+    total_bytes = sum(p.bytes_moved for p in parts.values())
+    return {
+        name: {
+            "compute_share": p.flops / total_flops,
+            "memory_share": p.bytes_moved / total_bytes,
+        }
+        for name, p in parts.items()
+    }
+
+
+def attention_oi_vs_parallelism(
+    cfg: ModelConfig, parallelism: int, bytes_per_elt: int = 2
+) -> float:
+    """Operational intensity of attention when T queries are processed together.
+
+    With T-way query parallelism each loaded K/V tile serves T query rows, so
+    per-query K/V traffic divides by T while per-query FLOPs are unchanged -
+    this is the reuse gain of Fig. 4(c).  Score-matrix traffic is per-query
+    and does not amortize.
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    s, h = cfg.default_seq_len, cfg.hidden
+    flops_per_query = 2 * 2.0 * s * h + 5.0 * s
+    kv_bytes_per_query = 2 * s * h * bytes_per_elt / parallelism
+    score_bytes_per_query = 4 * s * bytes_per_elt
+    q_bytes = h * bytes_per_elt
+    return flops_per_query / (kv_bytes_per_query + score_bytes_per_query + q_bytes)
+
+
+def memory_footprint_bytes(cfg: ModelConfig, seq_len: int, bytes_per_elt: int = 2) -> float:
+    """Peak activation footprint of one layer (dominated by the S*S scores)."""
+    s, h = seq_len, cfg.hidden
+    activations = 4 * s * h  # x, q, k, v
+    scores = s * s
+    ffn_mid = s * cfg.ffn_hidden
+    return bytes_per_elt * float(activations + scores + ffn_mid)

@@ -1,0 +1,74 @@
+"""A complete numpy Transformer used by the end-to-end examples and tests.
+
+The model is intentionally small-instantiable: any :class:`ModelConfig` can be
+built with a reduced ``n_layers``/``hidden`` through
+:meth:`Transformer.init_scaled` so tests stay fast, while profiles and
+experiments use the analytic profiler at full published size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.layers import TransformerBlock, layer_norm
+
+
+@dataclass
+class Transformer:
+    """Stack of :class:`TransformerBlock` with a final layer norm."""
+
+    config: ModelConfig
+    blocks: list[TransformerBlock]
+
+    @classmethod
+    def init(cls, rng: np.random.Generator, config: ModelConfig) -> "Transformer":
+        blocks = [TransformerBlock.init(rng, config) for _ in range(config.n_layers)]
+        return cls(config=config, blocks=blocks)
+
+    @classmethod
+    def init_scaled(
+        cls,
+        rng: np.random.Generator,
+        config: ModelConfig,
+        n_layers: int | None = None,
+        hidden: int | None = None,
+        seq_len: int | None = None,
+    ) -> "Transformer":
+        """Build a reduced-size instance preserving the config's shape ratios.
+
+        ``hidden`` must stay divisible by the head count; we keep the head
+        count fixed and shrink the head dimension instead when needed.
+        """
+        h = hidden if hidden is not None else config.hidden
+        heads = config.n_heads
+        if h % heads != 0:
+            heads = max(1, min(heads, h))
+            while h % heads != 0:
+                heads -= 1
+        small = ModelConfig(
+            name=config.name,
+            n_layers=n_layers if n_layers is not None else config.n_layers,
+            hidden=h,
+            n_heads=heads,
+            ffn_hidden=max(4, int(h * config.ffn_hidden / config.hidden)),
+            default_seq_len=seq_len if seq_len is not None else config.default_seq_len,
+            family=config.family,
+        )
+        return cls.init(rng, small)
+
+    def __call__(self, x: np.ndarray, attention_fn=None) -> np.ndarray:
+        """Forward pass over embeddings ``x`` of shape ``(S, hidden)``."""
+        if x.ndim != 2 or x.shape[1] != self.config.hidden:
+            raise ValueError(
+                f"expected (S, {self.config.hidden}) embeddings, got {x.shape}"
+            )
+        for block in self.blocks:
+            x = block(x, attention_fn=attention_fn)
+        return layer_norm(x)
+
+    def embed_tokens(self, rng: np.random.Generator, seq_len: int) -> np.ndarray:
+        """Draw synthetic embeddings standing in for token+position lookups."""
+        return rng.normal(0.0, 1.0, size=(seq_len, self.config.hidden))

@@ -1,0 +1,265 @@
+"""Synthetic attention workload generators and the 20-benchmark suite.
+
+The paper evaluates 20 benchmarks (GLUE/SQuAD tasks on BERT-B/L, language
+modeling on GPT-2/Bloom/Llama, ImageNet on ViT/PVT).  We substitute synthetic
+workloads whose *attention-score structure* is calibrated to the Fig. 8
+Type-I/II/III mixture of each model family, because every SOFA mechanism
+(prediction error, top-k recall, complexity ratios) depends only on that
+structure, not on language content (see DESIGN.md substitution table).
+
+A workload carries:
+
+* low-precision token/weight integers for the DLZS pre-compute stage,
+* float Q/K/V matrices for the formal stage,
+* a target top-k budget derived from the benchmark's sparsity level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.config import ModelConfig, get_model
+from repro.model.distribution import FAMILY_MIXTURES, RowType
+from repro.utils.rng import derive_rng, make_rng
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One of the 20 evaluation benchmarks (model x task).
+
+    ``sparsity`` is the paper-reported usable token sparsity of the task
+    family: sentiment/similarity sets (SST-2, STS-B) run ~90% reduction,
+    vision ~73%, other language tasks in between (Sec. V-B discussion).
+    """
+
+    name: str
+    model: str
+    task: str
+    seq_len: int
+    sparsity: float
+
+
+#: The 20-benchmark evaluation suite (Sec. V-A): BERT-B/L on eight GLUE/SQuAD
+#: tasks, GPT-2/Bloom/Llama on language modeling sets, ViT/PVT on ImageNet.
+BENCHMARK_SUITE: tuple[BenchmarkCase, ...] = (
+    BenchmarkCase("bert-b/mrpc", "bert-base", "mrpc", 256, 0.80),
+    BenchmarkCase("bert-b/rte", "bert-base", "rte", 256, 0.78),
+    BenchmarkCase("bert-b/squad", "bert-base", "squad", 384, 0.75),
+    BenchmarkCase("bert-b/stsb", "bert-base", "stsb", 512, 0.90),
+    BenchmarkCase("bert-b/sst2", "bert-base", "sst2", 512, 0.90),
+    BenchmarkCase("bert-b/qnli", "bert-base", "qnli", 512, 0.80),
+    BenchmarkCase("bert-l/mrpc", "bert-large", "mrpc", 256, 0.80),
+    BenchmarkCase("bert-l/rte", "bert-large", "rte", 256, 0.78),
+    BenchmarkCase("bert-l/squad", "bert-large", "squad", 384, 0.75),
+    BenchmarkCase("bert-l/stsb", "bert-large", "stsb", 512, 0.90),
+    BenchmarkCase("bert-l/qnli", "bert-large", "qnli", 512, 0.80),
+    BenchmarkCase("gpt2/wikitext2", "gpt2", "wikitext2", 1024, 0.80),
+    BenchmarkCase("gpt2/wikilingua", "gpt2", "wikilingua", 1024, 0.78),
+    BenchmarkCase("bloom-1b7/wikitext2", "bloom-1b7", "wikitext2", 2048, 0.82),
+    BenchmarkCase("bloom-1b7/wikiraw", "bloom-1b7", "wiki-raw", 2048, 0.80),
+    BenchmarkCase("llama-7b/wikitext2", "llama-7b", "wikitext2", 4096, 0.85),
+    BenchmarkCase("llama-7b/winogrande", "llama-7b", "winogrande", 4096, 0.83),
+    BenchmarkCase("llama-13b/wikitext2", "llama-13b", "wikitext2", 4096, 0.85),
+    BenchmarkCase("vit-b/imagenet", "vit-base", "imagenet", 3192, 0.73),
+    BenchmarkCase("pvt/imagenet", "pvt", "imagenet", 3192, 0.73),
+)
+
+
+@dataclass
+class AttentionWorkload:
+    """One attention-head workload: inputs of all three SOFA stages.
+
+    Attributes
+    ----------
+    tokens:
+        ``(S, H)`` int8-range token activations (pre-compute stage inputs).
+    wk / wv:
+        ``(H, D)`` int8-range projection weights (pre-converted to LZ format
+        by the DLZS predictor).
+    q / k / v:
+        ``(T, D)`` and ``(S, D)`` float matrices for the formal stage; ``k``
+        and ``v`` equal ``tokens @ wk`` / ``tokens @ wv`` (scaled) so the
+        prediction stage genuinely predicts the formal stage's scores.
+    top_k:
+        Per-row selection budget implied by the benchmark sparsity.
+    case:
+        The suite entry this workload instantiates.
+    """
+
+    tokens: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    top_k: int
+    case: BenchmarkCase
+
+    @property
+    def seq_len(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def n_queries(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def head_dim(self) -> int:
+        return self.q.shape[1]
+
+    def scores(self) -> np.ndarray:
+        """Exact formal-stage attention scores ``Q K^T / sqrt(d)``."""
+        return self.q @ self.k.T / np.sqrt(self.head_dim)
+
+
+def _row_bias(
+    rng: np.random.Generator, row_type: RowType, seq_len: int, strength: float
+) -> np.ndarray:
+    """Additive score bias creating one Fig. 8 row shape."""
+    bias = np.zeros(seq_len)
+    if row_type is RowType.TYPE_I:
+        spikes = rng.choice(seq_len, size=rng.integers(1, 4), replace=False)
+        bias[spikes] = strength * rng.uniform(1.5, 2.5, size=spikes.size)
+    elif row_type is RowType.TYPE_II:
+        n_dom = int(seq_len * rng.uniform(0.05, 0.12))
+        spikes = rng.choice(seq_len, size=max(n_dom, 8), replace=False)
+        bias[spikes] = strength * rng.uniform(0.8, 1.3, size=spikes.size)
+    else:  # TYPE_III: dominant values packed into one region
+        width = max(int(seq_len * rng.uniform(0.08, 0.18)), 8)
+        start = int(rng.integers(0, seq_len - width))
+        n_dom = max(width // 2, 6)
+        spikes = start + rng.choice(width, size=n_dom, replace=False)
+        bias[spikes] = strength * rng.uniform(0.8, 1.3, size=n_dom)
+    return bias
+
+
+def synthetic_scores(
+    rng: np.random.Generator,
+    n_rows: int,
+    seq_len: int,
+    family: str,
+    strength: float = 6.0,
+    shared_column_fraction: float = 0.65,
+) -> np.ndarray:
+    """Draw ``(n_rows, seq_len)`` attention scores with the family's mixture.
+
+    ``shared_column_fraction`` blends in a *global* per-column bias: real
+    attention maps concentrate on a shared set of important tokens (sink and
+    topic tokens attract many queries), which is what makes query selections
+    overlap - the property both on-demand KV generation and RASS reuse
+    depend on.  0 disables sharing (worst case for reuse), 1 makes every row
+    use the same dominant columns.
+    """
+    try:
+        mix = FAMILY_MIXTURES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILY_MIXTURES))
+        raise KeyError(f"unknown family {family!r}; known: {known}") from None
+    if not 0.0 <= shared_column_fraction <= 1.0:
+        raise ValueError("shared_column_fraction must be in [0, 1]")
+    types = list(RowType)
+    picks = rng.choice(len(types), size=n_rows, p=np.asarray(mix) / np.sum(mix))
+    base = rng.normal(0.0, 1.0, size=(n_rows, seq_len))
+    n_shared = max(int(seq_len * 0.08), 8)
+    shared_cols = rng.choice(seq_len, size=n_shared, replace=False)
+    for i in range(n_rows):
+        row_type = types[picks[i]]
+        bias = np.zeros(seq_len)
+        if row_type is RowType.TYPE_I:
+            # A few spikes, drawn mostly *from the shared columns* so that
+            # selections overlap across rows (attention-sink behaviour).
+            n_spikes = int(rng.integers(1, 4))
+            from_shared = rng.random(n_spikes) < shared_column_fraction
+            cols = np.where(
+                from_shared,
+                rng.choice(shared_cols, size=n_spikes),
+                rng.choice(seq_len, size=n_spikes),
+            )
+            bias[np.unique(cols)] = strength * rng.uniform(1.8, 2.4, size=np.unique(cols).size)
+        elif row_type is RowType.TYPE_II:
+            # Many near-equal-height dominants on the shared set (plus a few
+            # private ones), evenly spread across the row.  Heights must stay
+            # tight in log space or the softmax re-concentrates the mass into
+            # a few columns and the row degenerates to Type-I.
+            heights = strength * rng.uniform(1.0, 1.06, size=n_shared)
+            keep_mask = rng.random(n_shared) < max(shared_column_fraction, 0.3)
+            bias[shared_cols[keep_mask]] = heights[keep_mask]
+            n_own = max(int(n_shared * (1.0 - shared_column_fraction)), 2)
+            own_cols = rng.choice(seq_len, size=n_own, replace=False)
+            bias[own_cols] = np.maximum(
+                bias[own_cols], strength * rng.uniform(1.0, 1.06, size=n_own)
+            )
+        else:
+            bias = _row_bias(rng, row_type, seq_len, strength)
+        # Dominant columns REPLACE the background noise (with a small jitter)
+        # rather than add to it: N(0,1) noise on top of the plateau would be
+        # exponentiated by the softmax and re-concentrate Type-II rows into
+        # a few lucky columns.
+        dominant = bias > 0
+        base[i, dominant] = bias[dominant] + rng.normal(0.0, 0.2, size=int(dominant.sum()))
+    return base
+
+
+def make_workload(
+    case: BenchmarkCase | str,
+    n_queries: int = 64,
+    head_dim: int = 64,
+    seq_len: int | None = None,
+    seed: int | None = None,
+) -> AttentionWorkload:
+    """Instantiate a benchmark case as a concrete attention workload.
+
+    The construction plants the family's score structure through the *whole*
+    computation chain, not just into Q:
+
+    1. draw target scores with :func:`synthetic_scores`;
+    2. truncate them to rank ``head_dim`` (scores = QK^T can never exceed
+       that rank; the truncation keeps the shared/concentrated structure and
+       smears only inexpressible per-row noise);
+    3. factor the low-rank scores into Q and K via the SVD;
+    4. back-solve integer tokens so ``tokens @ Wk`` reproduces K - this way
+       the DLZS prediction path (tokens -> K_hat -> A_hat) runs on a real
+       token/weight chain whose exact scores carry the planted structure
+       (up to int8 quantization noise, which is part of what DLZS faces).
+    """
+    if isinstance(case, str):
+        matches = [c for c in BENCHMARK_SUITE if c.name == case]
+        if not matches:
+            raise KeyError(f"unknown benchmark case {case!r}")
+        case = matches[0]
+    cfg: ModelConfig = get_model(case.model)
+    s = seq_len if seq_len is not None else case.seq_len
+    rng = make_rng(seed)
+    rng_w = derive_rng(rng, "weights", case.name)
+    rng_score = derive_rng(rng, "scores", case.name)
+
+    wk = np.clip(np.rint(rng_w.normal(0, 12, size=(head_dim * 2, head_dim))), -127, 127)
+    wv = np.clip(np.rint(rng_w.normal(0, 12, size=(head_dim * 2, head_dim))), -127, 127)
+    weight_scale = np.sqrt(head_dim * 2.0) * 30 * 12
+
+    target = synthetic_scores(rng_score, n_queries, s, cfg.family)
+    # Rank-d truncation and balanced factorization: target_lr = q_f @ k_f.T.
+    u, sing, vt = np.linalg.svd(target, full_matrices=False)
+    rank = min(head_dim, sing.size)
+    q_f = u[:, :rank] * np.sqrt(sing[:rank])
+    k_f = (vt[:rank].T) * np.sqrt(sing[:rank])
+    if rank < head_dim:  # pad factors to the head dimension
+        q_f = np.pad(q_f, ((0, 0), (0, head_dim - rank)))
+        k_f = np.pad(k_f, ((0, 0), (0, head_dim - rank)))
+
+    # Back-solve tokens so that (tokens @ wk) / weight_scale ~= k_f.
+    tokens_real = (k_f * weight_scale) @ np.linalg.pinv(wk)
+    tok_max = np.max(np.abs(tokens_real)) or 1.0
+    token_gain = 120.0 / tok_max
+    tokens = np.clip(np.rint(tokens_real * token_gain), -127, 127)
+
+    k = (tokens @ wk) / (weight_scale * token_gain)
+    v = (tokens @ wv) / (weight_scale * token_gain)
+    q = q_f * np.sqrt(head_dim)  # undo the 1/sqrt(d) score scaling
+
+    top_k = max(1, int(round(s * (1.0 - case.sparsity))))
+    return AttentionWorkload(
+        tokens=tokens, wk=wk, wv=wv, q=q, k=k, v=v, top_k=top_k, case=case
+    )

@@ -1,0 +1,40 @@
+"""Numeric substrate: quantization, leading-zero circuits, softmax, complexity.
+
+These are the building blocks that every SOFA stage shares:
+
+* :mod:`repro.numerics.fixed_point` - INT quantization with explicit bit
+  widths (the paper uses 8-bit tokens, 4-bit LZ weights, 16-bit formal data).
+* :mod:`repro.numerics.leading_zero` - bit-accurate models of the leading-zero
+  counter (LZC) circuits and the configurable 8/16-bit leading-zero encoder
+  (LZE) from the DLZS engine (paper Fig. 12).
+* :mod:`repro.numerics.softmax` - exact and streaming softmax references used
+  to validate every attention implementation.
+* :mod:`repro.numerics.complexity` - the arithmetic complexity model
+  (Brent-Zimmermann style weights) used to normalize operation counts across
+  multiplications, exponentials, comparisons, shifts and additions.
+"""
+
+from repro.numerics.complexity import OpCounter, OpWeights, DEFAULT_WEIGHTS
+from repro.numerics.fixed_point import QuantizedTensor, quantize, dequantize
+from repro.numerics.leading_zero import (
+    ConfigurableLZE,
+    leading_zeros,
+    lz_encode,
+    lz_decode_magnitude,
+)
+from repro.numerics.softmax import softmax, streaming_softmax_row
+
+__all__ = [
+    "OpCounter",
+    "OpWeights",
+    "DEFAULT_WEIGHTS",
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "ConfigurableLZE",
+    "leading_zeros",
+    "lz_encode",
+    "lz_decode_magnitude",
+    "softmax",
+    "streaming_softmax_row",
+]

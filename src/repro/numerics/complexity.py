@@ -1,0 +1,128 @@
+"""Arithmetic complexity model for normalized operation counting.
+
+The paper normalizes heterogeneous operations (multiplications, exponentials,
+comparisons, shifts, additions) with an arithmetic complexity model in the
+style of Brent & Zimmermann, *Modern Computer Arithmetic* [40].  Every stage
+of this reproduction counts its raw operations in an :class:`OpCounter` and
+converts to a single normalized-complexity scalar through one shared weight
+table, so ablations (Fig. 17) compare like with like.
+
+Weight rationale (units: cost of one W-bit addition = 1):
+
+* ``add`` / ``sub`` / ``compare`` / ``max`` - linear in bit width: 1.
+* ``shift`` - a barrel shifter is cheaper than an adder in both area and
+  energy; modeled at 0.5.
+* ``mul`` - schoolbook multiplication is O(W) additions; for the W=16 datapath
+  we charge 16.
+* ``exp`` / ``div`` - implemented by piecewise/iterative units; Brent and
+  Zimmermann put elementary functions at O(M(W) log W); charged 48 (= 16 * 3)
+  for exp and 32 for div.
+* ``lzc`` - a leading-zero counter is a small priority encoder: 0.5.
+* ``xor`` (sign logic) - negligible but tracked: 0.1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class OpWeights:
+    """Normalized cost of each primitive operation (1.0 == one addition)."""
+
+    add: float = 1.0
+    compare: float = 1.0
+    shift: float = 0.5
+    mul: float = 16.0
+    exp: float = 48.0
+    div: float = 32.0
+    lzc: float = 0.5
+    xor: float = 0.1
+    mem_read: float = 0.0
+    mem_write: float = 0.0
+
+    def cost(self, op: str) -> float:
+        try:
+            return getattr(self, op)
+        except AttributeError:
+            raise KeyError(f"unknown operation kind: {op!r}") from None
+
+
+DEFAULT_WEIGHTS = OpWeights()
+
+_KNOWN_OPS = frozenset(
+    ("add", "compare", "shift", "mul", "exp", "div", "lzc", "xor", "mem_read", "mem_write")
+)
+
+
+@dataclass
+class OpCounter:
+    """A tally of primitive operations with weighted-total reduction.
+
+    Stages add raw counts (``counter.add_op("exp", 128)``); reports reduce via
+    :meth:`normalized` using a shared :class:`OpWeights`.  Counters support
+    ``+`` so per-tile counters can roll up into per-layer and per-model ones.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add_op(self, op: str, n: float = 1) -> None:
+        if op not in _KNOWN_OPS:
+            raise KeyError(f"unknown operation kind: {op!r}")
+        if n < 0:
+            raise ValueError("operation count cannot be negative")
+        self.counts[op] += n
+
+    def __getitem__(self, op: str) -> float:
+        if op not in _KNOWN_OPS:
+            raise KeyError(f"unknown operation kind: {op!r}")
+        return self.counts.get(op, 0)
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        merged = Counter(self.counts)
+        merged.update(other.counts)
+        return OpCounter(counts=merged)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self.counts.items()))
+
+    def total_raw(self) -> float:
+        """Unweighted total number of primitive operations."""
+        return float(sum(self.counts.values()))
+
+    def normalized(self, weights: OpWeights = DEFAULT_WEIGHTS) -> float:
+        """Weighted total complexity under ``weights``."""
+        return float(sum(weights.cost(op) * n for op, n in self.counts.items()))
+
+    def scaled(self, factor: float) -> "OpCounter":
+        """Return a copy with every count multiplied by ``factor``.
+
+        Used to extrapolate a sampled row/tile measurement to a full matrix.
+        """
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        return OpCounter(counts=Counter({op: n * factor for op, n in self.counts.items()}))
+
+
+def matmul_ops(m: int, k: int, n: int) -> OpCounter:
+    """Counter for a dense ``(m,k) @ (k,n)`` integer/float matmul."""
+    counter = OpCounter()
+    counter.add_op("mul", m * k * n)
+    counter.add_op("add", m * max(k - 1, 0) * n)
+    return counter
+
+
+def softmax_ops(rows: int, row_len: int) -> OpCounter:
+    """Counter for a row-wise stable softmax over a ``(rows, row_len)`` block.
+
+    Per row: ``row_len - 1`` comparisons for the max, ``row_len`` exps,
+    ``row_len - 1`` adds for the sum and ``row_len`` divisions.
+    """
+    counter = OpCounter()
+    counter.add_op("compare", rows * max(row_len - 1, 0))
+    counter.add_op("exp", rows * row_len)
+    counter.add_op("add", rows * max(row_len - 1, 0))
+    counter.add_op("div", rows * row_len)
+    return counter

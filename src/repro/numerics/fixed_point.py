@@ -1,0 +1,87 @@
+"""Fixed-point (INT) quantization with explicit bit widths.
+
+SOFA's pre-compute stage runs on narrow integers: 8-bit tokens, 4-bit
+leading-zero encoded weights, and 16-bit values in the formal stage.  This
+module provides symmetric per-tensor quantization so the algorithm code can
+move between float space (model substrate) and integer space (accelerator
+datapath) explicitly.
+
+All quantizers are symmetric around zero (sign + magnitude view matches the
+DLZS hardware, which extracts the sign bit and works on ``abs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def int_range(bits: int) -> tuple[int, int]:
+    """Return the (min, max) representable values of a signed ``bits``-wide INT."""
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits for signed int, got {bits}")
+    hi = (1 << (bits - 1)) - 1
+    return -hi, hi  # symmetric: we do not use the most negative code
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor together with its dequantization scale.
+
+    Attributes
+    ----------
+    values:
+        Integer payload (``np.int64`` storage regardless of logical width, so
+        intermediate shift-add arithmetic cannot overflow).
+    scale:
+        Float scale such that ``float ≈ values * scale``.
+    bits:
+        Logical bit width of each element.
+    """
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.values.shape
+
+    def dequantize(self) -> np.ndarray:
+        """Map back to float space."""
+        return self.values.astype(np.float64) * self.scale
+
+
+def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
+    """Symmetrically quantize ``x`` to a signed ``bits``-wide integer tensor.
+
+    The scale is chosen so the max-magnitude element saturates the integer
+    range; an all-zero tensor gets scale 1.0.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    lo, hi = int_range(bits)
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    scale = (max_abs / hi) if max_abs > 0 else 1.0
+    q = np.clip(np.rint(x / scale), lo, hi).astype(np.int64)
+    return QuantizedTensor(values=q, scale=scale, bits=bits)
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Functional alias of :meth:`QuantizedTensor.dequantize`."""
+    return q.dequantize()
+
+
+def requantize(q: QuantizedTensor, bits: int) -> QuantizedTensor:
+    """Narrow (or widen) an integer tensor to ``bits`` by rescaling.
+
+    Used where the accelerator truncates: e.g. the DLZS K-prediction output is
+    truncated to at most 16 bits before attention prediction.
+    """
+    return quantize(q.dequantize(), bits)
+
+
+def saturating_add(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
+    """Add with saturation at the signed ``bits`` range (accumulator model)."""
+    lo, hi = int_range(bits)
+    return np.clip(a + b, lo, hi)

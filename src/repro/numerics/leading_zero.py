@@ -1,0 +1,139 @@
+"""Leading-zero counting circuits and the log-domain (LZ) encoding.
+
+The DLZS paradigm (paper Sec. III-A, Fig. 7) replaces one operand of every
+multiplication with its leading-zero count: for a signed integer ``x`` with
+bit width ``W``,
+
+    x = sign(x) * M * 2**(W - LZ(x)),   M in [0.5, 1)   (x != 0)
+
+so ``x * y ≈ sign(x)sign(y) * |x| * 2**(W - LZ(y))`` when only ``y`` is
+converted.  The hardware building block is an 8-bit leading-zero counter
+(LZC); the configurable LZE of Fig. 12 chains two 8-bit LZCs to cover the
+16-bit mode needed by attention prediction.
+
+Everything here is bit-accurate and pure-integer so it can double as a golden
+model for the RTL the paper synthesized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def leading_zeros(values: np.ndarray | int, width: int) -> np.ndarray:
+    """Count leading zeros of ``abs(values)`` in a ``width``-bit field.
+
+    ``0`` maps to ``width`` (an all-zero field).  Magnitudes that do not fit
+    in ``width`` bits raise ``ValueError`` - a real LZC cannot see beyond its
+    input width, and silently wrapping would corrupt the DLZS exponent.
+    """
+    mags = np.abs(np.asarray(values, dtype=np.int64))
+    if mags.size and int(mags.max()) >= (1 << width):
+        raise ValueError(f"magnitude {int(mags.max())} does not fit in {width} bits")
+    # bit_length(m) == width - lz  =>  lz = width - bit_length(m)
+    bit_length = np.zeros_like(mags)
+    nonzero = mags > 0
+    bit_length[nonzero] = np.floor(np.log2(mags[nonzero])).astype(np.int64) + 1
+    return (width - bit_length).astype(np.int64)
+
+
+def lz_encode(values: np.ndarray | int, width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Encode integers into (sign, leading-zero count) pairs.
+
+    This is the storage format for pre-converted weights: the paper stores a
+    4-bit LZ code plus the sign bit instead of the full 8-bit weight,
+    halving prediction-stage memory traffic (Fig. 7(b) "less memory access").
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    signs = np.sign(vals).astype(np.int64)
+    return signs, leading_zeros(vals, width)
+
+
+def lz_decode_magnitude(lz: np.ndarray | int, width: int) -> np.ndarray:
+    """Reconstruct the power-of-two magnitude ``2**(width - lz)`` (0 if lz==width).
+
+    This is the *vanilla* leading-zero decode: both DLZS and the vanilla
+    scheme use it for the converted operand; vanilla additionally applies it
+    to the second operand, doubling the error (Fig. 7(c)).
+    """
+    lz_arr = np.asarray(lz, dtype=np.int64)
+    exponent = width - lz_arr
+    mag = np.where(lz_arr >= width, 0, 1 << np.clip(exponent, 0, 62))
+    return mag.astype(np.int64)
+
+
+def shift_by_exponent(values: np.ndarray, lz: np.ndarray, width: int) -> np.ndarray:
+    """Apply the DLZS shift: ``values << (width - lz)`` with lz==width -> 0.
+
+    ``values`` stays exact (the "differential" in DLZS); only the shift amount
+    comes from the log-domain operand.
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    lz_arr = np.asarray(lz, dtype=np.int64)
+    exponent = np.clip(width - lz_arr, 0, 62)
+    shifted = vals << exponent
+    return np.where(lz_arr >= width, 0, shifted).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LzcReport:
+    """Output of one LZC evaluation: the count plus the all-zero flag wire."""
+
+    count: np.ndarray
+    all_zero: np.ndarray
+
+
+def lzc8(values: np.ndarray | int) -> LzcReport:
+    """Model the modular 8-bit LZC cell [Milenkovic'15] used by the LZE.
+
+    Returns the 3-bit count (0-7 when a one is present) and the all-zero flag
+    ``a`` that the 16-bit composition consumes.
+    """
+    mags = np.abs(np.asarray(values, dtype=np.int64))
+    if mags.size and int(mags.max()) > 0xFF:
+        raise ValueError("lzc8 input exceeds 8 bits")
+    lz = leading_zeros(mags, 8)
+    return LzcReport(count=np.where(lz == 8, 7, lz), all_zero=(mags == 0))
+
+
+class ConfigurableLZE:
+    """The configurable 8/16-bit leading-zero encoder of the DLZS engine.
+
+    Two 8-bit LZCs are chained (paper Fig. 12): in 8-bit mode each lane works
+    independently; in 16-bit mode lane #1 sees the upper byte and lane #0 the
+    lower byte, the upper lane's all-zero flag selects between ``lz_hi`` and
+    ``8 + lz_lo``, and both flags AND together into the 16-bit all-zero flag.
+
+    The class model mirrors the wiring so tests can check the composition
+    equals a flat 16-bit count.
+    """
+
+    def __init__(self, mode_bits: int = 8):
+        if mode_bits not in (8, 16):
+            raise ValueError("LZE supports 8- or 16-bit mode only")
+        self.mode_bits = mode_bits
+
+    def encode(self, values: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (sign, lz-count) under the configured mode.
+
+        In 16-bit mode the count is the 5-bit value fed to the shift array
+        (paper: "the generated 5-bit LZs").
+        """
+        vals = np.asarray(values, dtype=np.int64)
+        signs = np.sign(vals).astype(np.int64)
+        mags = np.abs(vals)
+        if self.mode_bits == 8:
+            report = lzc8(mags)
+            count = np.where(report.all_zero, 8, report.count)
+            return signs, count.astype(np.int64)
+        if mags.size and int(mags.max()) > 0xFFFF:
+            raise ValueError("16-bit LZE input exceeds 16 bits")
+        hi = lzc8(mags >> 8)
+        lo = lzc8(mags & 0xFF)
+        lz_hi = np.where(hi.all_zero, 8, hi.count)
+        lz_lo = np.where(lo.all_zero, 8, lo.count)
+        # upper all-zero flag selects the low lane and offsets it by 8
+        count = np.where(hi.all_zero, 8 + lz_lo, lz_hi)
+        return signs, count.astype(np.int64)

@@ -1,0 +1,82 @@
+"""Softmax references used to validate every attention implementation.
+
+Two views are provided:
+
+* :func:`softmax` - the numerically stable batch softmax (subtract rowmax).
+* :func:`streaming_softmax_row` - the online (running max / running sum)
+  formulation that FlashAttention tiles; used as the golden model for the
+  FA-1/FA-2 simulators and for SU-FA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+@dataclass
+class StreamingState:
+    """Running (max, normalizer, weighted-value) triple of online softmax.
+
+    This is the (m, l, O) state of FlashAttention: the invariant is that at
+    any point ``o / l`` equals attention restricted to the scores seen so far.
+    """
+
+    m: float
+    l: float
+    o: np.ndarray
+
+    def merge(self, score: float, value: np.ndarray) -> None:
+        """Fold one (score, value) pair into the state (classic FA update)."""
+        new_m = max(self.m, score)
+        correction = np.exp(self.m - new_m)
+        p = np.exp(score - new_m)
+        self.l = self.l * correction + p
+        self.o = self.o * correction + p * value
+        self.m = new_m
+
+
+def streaming_softmax_row(
+    scores: np.ndarray, values: np.ndarray, order: np.ndarray | None = None
+) -> np.ndarray:
+    """Compute ``softmax(scores) @ values`` one element at a time.
+
+    Parameters
+    ----------
+    scores:
+        ``(S,)`` attention scores for one query row.
+    values:
+        ``(S, D)`` value vectors.
+    order:
+        Optional permutation in which to stream elements; the result is
+        order-invariant (a property test pins this down), which is exactly
+        what makes FlashAttention tiling and SU-FA reordering legal.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if scores.ndim != 1 or values.ndim != 2 or scores.shape[0] != values.shape[0]:
+        raise ValueError("scores must be (S,) and values (S, D)")
+    if order is None:
+        order = np.arange(scores.shape[0])
+    state = StreamingState(m=-np.inf, l=0.0, o=np.zeros(values.shape[1]))
+    for idx in order:
+        state.merge(float(scores[idx]), values[idx])
+    if state.l == 0.0:
+        raise ValueError("empty score stream")
+    return state.o / state.l
+
+
+def log_sum_exp(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable ``log(sum(exp(scores)))``; used by fidelity metrics."""
+    scores = np.asarray(scores, dtype=np.float64)
+    m = np.max(scores, axis=axis, keepdims=True)
+    return np.squeeze(m, axis=axis) + np.log(np.sum(np.exp(scores - m), axis=axis))

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG construction and ASCII table rendering."""
+
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+__all__ = ["make_rng", "format_table"]

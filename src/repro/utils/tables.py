@@ -1,0 +1,63 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+Every experiment module prints its rows through :func:`format_table` so the
+regenerated tables share one look and are easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object, spec: str | None) -> str:
+    if spec is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    formats: Sequence[str | None] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+    formats:
+        Optional per-column format specs (e.g. ``".2f"``) applied to numeric
+        cells; ``None`` entries fall back to ``str``.
+    title:
+        Optional title printed above the table.
+    """
+    if formats is None:
+        formats = [None] * len(headers)
+    if len(formats) != len(headers):
+        raise ValueError("formats must match headers length")
+
+    rendered = [[_cell(v, fmt) for v, fmt in zip(row, formats, strict=True)] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths, strict=True))
+
+    sep = "-+-".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(sep)
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,26 @@
+"""Shared fixtures: deterministic RNG and a small calibrated workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.workloads import make_workload
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A small calibrated attention workload shared by fast tests."""
+    return make_workload("bert-b/mrpc", n_queries=8, head_dim=32, seq_len=128, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_workload():
+    """A medium workload for pipeline/suite-level tests."""
+    return make_workload("llama-7b/wikitext2", n_queries=16, head_dim=64, seq_len=256, seed=5)

@@ -1,0 +1,75 @@
+"""Tests for the whole-row dynamic-sparsity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dynamic_sparse import (
+    dynamic_sparse_attention,
+    prediction_rank_fidelity,
+    scores_for_prediction,
+)
+from repro.attention.reference import masked_attention
+from repro.attention.topk import indices_to_mask
+from repro.utils.rng import make_rng
+
+
+def _qkv(rng, t=6, s=48, d=16):
+    return rng.normal(size=(t, d)), rng.normal(size=(s, d)), rng.normal(size=(s, d))
+
+
+def test_output_matches_masked_reference():
+    rng = make_rng(21)
+    q, k, v = _qkv(rng)
+    res = dynamic_sparse_attention(q, k, v, top_k=8)
+    mask = indices_to_mask(res.selected, k.shape[0])
+    np.testing.assert_allclose(res.output, masked_attention(q, k, v, mask), atol=1e-10)
+
+
+def test_selected_counts():
+    rng = make_rng(22)
+    q, k, v = _qkv(rng)
+    res = dynamic_sparse_attention(q, k, v, top_k=8)
+    assert res.selected.shape == (6, 8)
+
+
+def test_dram_spill_kicks_in_below_budget():
+    """A tiny SRAM budget forces the Pre-Atten/Atten round trip."""
+    rng = make_rng(23)
+    q, k, v = _qkv(rng, t=16, s=128)
+    small = dynamic_sparse_attention(q, k, v, top_k=16, sram_bytes=128)
+    large = dynamic_sparse_attention(q, k, v, top_k=16, sram_bytes=10**9)
+    assert small.dram_bytes > large.dram_bytes
+
+
+def test_sram_needed_reported():
+    rng = make_rng(24)
+    q, k, v = _qkv(rng, t=16, s=128)
+    res = dynamic_sparse_attention(q, k, v, top_k=16)
+    assert res.sram_bytes_needed >= 16 * 128 * 0.5
+
+
+def test_op_counter_has_all_stages():
+    rng = make_rng(25)
+    q, k, v = _qkv(rng)
+    ops = dynamic_sparse_attention(q, k, v, top_k=8).ops
+    assert ops["mul"] > 0       # prediction + formal matmuls
+    assert ops["compare"] > 0   # top-k sorting
+    assert ops["exp"] > 0       # softmax
+
+
+def test_prediction_scores_correlate_with_exact():
+    rng = make_rng(26)
+    q, k, v = _qkv(rng, t=8, s=64)
+    approx = scores_for_prediction(q, k, bits=4)
+    exact = q @ k.T / np.sqrt(16)
+    corr = np.corrcoef(approx.ravel(), exact.ravel())[0, 1]
+    assert corr > 0.95
+
+
+def test_prediction_fidelity_improves_with_bits():
+    rng = make_rng(27)
+    q, k, v = _qkv(rng, t=8, s=64)
+    low = prediction_rank_fidelity(q, k, bits=2, top_k=8)
+    high = prediction_rank_fidelity(q, k, bits=8, top_k=8)
+    assert high >= low
+    assert high > 0.9

@@ -1,0 +1,103 @@
+"""Tests for the FlashAttention-1/2 simulators and their op accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.flash import (
+    FlashVariant,
+    flash_attention,
+    flash_extra_ops_vs_vanilla,
+    vanilla_attention_ops,
+)
+from repro.attention.reference import dense_attention
+from repro.utils.rng import make_rng
+
+
+def _random_qkv(rng, t=8, s=40, d=16):
+    return (
+        rng.normal(size=(t, d)),
+        rng.normal(size=(s, d)),
+        rng.normal(size=(s, d)),
+    )
+
+
+@pytest.mark.parametrize("tile_cols", [1, 4, 7, 16, 40, 64])
+def test_fa2_exact_for_any_tiling(tile_cols):
+    """FlashAttention is numerically exact regardless of tile width."""
+    rng = make_rng(11)
+    q, k, v = _random_qkv(rng)
+    res = flash_attention(q, k, v, tile_cols=tile_cols)
+    np.testing.assert_allclose(res.output, dense_attention(q, k, v), atol=1e-10)
+
+
+def test_fa1_exact_too():
+    rng = make_rng(12)
+    q, k, v = _random_qkv(rng)
+    res = flash_attention(q, k, v, tile_cols=8, variant=FlashVariant.FA1)
+    np.testing.assert_allclose(res.output, dense_attention(q, k, v), atol=1e-10)
+
+
+def test_exp_ops_grow_with_tile_count():
+    """Fig. 5's mechanism: more tiles -> more rescale exponentials."""
+    rng = make_rng(13)
+    q, k, v = _random_qkv(rng, s=64)
+    fine = flash_attention(q, k, v, tile_cols=4).ops["exp"]
+    coarse = flash_attention(q, k, v, tile_cols=32).ops["exp"]
+    assert fine > coarse
+
+
+def test_fa1_costs_more_divs_than_fa2():
+    rng = make_rng(14)
+    q, k, v = _random_qkv(rng)
+    fa1 = flash_attention(q, k, v, tile_cols=8, variant=FlashVariant.FA1)
+    fa2 = flash_attention(q, k, v, tile_cols=8, variant=FlashVariant.FA2)
+    assert fa1.ops["div"] > fa2.ops["div"]
+
+
+@given(st.integers(2, 10), st.integers(8, 64), st.sampled_from([4, 8, 16]))
+@settings(max_examples=25, deadline=None)
+def test_measured_extra_ops_match_closed_form(t, s, bc):
+    """The simulator's tallies must equal the closed-form Fig. 5 model."""
+    rng = make_rng(t * 1000 + s)
+    d = 8
+    q = rng.normal(size=(t, d))
+    k = rng.normal(size=(s, d))
+    v = rng.normal(size=(s, d))
+    res = flash_attention(q, k, v, tile_cols=bc)
+    vanilla = vanilla_attention_ops(t, s, d)
+    closed = flash_extra_ops_vs_vanilla(t, s, d, bc)
+    assert res.ops["exp"] - vanilla["exp"] == pytest.approx(closed["extra_exp"])
+    assert res.ops["compare"] - vanilla["compare"] == pytest.approx(
+        closed["extra_compare"]
+    )
+    assert res.ops["mul"] - vanilla["mul"] == pytest.approx(closed["extra_mul"])
+
+
+def test_tile_count_reported():
+    rng = make_rng(15)
+    q, k, v = _random_qkv(rng, s=40)
+    assert flash_attention(q, k, v, tile_cols=16).n_tiles == 3
+
+
+def test_invalid_tile_cols():
+    rng = make_rng(16)
+    q, k, v = _random_qkv(rng)
+    with pytest.raises(ValueError):
+        flash_attention(q, k, v, tile_cols=0)
+
+
+def test_inconsistent_kv_rejected():
+    rng = make_rng(17)
+    q, k, v = _random_qkv(rng)
+    with pytest.raises(ValueError):
+        flash_attention(q, k[:-1], v, tile_cols=8)
+
+
+def test_sram_peak_scales_with_tile():
+    rng = make_rng(18)
+    q, k, v = _random_qkv(rng)
+    small = flash_attention(q, k, v, tile_cols=4).sram_peak_elements
+    large = flash_attention(q, k, v, tile_cols=32).sram_peak_elements
+    assert large > small

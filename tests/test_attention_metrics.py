@@ -1,0 +1,62 @@
+"""Tests for fidelity metrics and the loss-budget operating curve."""
+
+import numpy as np
+import pytest
+
+from repro.attention.metrics import (
+    accuracy_loss_proxy,
+    kl_divergence_rows,
+    loss_to_topk_fraction,
+    output_relative_error,
+)
+
+
+def test_zero_error_for_identical(rng):
+    x = rng.normal(size=(4, 8))
+    assert output_relative_error(x, x) == 0.0
+    assert accuracy_loss_proxy(x, x) == 0.0
+
+
+def test_relative_error_scale_invariance(rng):
+    exact = rng.normal(size=(4, 8))
+    approx = exact + 0.1 * rng.normal(size=(4, 8))
+    e1 = output_relative_error(approx, exact)
+    e2 = output_relative_error(3 * approx, 3 * exact)
+    assert e1 == pytest.approx(e2)
+
+
+def test_relative_error_shape_mismatch():
+    with pytest.raises(ValueError):
+        output_relative_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_zero_exact_rows_handled():
+    exact = np.zeros((2, 4))
+    approx = np.ones((2, 4))
+    assert np.isfinite(output_relative_error(approx, exact))
+
+
+def test_kl_zero_for_same_scores(rng):
+    scores = rng.normal(size=(3, 10))
+    assert kl_divergence_rows(scores, scores) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_kl_positive_for_different(rng):
+    p = rng.normal(size=(3, 10))
+    q = p + rng.normal(size=(3, 10))
+    assert kl_divergence_rows(p, q) > 0
+
+
+def test_loss_curve_monotone_decreasing():
+    keeps = [loss_to_topk_fraction(b) for b in (0.0, 0.5, 1.0, 1.5, 2.0)]
+    assert all(b < a for a, b in zip(keeps, keeps[1:]))
+
+
+def test_loss_curve_paper_endpoints():
+    assert loss_to_topk_fraction(0.0) == pytest.approx(0.18)
+    assert loss_to_topk_fraction(2.0) == pytest.approx(0.075)
+
+
+def test_loss_curve_rejects_negative():
+    with pytest.raises(ValueError):
+        loss_to_topk_fraction(-1.0)

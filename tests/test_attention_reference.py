@@ -1,0 +1,82 @@
+"""Tests for the dense/masked attention golden models."""
+
+import numpy as np
+import pytest
+
+from repro.attention.reference import attention_scores, dense_attention, masked_attention
+from repro.numerics.softmax import softmax
+
+
+def test_scores_scaling(rng):
+    q = rng.normal(size=(3, 16))
+    k = rng.normal(size=(7, 16))
+    np.testing.assert_allclose(attention_scores(q, k), q @ k.T / 4.0)
+
+
+def test_scores_rejects_mismatched_dims(rng):
+    with pytest.raises(ValueError):
+        attention_scores(rng.normal(size=(3, 16)), rng.normal(size=(7, 8)))
+
+
+def test_dense_attention_is_convex_combination(rng):
+    """Each output row lies in the convex hull of the value rows."""
+    q = rng.normal(size=(4, 8))
+    k = rng.normal(size=(10, 8))
+    v = rng.normal(size=(10, 3))
+    out = dense_attention(q, k, v)
+    assert np.all(out.min(axis=0) >= v.min(axis=0) - 1e-9)
+    assert np.all(out.max(axis=0) <= v.max(axis=0) + 1e-9)
+
+
+def test_dense_attention_rejects_bad_v(rng):
+    with pytest.raises(ValueError):
+        dense_attention(rng.normal(size=(2, 4)), rng.normal(size=(6, 4)), rng.normal(size=(5, 4)))
+
+
+def test_masked_attention_full_mask_equals_dense(rng):
+    q = rng.normal(size=(3, 8))
+    k = rng.normal(size=(9, 8))
+    v = rng.normal(size=(9, 8))
+    mask = np.ones((3, 9), dtype=bool)
+    np.testing.assert_allclose(masked_attention(q, k, v, mask), dense_attention(q, k, v))
+
+
+def test_masked_attention_single_key_returns_value(rng):
+    q = rng.normal(size=(2, 4))
+    k = rng.normal(size=(5, 4))
+    v = rng.normal(size=(5, 3))
+    mask = np.zeros((2, 5), dtype=bool)
+    mask[0, 2] = True
+    mask[1, 4] = True
+    out = masked_attention(q, k, v, mask)
+    np.testing.assert_allclose(out[0], v[2])
+    np.testing.assert_allclose(out[1], v[4])
+
+
+def test_masked_attention_renormalizes(rng):
+    """Masked attention equals softmax over only the selected columns."""
+    q = rng.normal(size=(1, 4))
+    k = rng.normal(size=(6, 4))
+    v = rng.normal(size=(6, 2))
+    mask = np.array([[True, False, True, True, False, False]])
+    scores = attention_scores(q, k)[0, mask[0]]
+    expected = softmax(scores) @ v[mask[0]]
+    np.testing.assert_allclose(masked_attention(q, k, v, mask)[0], expected)
+
+
+def test_masked_attention_rejects_empty_rows(rng):
+    q = rng.normal(size=(2, 4))
+    k = rng.normal(size=(5, 4))
+    v = rng.normal(size=(5, 2))
+    mask = np.zeros((2, 5), dtype=bool)
+    mask[0, 1] = True  # row 1 empty
+    with pytest.raises(ValueError):
+        masked_attention(q, k, v, mask)
+
+
+def test_masked_attention_rejects_shape_mismatch(rng):
+    q = rng.normal(size=(2, 4))
+    k = rng.normal(size=(5, 4))
+    v = rng.normal(size=(5, 2))
+    with pytest.raises(ValueError):
+        masked_attention(q, k, v, np.ones((3, 5), dtype=bool))

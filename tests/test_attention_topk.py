@@ -1,0 +1,95 @@
+"""Tests for top-k selection utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attention.topk import (
+    exact_topk_indices,
+    indices_to_mask,
+    retained_softmax_mass,
+    topk_mask,
+    topk_recall,
+)
+
+
+def test_exact_topk_sorted_descending(rng):
+    scores = rng.normal(size=(4, 20))
+    idx = exact_topk_indices(scores, 5)
+    for i in range(4):
+        vals = scores[i, idx[i]]
+        assert np.all(np.diff(vals) <= 0)
+
+
+def test_exact_topk_deterministic_ties():
+    scores = np.zeros((1, 6))
+    idx = exact_topk_indices(scores, 3)
+    np.testing.assert_array_equal(idx[0], [0, 1, 2])
+
+
+def test_topk_k_bounds(rng):
+    scores = rng.normal(size=(2, 8))
+    with pytest.raises(ValueError):
+        exact_topk_indices(scores, 0)
+    with pytest.raises(ValueError):
+        exact_topk_indices(scores, 9)
+
+
+def test_topk_mask_counts(rng):
+    scores = rng.normal(size=(3, 12))
+    mask = topk_mask(scores, 4)
+    np.testing.assert_array_equal(mask.sum(axis=1), [4, 4, 4])
+
+
+@given(
+    hnp.arrays(np.float64, (4, 16), elements=st.floats(-100, 100, allow_nan=False)),
+    st.integers(1, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_topk_mask_captures_max_mass(scores, k):
+    """No other k-subset can beat the exact top-k's captured score sum."""
+    mask = topk_mask(scores, k)
+    captured = np.sum(scores * mask, axis=1)
+    sorted_scores = np.sort(scores, axis=1)[:, ::-1]
+    best = sorted_scores[:, :k].sum(axis=1)
+    np.testing.assert_allclose(captured, best, atol=1e-9)
+
+
+def test_indices_to_mask_roundtrip(rng):
+    scores = rng.normal(size=(3, 10))
+    idx = exact_topk_indices(scores, 4)
+    np.testing.assert_array_equal(indices_to_mask(idx, 10), topk_mask(scores, 4))
+
+
+def test_indices_to_mask_bounds():
+    with pytest.raises(ValueError):
+        indices_to_mask(np.array([[0, 12]]), 10)
+
+
+def test_recall_perfect_for_exact(rng):
+    scores = rng.normal(size=(5, 30))
+    idx = exact_topk_indices(scores, 6)
+    assert topk_recall(idx, scores, 6) == 1.0
+
+
+def test_recall_zero_for_bottom_k():
+    scores = np.arange(10, dtype=np.float64)[None, :]
+    worst = np.array([[0, 1, 2]])
+    assert topk_recall(worst, scores, 3) == 0.0
+
+
+def test_recall_accepts_mask_input(rng):
+    scores = rng.normal(size=(2, 8))
+    mask = topk_mask(scores, 3)
+    assert topk_recall(mask, scores, 3) == 1.0
+
+
+def test_retained_mass_monotone_in_k(rng):
+    scores = rng.normal(size=(4, 32))
+    masses = [
+        retained_softmax_mass(topk_mask(scores, k), scores) for k in (2, 8, 16, 32)
+    ]
+    assert all(b >= a for a, b in zip(masses, masses[1:]))
+    assert masses[-1] == pytest.approx(1.0)

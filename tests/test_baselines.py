@@ -1,0 +1,132 @@
+"""Tests for the SOTA accelerator specs, device models and MAT models."""
+
+import pytest
+
+from repro.baselines.accel_models import FIG3_PANELS, average_mat_share_at_scale, mat_breakdown
+from repro.baselines.gpu import GpuModel
+from repro.baselines.specs import (
+    ACCELERATOR_SPECS,
+    area_efficiency_gops_per_mm2,
+    device_efficiency_gops_per_w,
+    normalize_spec,
+    protocol_latency_ms,
+    table_i_rows,
+)
+from repro.baselines.tpu import TpuModel
+
+
+# ------------------------------------------------------------------ specs
+def test_all_nine_accelerators_present():
+    assert len(ACCELERATOR_SPECS) == 9
+    assert "sofa" in ACCELERATOR_SPECS
+
+
+def test_fact_latency_matches_paper_example():
+    """Sec. V-D's worked example: FACT = 2 * 137 / 928 s ~ 295 ms."""
+    assert protocol_latency_ms(ACCELERATOR_SPECS["fact"]) == pytest.approx(295.3, abs=1.0)
+
+
+def test_sofa_latency_matches_table():
+    assert protocol_latency_ms(ACCELERATOR_SPECS["sofa"]) == pytest.approx(45.0, abs=1.0)
+
+
+def test_sofa_vs_fact_latency_ratio():
+    """Paper: 6.6x latency reduction over FACT."""
+    ratio = protocol_latency_ms(ACCELERATOR_SPECS["fact"]) / protocol_latency_ms(
+        ACCELERATOR_SPECS["sofa"]
+    )
+    assert ratio == pytest.approx(6.6, abs=0.2)
+
+
+def test_device_efficiency_none_without_io_power():
+    assert device_efficiency_gops_per_w(ACCELERATOR_SPECS["fact"]) is None
+    assert device_efficiency_gops_per_w(ACCELERATOR_SPECS["sofa"]) is not None
+
+
+def test_sofa_device_efficiency_near_published():
+    eff = device_efficiency_gops_per_w(ACCELERATOR_SPECS["sofa"])
+    assert eff == pytest.approx(7183, rel=0.05)
+
+
+def test_normalization_shrinks_old_nodes():
+    spec = ACCELERATOR_SPECS["a3"]  # 40nm
+    norm = normalize_spec(spec)
+    assert norm["area_mm2"] < spec.area_mm2
+    assert norm["core_power_w"] < spec.core_power_w
+
+
+def test_area_efficiency_positive_for_all():
+    for spec in ACCELERATOR_SPECS.values():
+        assert area_efficiency_gops_per_mm2(spec) > 0
+
+
+def test_table_i_only_sofa_covers_everything():
+    full = [row[0] for row in table_i_rows() if all(row[1:])]
+    assert full == ["sofa"]
+
+
+# ------------------------------------------------------------- gpu / tpu
+def test_gpu_lp_speedup_in_paper_band():
+    """Paper: LP alone yields 1.08-1.78x on the A100."""
+    gpu = GpuModel()
+    assert 1.0 < gpu.lp_speedup(0.6) < gpu.lp_speedup(0.93) < 2.0
+
+
+def test_gpu_software_chain_near_316():
+    """LP + FA2 at the 2%-loss operating point lands near the paper's 3.16x."""
+    gpu = GpuModel()
+    assert gpu.lp_fa_speedup(0.876, fa2=True) == pytest.approx(3.16, abs=0.2)
+
+
+def test_gpu_fa2_beats_fa1():
+    gpu = GpuModel()
+    assert gpu.lp_fa_speedup(0.8, fa2=True) > gpu.lp_fa_speedup(0.8, fa2=False)
+
+
+def test_gpu_energy_scales_inverse_speedup():
+    gpu = GpuModel()
+    e1 = gpu.attention_energy_j(100.0, speedup=1.0)
+    e2 = gpu.attention_energy_j(100.0, speedup=2.0)
+    assert e1 == pytest.approx(2 * e2)
+
+
+def test_gpu_validates_inputs():
+    gpu = GpuModel()
+    with pytest.raises(ValueError):
+        gpu.lp_speedup(1.5)
+    with pytest.raises(ValueError):
+        gpu.dense_attention_time_s(-1)
+
+
+def test_tpu_software_chain_near_29():
+    """Software-only SOFA on TPU lands near the paper's 2.9x."""
+    tpu = TpuModel()
+    chain = tpu.lp_speedup(0.876) * tpu.fa_gain
+    assert chain == pytest.approx(2.9, abs=0.25)
+
+
+def test_gpu_software_edge_over_tpu_is_fa2():
+    """GPU's software advantage over TPU comes from FlashAttention-2."""
+    gpu, tpu = GpuModel(), TpuModel()
+    gpu_chain = gpu.lp_fa_speedup(0.876, fa2=True)
+    tpu_chain = tpu.lp_speedup(0.876) * tpu.fa_gain
+    assert gpu_chain > tpu_chain
+
+
+# ------------------------------------------------------------- fig3 model
+def test_mat_share_grows_with_parallelism():
+    for accel in ("fact", "energon"):
+        for model, seq_len, t_max in FIG3_PANELS:
+            low = mat_breakdown(accel, model, seq_len, 1).mat_share
+            high = mat_breakdown(accel, model, seq_len, t_max).mat_share
+            assert high > low
+
+
+def test_mat_share_substantial_at_scale():
+    """The paper's headline: memory access dominates under LTPP."""
+    assert average_mat_share_at_scale() > 0.35
+
+
+def test_mat_rejects_bad_parallelism():
+    with pytest.raises(ValueError):
+        mat_breakdown("fact", "gpt2", 1024, 0)

@@ -1,0 +1,73 @@
+"""Tests for the Fig. 16 deployment flow (preparation -> inference)."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import DeploymentServer, InferenceSession
+from repro.model.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def server_and_workload():
+    wl = make_workload("bert-b/qnli", n_queries=8, head_dim=32, seq_len=128, seed=31)
+    server = DeploymentServer()
+    server.prepare(
+        "bert-base", "qnli", wl.wk, wl.wv, seq_len=128,
+        loss_budget_pct=1.0, dse_iterations=8, seed=2,
+    )
+    return server, wl
+
+
+def test_preparation_registers_configuration(server_and_workload):
+    server, _ = server_and_workload
+    assert server.available() == ["bert-base/qnli"]
+
+
+def test_prepared_top_k_matches_budget(server_and_workload):
+    server, _ = server_and_workload
+    prepared = server.configurations["bert-base/qnli"]
+    assert prepared.config.top_k == pytest.approx(0.12)  # 1% budget keep
+
+
+def test_prepared_stores_lz_codes(server_and_workload):
+    server, wl = server_and_workload
+    prepared = server.configurations["bert-base/qnli"]
+    assert prepared.wk_lz.shape == wl.wk.shape
+    assert prepared.wk_signs.shape == wl.wk.shape
+    assert np.all(prepared.wk_lz >= 0)
+
+
+def test_inference_session_runs(server_and_workload):
+    server, wl = server_and_workload
+    session = InferenceSession(server, "bert-base/qnli")
+    result = session.infer(wl.tokens, wl.q)
+    assert result.output.shape == (wl.n_queries, wl.head_dim)
+    assert result.selected.shape[1] == session.prepared.config.resolve_top_k(128)
+
+
+def test_unknown_model_lists_available(server_and_workload):
+    server, _ = server_and_workload
+    with pytest.raises(KeyError, match="bert-base/qnli"):
+        InferenceSession(server, "llama/unprepared")
+
+
+def test_dse_picks_valid_tiling(server_and_workload):
+    server, _ = server_and_workload
+    prepared = server.configurations["bert-base/qnli"]
+    assert 1 <= prepared.config.tile_cols <= 128
+    assert np.isfinite(prepared.dse_objective)
+
+
+def test_preparation_with_loss_evaluator():
+    wl = make_workload("gpt2/wikitext2", n_queries=8, head_dim=32, seq_len=128, seed=32)
+    server = DeploymentServer()
+
+    def favour_fine_tiles(point):
+        return 0.01 * point.tc_per_layer[0]  # prefers few tiles
+
+    prepared = server.prepare(
+        "gpt2", "wikitext2", wl.wk, wl.wv, seq_len=128,
+        evaluate_loss=favour_fine_tiles, dse_iterations=12, seed=3,
+    )
+    assert prepared.key == "gpt2/wikitext2"
+    assert prepared.config.tile_cols >= 4  # coarse tiling favoured

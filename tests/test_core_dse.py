@@ -1,0 +1,116 @@
+"""Tests for the Bayesian-optimization design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.core.dse import (
+    TC_CHOICES,
+    TOPK_CHOICES,
+    BayesianDse,
+    DsePoint,
+    GaussianProcess,
+    complexity_penalties,
+    expected_improvement,
+    grid_search,
+)
+
+
+def test_point_bc_conversion():
+    point = DsePoint(tc_per_layer=(4, 8), top_k=0.2)
+    assert point.bc_per_layer(256) == (64, 32)
+
+
+def test_penalties_tension():
+    """L_cmp rises with Bc (fewer tiles); L_exp rises with tile count."""
+    coarse = DsePoint(tc_per_layer=(2,), top_k=0.2)  # big tiles
+    fine = DsePoint(tc_per_layer=(32,), top_k=0.2)  # small tiles
+    cmp_coarse, exp_coarse = complexity_penalties(coarse, 512)
+    cmp_fine, exp_fine = complexity_penalties(fine, 512)
+    assert cmp_coarse > cmp_fine
+    assert exp_fine > exp_coarse
+
+
+def test_gp_interpolates_training_points(rng):
+    x = rng.normal(size=(12, 3))
+    y = np.sin(x[:, 0]) + x[:, 1]
+    gp = GaussianProcess(length_scale=2.0)
+    gp.fit(x, y)
+    mean, std = gp.predict(x)
+    np.testing.assert_allclose(mean, y, atol=1e-3)
+    assert np.all(std < 0.1)
+
+
+def test_gp_uncertainty_grows_away_from_data(rng):
+    x = rng.normal(size=(8, 2))
+    y = x[:, 0]
+    gp = GaussianProcess(length_scale=1.0)
+    gp.fit(x, y)
+    _, near = gp.predict(x[:1])
+    _, far = gp.predict(x[:1] + 50.0)
+    assert far[0] > near[0]
+
+
+def test_gp_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        GaussianProcess().predict(np.zeros((1, 2)))
+
+
+def test_expected_improvement_prefers_low_mean():
+    mean = np.array([0.0, 1.0])
+    std = np.array([0.1, 0.1])
+    ei = expected_improvement(mean, std, best=0.5)
+    assert ei[0] > ei[1]
+
+
+def test_expected_improvement_prefers_uncertainty_when_equal():
+    mean = np.array([1.0, 1.0])
+    std = np.array([0.01, 1.0])
+    ei = expected_improvement(mean, std, best=1.0)
+    assert ei[1] > ei[0]
+
+
+def _quadratic_loss(point: DsePoint) -> float:
+    """Synthetic landscape with optimum at Tc=16, top_k=0.3."""
+    tc_term = sum((tc - 16) ** 2 for tc in point.tc_per_layer) / 400.0
+    k_term = (point.top_k - 0.3) ** 2 * 10
+    return tc_term + k_term
+
+
+def test_search_improves_over_random_init():
+    dse = BayesianDse(_quadratic_loss, n_layers=2, seq_len=512, alpha=0.0, beta=0.0, seed=3)
+    result = dse.search(n_iterations=30, n_init=6)
+    best_curve = result.best_so_far
+    assert best_curve[-1] <= best_curve[5]  # improved past the random phase
+    assert result.best_objective < np.median(result.objectives)
+
+
+def test_search_approaches_grid_oracle():
+    dse = BayesianDse(_quadratic_loss, n_layers=1, seq_len=512, alpha=0.0, beta=0.0, seed=4)
+    result = dse.search(n_iterations=40, n_init=8)
+    oracle = grid_search(dse.objective, n_layers=1)
+    # close to the exhaustive uniform-grid optimum on a smooth landscape
+    assert result.best_objective <= oracle.best_objective + 0.05
+
+
+def test_objective_includes_penalties():
+    dse = BayesianDse(lambda p: 0.0, n_layers=2, seq_len=512, alpha=1.0, beta=1.0)
+    point = DsePoint(tc_per_layer=(4, 4), top_k=0.2)
+    assert dse.objective(point) > 0.0
+
+
+def test_choice_spaces_match_paper():
+    assert TC_CHOICES[0] == 2 and TC_CHOICES[-1] == 32
+    assert TOPK_CHOICES[0] == pytest.approx(0.05)
+    assert TOPK_CHOICES[-1] == pytest.approx(0.50)
+
+
+def test_invalid_layer_count():
+    with pytest.raises(ValueError):
+        BayesianDse(lambda p: 0.0, n_layers=0, seq_len=128)
+
+
+def test_history_recorded():
+    dse = BayesianDse(_quadratic_loss, n_layers=1, seq_len=256, seed=5)
+    result = dse.search(n_iterations=15, n_init=4)
+    assert len(result.history) <= 15
+    assert len(result.history) >= 4

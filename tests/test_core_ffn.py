@@ -1,0 +1,102 @@
+"""Tests for layer-specific FFN sparsity."""
+
+import numpy as np
+import pytest
+
+from repro.core.ffn import LayerSpecificFfnSparsity, calibrate_keep_fractions
+from repro.utils.rng import make_rng
+
+
+def _layer(rng, h=32, f=128, concentrated=True):
+    w1 = rng.normal(0, 1.0 / np.sqrt(h), size=(h, f))
+    if concentrated:
+        # a subset of neurons carries most of the signal energy
+        boost = rng.choice(f, size=f // 8, replace=False)
+        w1[:, boost] *= 6.0
+    w2 = rng.normal(0, 1.0 / np.sqrt(f), size=(f, h))
+    return w1, w2
+
+
+def test_keep_all_equals_dense():
+    rng = make_rng(71)
+    w1, w2 = _layer(rng)
+    ffn = LayerSpecificFfnSparsity(w1, w2, keep_fraction=1.0)
+    x = rng.normal(size=(6, 32))
+    res = ffn(x)
+    np.testing.assert_allclose(res.output, ffn.dense_forward(x), atol=1e-9)
+
+
+def test_sparse_output_tracks_dense_on_concentrated_layer():
+    rng = make_rng(72)
+    w1, w2 = _layer(rng, concentrated=True)
+    ffn = LayerSpecificFfnSparsity(w1, w2, keep_fraction=0.3)
+    x = rng.normal(size=(8, 32))
+    res = ffn(x)
+    dense = ffn.dense_forward(x)
+    rel = np.linalg.norm(res.output - dense) / np.linalg.norm(dense)
+    assert rel < 0.25
+
+
+def test_computation_reduction_positive():
+    rng = make_rng(73)
+    w1, w2 = _layer(rng)
+    res = LayerSpecificFfnSparsity(w1, w2, keep_fraction=0.2)(rng.normal(size=(4, 32)))
+    assert res.computation_reduction > 0.4
+
+
+def test_selected_shape_matches_keep_fraction():
+    rng = make_rng(74)
+    w1, w2 = _layer(rng, f=100)
+    res = LayerSpecificFfnSparsity(w1, w2, keep_fraction=0.25)(rng.normal(size=(3, 32)))
+    assert res.selected.shape == (3, 25)
+
+
+def test_prediction_is_multiplier_free():
+    rng = make_rng(75)
+    w1, w2 = _layer(rng)
+    ffn = LayerSpecificFfnSparsity(w1, w2, keep_fraction=0.3)
+    _, ops = ffn.predict_neurons(rng.normal(size=(4, 32)))
+    assert ops["mul"] == 0
+    assert ops["shift"] > 0
+
+
+def test_shape_validation():
+    rng = make_rng(76)
+    with pytest.raises(ValueError):
+        LayerSpecificFfnSparsity(rng.normal(size=(8, 16)), rng.normal(size=(8, 8)))
+    w1, w2 = _layer(rng)
+    with pytest.raises(ValueError):
+        LayerSpecificFfnSparsity(w1, w2, keep_fraction=0.0)
+    ffn = LayerSpecificFfnSparsity(w1, w2)
+    with pytest.raises(ValueError):
+        ffn(rng.normal(size=(4, 99)))
+
+
+def test_calibration_is_layer_specific():
+    """Layers with different activation concentration get different budgets."""
+    rng = make_rng(77)
+    sparse_layer = _layer(rng, concentrated=True)
+    dense_layer = _layer(rng, concentrated=False)
+    xs = [rng.normal(size=(8, 32)), rng.normal(size=(8, 32))]
+    fracs = calibrate_keep_fractions(
+        [sparse_layer, dense_layer], xs, error_budget=0.12
+    )
+    assert fracs[0] <= fracs[1]
+    assert all(0 < f <= 1 for f in fracs)
+
+
+def test_calibration_respects_budget():
+    rng = make_rng(78)
+    layer = _layer(rng, concentrated=True)
+    x = rng.normal(size=(8, 32))
+    (frac,) = calibrate_keep_fractions([layer], [x], error_budget=0.1)
+    ffn = LayerSpecificFfnSparsity(*layer, keep_fraction=frac)
+    dense = ffn.dense_forward(x)
+    rel = np.linalg.norm(ffn(x).output - dense) / np.linalg.norm(dense)
+    assert rel <= 0.1 + 1e-9
+
+
+def test_calibration_input_validation():
+    rng = make_rng(79)
+    with pytest.raises(ValueError):
+        calibrate_keep_fractions([_layer(rng)], [])

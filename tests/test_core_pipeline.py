@@ -1,0 +1,114 @@
+"""Tests for the cross-stage coordinated tiled pipeline (SOFA end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SofaConfig
+from repro.core.pipeline import SofaAttention, sofa_attention
+from repro.attention.topk import topk_recall
+
+
+def _operator(wl, tile_cols=32, top_k=16):
+    cfg = SofaConfig(tile_cols=tile_cols, top_k=top_k)
+    return SofaAttention(wl.wk, wl.wv, cfg)
+
+
+def _scale(wl):
+    # the workload folds its normalization into k_scale/v_scale
+    ratio = wl.k / (wl.tokens @ wl.wk)
+    return float(ratio[wl.k != 0].flat[0])
+
+
+def test_output_matches_masked_reference(medium_workload):
+    """SU-FA over the SADS selection must equal exact masked attention."""
+    wl = medium_workload
+    op = _operator(wl)
+    s = _scale(wl)
+    res = op(wl.tokens, wl.q, k_scale=s, v_scale=s)
+    ref = op.reference_output(wl.tokens, wl.q, res.selected, k_scale=s, v_scale=s)
+    np.testing.assert_allclose(res.output, ref, atol=1e-9)
+
+
+def test_selection_quality(medium_workload):
+    wl = medium_workload
+    op = _operator(wl, top_k=32)
+    s = _scale(wl)
+    res = op(wl.tokens, wl.q, k_scale=s, v_scale=s)
+    assert topk_recall(res.selected, wl.scores(), 32) > 0.6
+
+
+def test_three_stage_traces(medium_workload):
+    wl = medium_workload
+    res = _operator(wl)(wl.tokens, wl.q)
+    names = [st.name for st in res.stages]
+    assert names == ["dlzs_prediction", "sads_topk", "sufa_formal"]
+
+
+def test_sort_stage_no_dram_traffic(medium_workload):
+    """The coordinated tiling keeps Pre-Atten tiles on chip."""
+    wl = medium_workload
+    res = _operator(wl)(wl.tokens, wl.q)
+    sort_stage = res.stages[1]
+    assert sort_stage.dram_bytes == 0.0
+
+
+def test_total_ops_accumulates(medium_workload):
+    wl = medium_workload
+    res = _operator(wl)(wl.tokens, wl.q)
+    assert res.total_ops.normalized() == pytest.approx(
+        sum(st.ops.normalized() for st in res.stages)
+    )
+
+
+def test_prediction_shift_only(medium_workload):
+    wl = medium_workload
+    res = _operator(wl)(wl.tokens, wl.q)
+    pred = res.stages[0].ops
+    assert pred["mul"] == 0
+    assert pred["shift"] > 0
+
+
+def test_functional_wrapper_equivalent(medium_workload):
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=16)
+    a = sofa_attention(wl.tokens, wl.q, wl.wk, wl.wv, cfg)
+    b = SofaAttention(wl.wk, wl.wv, cfg)(wl.tokens, wl.q)
+    np.testing.assert_allclose(a.output, b.output)
+
+
+def test_fractional_top_k(medium_workload):
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=0.1)
+    res = SofaAttention(wl.wk, wl.wv, cfg)(wl.tokens, wl.q)
+    expected_k = round(0.1 * wl.seq_len)
+    assert res.selected.shape[1] == expected_k
+
+
+def test_top_k_out_of_range_rejected(medium_workload):
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=10_000)
+    with pytest.raises(ValueError):
+        SofaAttention(wl.wk, wl.wv, cfg)(wl.tokens, wl.q)
+
+
+def test_reference_mask_shape(medium_workload):
+    wl = medium_workload
+    res = _operator(wl)(wl.tokens, wl.q)
+    mask = res.reference_mask
+    assert mask.shape == (wl.n_queries, wl.seq_len)
+    np.testing.assert_array_equal(mask.sum(axis=1), 16)
+
+
+def test_config_tile_math():
+    cfg = SofaConfig(tile_cols=64)
+    assert cfg.n_tiles(256) == 4
+    assert cfg.n_tiles(257) == 5
+    assert cfg.resolve_top_k(100) == 15  # 0.15 default fraction
+
+
+def test_assurance_triggers_bounded(medium_workload):
+    """DLZS misprediction rate must stay low on calibrated workloads."""
+    wl = medium_workload
+    res = _operator(wl, top_k=32)(wl.tokens, wl.q)
+    trigger_rate = res.assurance_triggers / res.selected.size
+    assert trigger_rate < 0.2

@@ -1,0 +1,145 @@
+"""Tests for SADS distributed sorting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attention.topk import exact_topk_indices, topk_recall
+from repro.core.config import SadsConfig
+from repro.core.sads import SadsSorter, vanilla_sort_ops
+from repro.model.workloads import synthetic_scores
+from repro.utils.rng import make_rng
+
+
+def _sorter(n=4, radius=4.0, rounds=2):
+    return SadsSorter(SadsConfig(n_segments=n, radius=radius, adjust_rounds=rounds))
+
+
+def test_returns_exactly_k_unique_indices(rng):
+    row = rng.normal(size=128)
+    res = _sorter().select_row(row, 16)
+    assert res.indices.shape == (16,)
+    assert np.unique(res.indices).size == 16
+
+
+def test_indices_sorted_by_descending_score(rng):
+    row = rng.normal(size=128)
+    res = _sorter().select_row(row, 16)
+    vals = row[res.indices]
+    assert np.all(np.diff(vals) <= 1e-12)
+
+
+def test_single_segment_equals_exact_topk(rng):
+    """n=1 degenerates to the exact full-row top-k."""
+    row = rng.normal(size=96)
+    res = _sorter(n=1).select_row(row, 10)
+    exact = exact_topk_indices(row[None, :], 10)[0]
+    assert set(map(int, res.indices)) == set(map(int, exact))
+
+
+def test_global_max_always_captured(rng):
+    """The clipping radius must never drop the row maximum."""
+    for seed in range(10):
+        row = make_rng(seed).normal(size=200)
+        res = _sorter(n=8, radius=1.0).select_row(row, 8)
+        assert int(np.argmax(row)) in set(map(int, res.indices))
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(32, 160),
+               elements=st.floats(-50, 50, allow_nan=False)),
+    st.integers(2, 8),
+    st.integers(1, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_selection_invariants_hold(row, n, k):
+    """For any inputs: k unique valid indices, descending order."""
+    k = min(k, row.size)
+    res = SadsSorter(SadsConfig(n_segments=n)).select_row(row, k)
+    assert res.indices.shape == (k,)
+    assert np.unique(res.indices).size == k
+    assert res.indices.min() >= 0 and res.indices.max() < row.size
+
+
+def test_recall_high_on_type2_distribution():
+    """DCE: distributed selection loses little on Type-II dominated rows."""
+    rng = make_rng(41)
+    scores = synthetic_scores(rng, 16, 256, "nlp-encoder")
+    k = 32
+    res = _sorter(n=4).select(scores, k)
+    assert topk_recall(res.indices, scores, k) > 0.85
+
+
+def test_recall_degrades_gracefully_with_segments():
+    rng = make_rng(42)
+    scores = synthetic_scores(rng, 8, 256, "nlp-encoder")
+    k = 32
+    recalls = []
+    for n in (1, 4, 16):
+        res = SadsSorter(SadsConfig(n_segments=n)).select(scores, k)
+        recalls.append(topk_recall(res.indices, scores, k))
+    assert recalls[0] == pytest.approx(1.0)
+    assert recalls[-1] > 0.6  # still useful at fine tiling
+
+
+def test_adjustive_exchange_repairs_type3():
+    """A concentrated (Type-III) row defeats pure per-segment quotas; the
+    exchange rounds must claw back misassigned slots."""
+    rng = make_rng(43)
+    row = rng.normal(0, 0.5, size=128)
+    row[32:48] += 8.0  # all dominants in one segment
+    without = SadsSorter(SadsConfig(n_segments=4, adjust_rounds=0)).select_row(row, 8)
+    with_adj = SadsSorter(SadsConfig(n_segments=4, adjust_rounds=8)).select_row(row, 8)
+    truth = set(map(int, exact_topk_indices(row[None, :], 8)[0]))
+    hits_without = len(truth & set(map(int, without.indices)))
+    hits_with = len(truth & set(map(int, with_adj.indices)))
+    assert hits_with >= hits_without
+    assert hits_with >= 6
+
+
+def test_sads_uses_fewer_compares_than_vanilla(rng):
+    scores = rng.normal(size=(8, 512))
+    k = 64
+    res = _sorter(n=8).select(scores, k)
+    vanilla = vanilla_sort_ops(512, k).scaled(8)
+    # paper: distributed sorting reduces total comparisons
+    assert res.ops["compare"] < 8 * (512 / 2) * 9 * 10 / 2  # vs full bitonic
+    del vanilla
+
+
+def test_clipping_reduces_sorted_candidates(rng):
+    """Once the running max is known, later far-below-threshold segments
+    are clipped (the sphere search's power win)."""
+    row = np.concatenate([make_rng(44).normal(10, 1, 28), np.full(100, -50.0)])
+    res = _sorter(n=2, radius=3.0).select_row(row, 8)
+    assert res.clipped > 0
+
+
+def test_batch_select_shapes(rng):
+    scores = rng.normal(size=(5, 64))
+    res = _sorter().select(scores, 8)
+    assert res.indices.shape == (5, 8)
+    assert 0.0 <= res.clipped_fraction <= 1.0
+
+
+def test_k_bounds_validated(rng):
+    with pytest.raises(ValueError):
+        _sorter().select_row(rng.normal(size=16), 0)
+    with pytest.raises(ValueError):
+        _sorter().select_row(rng.normal(size=16), 17)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SadsSorter(SadsConfig(n_segments=0))
+    with pytest.raises(ValueError):
+        SadsSorter(SadsConfig(radius=-1.0))
+
+
+def test_quota_distribution_covers_k():
+    sorter = _sorter(n=4)
+    quotas = sorter._segment_quotas(10, 4)
+    assert quotas.sum() == 10
+    assert quotas.max() - quotas.min() <= 1

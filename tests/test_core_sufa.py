@@ -1,0 +1,127 @@
+"""Tests for SU-FA sorted-updating FlashAttention."""
+
+import numpy as np
+import pytest
+
+from repro.attention.reference import masked_attention
+from repro.attention.topk import exact_topk_indices, indices_to_mask
+from repro.core.sufa import (
+    UpdateOrder,
+    sorted_updating_attention,
+    sufa_update_ops_per_step,
+)
+from repro.utils.rng import make_rng
+
+
+def _setup(seed=50, t=6, s=64, d=16, k=12):
+    rng = make_rng(seed)
+    q = rng.normal(size=(t, d))
+    kmat = rng.normal(size=(s, d))
+    v = rng.normal(size=(s, d))
+    scores = q @ kmat.T / np.sqrt(d)
+    sel = exact_topk_indices(scores, k)
+    return q, kmat, v, sel
+
+
+def test_descending_exact_vs_masked_reference():
+    q, k, v, sel = _setup()
+    res = sorted_updating_attention(q, k, v, sel, order=UpdateOrder.DESCENDING)
+    expected = masked_attention(q, k, v, indices_to_mask(sel, k.shape[0]))
+    np.testing.assert_allclose(res.output, expected, atol=1e-10)
+
+
+def test_ascending_exact_too():
+    q, k, v, sel = _setup()
+    res = sorted_updating_attention(q, k, v, sel, order=UpdateOrder.ASCENDING)
+    expected = masked_attention(q, k, v, indices_to_mask(sel, k.shape[0]))
+    np.testing.assert_allclose(res.output, expected, atol=1e-10)
+
+
+def test_no_assurance_triggers_with_exact_ordering():
+    """Exact descending order never violates the running max."""
+    q, k, v, sel = _setup()
+    res = sorted_updating_attention(q, k, v, sel, order=UpdateOrder.DESCENDING)
+    assert res.assurance_triggers == 0
+
+
+def test_descending_cheaper_than_ascending():
+    """Fig. 10: descending saves the per-step l rescale multiply."""
+    q, k, v, sel = _setup()
+    down = sorted_updating_attention(q, k, v, sel, order=UpdateOrder.DESCENDING)
+    up = sorted_updating_attention(q, k, v, sel, order=UpdateOrder.ASCENDING)
+    assert down.ops["mul"] < up.ops["mul"]
+    assert down.ops.normalized() < up.ops.normalized()
+
+
+def test_sufa_cheaper_than_flash_attention():
+    """The headline: sorting info removes FA's rescale exp/compare work."""
+    from repro.attention.flash import flash_attention
+
+    q, k, v, sel = _setup(t=8, s=64, d=16, k=64)  # keep all -> same math
+    sufa = sorted_updating_attention(q, k, v, sel, tile_cols=16)
+    fa2 = flash_attention(q, k, v, tile_cols=16)
+    assert sufa.ops["exp"] < fa2.ops["exp"]
+    np.testing.assert_allclose(sufa.output, fa2.output, atol=1e-9)
+
+
+def test_misordered_indices_trigger_assurance():
+    """Corrupt the predicted ordering: the Max-Ensuring circuit must fire
+    and the result must stay exact."""
+    q, k, v, sel = _setup()
+    corrupted = sel[:, ::-1].copy()  # ascending scores fed as 'descending'
+    res = sorted_updating_attention(
+        q, k, v, corrupted, order=UpdateOrder.DESCENDING, max_assurance=True
+    )
+    expected = masked_attention(q, k, v, indices_to_mask(sel, k.shape[0]))
+    np.testing.assert_allclose(res.output, expected, atol=1e-10)
+    assert res.assurance_triggers > 0
+
+
+def test_misordered_without_assurance_raises():
+    q, k, v, sel = _setup()
+    corrupted = sel[:, ::-1].copy()
+    with pytest.raises(RuntimeError):
+        sorted_updating_attention(
+            q, k, v, corrupted, order=UpdateOrder.DESCENDING, max_assurance=False
+        )
+
+
+def test_assurance_costs_extra_ops():
+    q, k, v, sel = _setup()
+    clean = sorted_updating_attention(q, k, v, sel)
+    dirty = sorted_updating_attention(q, k, v, sel[:, ::-1].copy())
+    assert dirty.ops.normalized() > clean.ops.normalized()
+
+
+def test_tile_cols_only_affects_sync_ops():
+    q, k, v, sel = _setup()
+    a = sorted_updating_attention(q, k, v, sel, tile_cols=4)
+    b = sorted_updating_attention(q, k, v, sel, tile_cols=64)
+    np.testing.assert_allclose(a.output, b.output, atol=1e-12)
+    assert a.ops["compare"] > b.ops["compare"]  # more tile boundaries
+    assert a.ops["exp"] == b.ops["exp"]
+
+
+def test_shape_validation():
+    q, k, v, sel = _setup()
+    with pytest.raises(ValueError):
+        sorted_updating_attention(q, k, v, sel[:3])
+
+
+def test_per_step_cost_model():
+    down = sufa_update_ops_per_step(UpdateOrder.DESCENDING, d=16)
+    up = sufa_update_ops_per_step(UpdateOrder.ASCENDING, d=16)
+    assert "mul" not in down
+    assert up["mul"] == 1.0
+    assert down["exp"] == up["exp"] == 1.0
+
+
+def test_single_selected_key_returns_value():
+    rng = make_rng(51)
+    q = rng.normal(size=(2, 8))
+    k = rng.normal(size=(10, 8))
+    v = rng.normal(size=(10, 4))
+    sel = np.array([[3], [7]])
+    res = sorted_updating_attention(q, k, v, sel)
+    np.testing.assert_allclose(res.output[0], v[3])
+    np.testing.assert_allclose(res.output[1], v[7])

@@ -1,0 +1,74 @@
+"""Tests for the zero-eliminator measurement model."""
+
+import numpy as np
+import pytest
+
+from repro.core.zero_elimination import (
+    ZeroProfile,
+    effective_nonzero_fraction,
+    profile_zeros,
+    quantization_zero_fraction,
+)
+from repro.utils.rng import make_rng
+
+
+def test_profile_counts_zeros():
+    arr = np.array([[0, 1], [2, 0], [0, 0]])
+    profile = profile_zeros(arr)
+    assert profile.nonzero_fraction == pytest.approx(2 / 6)
+    np.testing.assert_allclose(profile.column_nonzero, [1 / 3, 1 / 3])
+
+
+def test_profile_rejects_non_2d():
+    with pytest.raises(ValueError):
+        profile_zeros(np.zeros(4))
+
+
+def test_dense_tensor_no_savings():
+    profile = profile_zeros(np.ones((4, 4)))
+    assert profile.nonzero_fraction == 1.0
+    assert effective_nonzero_fraction(profile) == 1.0
+
+
+def test_effective_fraction_bounded_by_lookahead():
+    """An all-zero column still issues 1/window of its slots."""
+    profile = profile_zeros(np.zeros((8, 4)))
+    assert effective_nonzero_fraction(profile, lookahead=4) == pytest.approx(0.25)
+    assert effective_nonzero_fraction(profile, lookahead=8) == pytest.approx(0.125)
+
+
+def test_effective_fraction_column_imbalance():
+    """One dense column drags the realizable skip rate up."""
+    arr = np.zeros((8, 2))
+    arr[:, 0] = 1.0
+    profile = profile_zeros(arr)
+    assert effective_nonzero_fraction(profile, lookahead=4) == pytest.approx(
+        (1.0 + 0.25) / 2
+    )
+
+
+def test_effective_fraction_validates_lookahead():
+    with pytest.raises(ValueError):
+        effective_nonzero_fraction(ZeroProfile(1.0, np.ones(2)), lookahead=0)
+
+
+def test_quantization_zeroing_grows_with_narrow_width():
+    rng = make_rng(81)
+    values = rng.normal(0, 1, size=(64, 64))
+    z4 = quantization_zero_fraction(values, 4)
+    z8 = quantization_zero_fraction(values, 8)
+    assert z4 > z8
+
+
+def test_engine_consumes_measured_fraction():
+    """The DLZS engine's energy must scale with the measured zero profile."""
+    from repro.hw.units import DlzsEngine
+
+    rng = make_rng(82)
+    weights = rng.normal(0, 0.5, size=(64, 64))
+    weights[np.abs(weights) < 0.4] = 0.0
+    frac = effective_nonzero_fraction(profile_zeros(weights))
+    engine = DlzsEngine()
+    full = engine.predict_keys(32, 64, 64, nonzero_fraction=1.0)
+    thinned = engine.predict_keys(32, 64, 64, nonzero_fraction=frac)
+    assert thinned.energy_j == pytest.approx(full.energy_j * frac, rel=0.01)

@@ -1,0 +1,164 @@
+"""Tests for the experiment harness and the regenerated paper artifacts.
+
+The cheap experiments run fully; the suite-backed ones run in quick mode and
+assert the *shape* claims of the paper (who wins, rough factors, orderings).
+"""
+
+import pytest
+
+from repro.experiments.harness import REGISTRY, ExperimentResult, get_experiment
+from repro.experiments.suite import geomean, measure_case, suite_cases
+
+
+def test_registry_covers_design_index():
+    expected = {
+        "fig1", "fig3", "fig4", "fig5", "fig8", "fig15", "fig17", "fig18",
+        "fig19", "fig20", "fig21", "table1", "table2", "table3", "table4",
+    }
+    assert set(REGISTRY) == expected
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+def test_result_render_contains_rows():
+    res = get_experiment("table4")()
+    text = res.render()
+    assert "core" in text and "DRAM" in text
+    assert "headline:" in text
+
+
+# ------------------------------------------------------- cheap experiments
+def test_fig1_attention_dominates_long_context():
+    res = get_experiment("fig1")()
+    assert res.headline["llama7b_attention_compute_share_at_128k"] > 75.0
+    assert res.headline["llama7b_compute_crossover_seq"] <= 65536
+
+
+def test_fig3_mat_share_band():
+    res = get_experiment("fig3")()
+    assert res.headline["average_mat_share_at_scale_pct"] > 35.0
+
+
+def test_fig4_oi_claims():
+    res = get_experiment("fig4")()
+    assert res.headline["mean_mha_oi_fraction_of_ffn"] < 0.35
+    assert res.headline["bloom3b_oi_gain_t128_over_t1"] > 10.0
+
+
+def test_fig5_fa2_overhead_grows():
+    res = get_experiment("fig5")(quick=True)
+    # fine tiling at any S must cost more than coarse tiling
+    by_key = {(r[0], r[1]): r[5] for r in res.rows}
+    seqs = sorted({r[0] for r in res.rows})
+    for s in seqs:
+        assert by_key[(s, 4)] > by_key[(s, 64)]
+
+
+def test_fig8_type12_dominates():
+    res = get_experiment("fig8")(quick=True)
+    assert res.headline["min_type12_share_pct"] > 90.0
+
+
+def test_fig15_paper_example():
+    res = get_experiment("fig15")(quick=True)
+    assert res.headline["paper_example_reduction_pct"] == pytest.approx(33.3, abs=0.1)
+
+
+def test_table2_advantages_near_paper():
+    res = get_experiment("table2")()
+    assert res.headline["mean_device_eff_advantage"] == pytest.approx(15.8, rel=0.15)
+    assert res.headline["mean_area_eff_advantage"] == pytest.approx(10.3, rel=0.15)
+    assert res.headline["mean_latency_advantage"] == pytest.approx(9.3, rel=0.15)
+
+
+def test_table3_totals():
+    res = get_experiment("table3")()
+    assert res.headline["total_area_mm2"] == pytest.approx(5.69, abs=0.01)
+
+
+def test_table4_overall_power():
+    res = get_experiment("table4")()
+    assert res.headline["overall_power_w"] == pytest.approx(3.40, abs=0.02)
+
+
+# --------------------------------------------------- suite-backed (quick)
+@pytest.fixture(scope="module")
+def fig17():
+    return get_experiment("fig17")(quick=True)
+
+
+def test_fig17_reductions_ordered(fig17):
+    h = fig17.headline
+    assert h["dlzs_reduction_pct"] < h["dlzs_sads_reduction_pct"] <= h["sofa_reduction_pct"]
+
+
+def test_fig17_magnitudes(fig17):
+    """Reduction magnitudes in the paper's neighbourhood (18/25/28%)."""
+    assert 10 < fig17.headline["dlzs_reduction_pct"] < 45
+    assert 15 < fig17.headline["sofa_reduction_pct"] < 55
+
+
+def test_fig18_reductions_grow_with_loss():
+    res = get_experiment("fig18")(quick=True)
+    h = res.headline
+    assert (
+        h["atten_reduction_pct_loss0"]
+        < h["atten_reduction_pct_loss1"]
+        < h["atten_reduction_pct_loss2"]
+    )
+    assert h["atten_reduction_pct_loss2"] > 80
+    assert h["qkv_atten_reduction_pct_loss0"] < h["atten_reduction_pct_loss0"]
+
+
+def test_fig19_speedup_shape():
+    res = get_experiment("fig19")(quick=True)
+    h = res.headline
+    assert h["sofa_speedup_loss0"] < h["sofa_speedup_loss2"]
+    assert 5.0 < h["sofa_speedup_loss2"] < 14.0  # paper: 9.5x
+    assert 2.0 < h["sofa_over_lp_fa2"] < 4.5  # paper: 3.01x
+
+
+def test_fig20_memory_and_energy_shape():
+    res = get_experiment("fig20")(quick=True)
+    h = res.headline
+    assert h["rass_memory_reduction_pct"] < h["sofa_memory_reduction_pct"]
+    assert h["sofa_memory_reduction_pct"] > 70  # paper: 79%
+    assert h["energy_gain_loss0"] < h["energy_gain_loss2"]
+    assert 35 < h["energy_gain_loss2"] < 110  # paper: 71.5x
+
+
+def test_fig21_engine_gains_positive():
+    res = get_experiment("fig21")(quick=True)
+    h = res.headline
+    for dev in ("gpu", "tpu"):
+        for engine in ("dlzs", "sads", "sufa", "rass"):
+            assert h[f"{dev}_{engine}_gain"] > 0.9
+    assert h["gpu_total_gain"] > h["gpu_software_gain"]
+
+
+# ------------------------------------------------------------- suite level
+def test_measured_loss_tracks_budget():
+    """The proxy loss at each budget must stay in the right neighbourhood."""
+    cases = suite_cases(quick=True)
+    for budget, hi in ((0.0, 1.5), (2.0, 4.5)):
+        losses = [measure_case(c.name, budget).measured_loss_pct for c in cases]
+        assert max(losses) < hi
+
+
+def test_recall_stays_high_across_suite():
+    for c in suite_cases(quick=True):
+        assert measure_case(c.name, 2.0).recall > 0.7
+
+
+def test_geomean_helper():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_experiment_result_dataclass():
+    res = ExperimentResult("x", "t", ["a"], [[1]])
+    assert "t" in res.render()

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_cli_single_experiment(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table IV" in out
+    assert "overall" in out
+
+
+def test_cli_quick_flag(capsys):
+    assert main(["fig8", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "type-II%" in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["fig99"])
+
+
+def test_cli_cheap_tables_render(capsys):
+    for exp in ("table1", "table2", "table3"):
+        assert main([exp]) == 0
+    out = capsys.readouterr().out
+    assert "sofa" in out
+    assert "headline:" in out

@@ -1,0 +1,72 @@
+"""Tests for the device-gain composition model behind Figs. 19-21."""
+
+import pytest
+
+from repro.experiments.gains import (
+    ENGINE_ANCHORS,
+    GainBreakdown,
+    case_gains,
+    case_total_at_anchor,
+    energy_efficiency_gain,
+)
+from repro.experiments.suite import measure_case
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    return measure_case("llama-7b/wikitext2", 2.0)
+
+
+def test_breakdown_total_is_product(measurement):
+    g = case_gains(measurement, "gpu")
+    assert g.total == pytest.approx(g.software * g.dlzs * g.sads * g.sufa * g.rass)
+    assert g.hardware == pytest.approx(g.dlzs * g.sads * g.sufa * g.rass)
+
+
+def test_unknown_device_rejected(measurement):
+    with pytest.raises(KeyError):
+        case_gains(measurement, "fpga")
+
+
+def test_gains_near_anchor_at_operating_point(measurement):
+    """At the 2%-loss point the engine gains must sit near the Fig. 21
+    anchors (the modulations are normalized there)."""
+    g = case_gains(measurement, "gpu")
+    anchors = ENGINE_ANCHORS["gpu"]
+    for engine in ("dlzs", "sads", "sufa", "rass"):
+        assert getattr(g, engine) == pytest.approx(anchors[engine], rel=0.3)
+
+
+def test_tpu_engine_asymmetry(measurement):
+    """TPU benefits more from DLZS/SADS/RASS; GPU more from SU-FA."""
+    gpu = case_gains(measurement, "gpu")
+    tpu = case_gains(measurement, "tpu")
+    assert tpu.dlzs > gpu.dlzs
+    assert tpu.sads > gpu.sads
+    assert tpu.rass > gpu.rass
+    assert gpu.sufa > tpu.sufa
+
+
+def test_speedup_grows_with_loss_budget():
+    low = case_gains(measure_case("llama-7b/wikitext2", 0.0), "gpu").total
+    high = case_gains(measure_case("llama-7b/wikitext2", 2.0), "gpu").total
+    assert high > low
+
+
+def test_energy_gain_positive_and_bounded(measurement):
+    gain = energy_efficiency_gain(measurement, "gpu")
+    assert 10 < gain < 200
+
+
+def test_anchor_total_consistency():
+    """The normalization constant must equal the anchors' product times the
+    software gain at the reference reduction."""
+    for device in ("gpu", "tpu"):
+        anchors = ENGINE_ANCHORS[device]
+        hw = anchors["dlzs"] * anchors["sads"] * anchors["sufa"] * anchors["rass"]
+        assert case_total_at_anchor(device) > hw  # software factor > 1
+
+
+def test_breakdown_dataclass_fields():
+    g = GainBreakdown("gpu", 3.0, 1.5, 1.2, 1.2, 1.1)
+    assert g.total == pytest.approx(3.0 * 1.5 * 1.2 * 1.2 * 1.1)

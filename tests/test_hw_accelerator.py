@@ -1,0 +1,124 @@
+"""Tests for the top-level SOFA accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.accelerator import (
+    SofaAccelerator,
+    WorkloadShape,
+    shape_from_pipeline,
+)
+
+
+def _shape(**overrides):
+    base = dict(
+        n_queries=128,
+        seq_len=1024,
+        hidden=512,
+        head_dim=64,
+        selected_per_row=128,
+        unique_selected=400,
+        assurance_fraction=0.02,
+    )
+    base.update(overrides)
+    return WorkloadShape(**base)
+
+
+def test_sofa_faster_than_whole_row_baseline():
+    acc = SofaAccelerator()
+    shape = _shape(n_queries=512, seq_len=2048, selected_per_row=256)
+    sofa = acc.run(shape)
+    base = acc.run_whole_row_baseline(shape)
+    assert base.cycles > sofa.cycles
+
+
+def test_sofa_less_dram_than_baseline():
+    acc = SofaAccelerator()
+    shape = _shape(n_queries=512, seq_len=2048, selected_per_row=256)
+    assert acc.run(shape).dram_bytes < acc.run_whole_row_baseline(shape).dram_bytes
+
+
+def test_sofa_more_energy_efficient():
+    acc = SofaAccelerator()
+    shape = _shape(n_queries=512, seq_len=2048, selected_per_row=256)
+    sofa = acc.run(shape)
+    base = acc.run_whole_row_baseline(shape)
+    assert sofa.energy_efficiency_gops_per_w > base.energy_efficiency_gops_per_w
+
+
+def test_pipeline_speedup_reported():
+    acc = SofaAccelerator()
+    report = acc.run(_shape())
+    assert report.pipeline_speedup > 1.0
+
+
+def test_wave_batching_scales_cycles():
+    """More query waves (beyond the 128-lane hardware) add time, sublinearly:
+    key prediction and KV generation are shared across waves."""
+    acc = SofaAccelerator()
+    one = acc.run(_shape(n_queries=128)).cycles
+    four = acc.run(_shape(n_queries=512)).cycles
+    assert 1.2 < four / one < 4.5
+
+
+def test_energy_breakdown_has_all_modules():
+    report = SofaAccelerator().run(_shape())
+    assert set(report.energy_core_j) == {
+        "dlzs_prediction", "sads", "kv_generation", "sufa"
+    }
+    assert all(v >= 0 for v in report.energy_core_j.values())
+
+
+def test_total_energy_sums_components():
+    report = SofaAccelerator().run(_shape())
+    expected = (
+        sum(report.energy_core_j.values())
+        + report.sram_energy_j
+        + report.dram_interface_energy_j
+        + report.dram_device_energy_j
+    )
+    assert report.total_energy_j == pytest.approx(expected)
+
+
+def test_latency_uses_clock():
+    acc = SofaAccelerator(clock_hz=2e9)
+    report = acc.run(_shape())
+    assert report.latency_s == pytest.approx(report.cycles / 2e9)
+
+
+def test_kv_requirements_drive_load_counts():
+    acc = SofaAccelerator()
+    reqs = [{0, 1, 2}, {1, 2, 3}]
+    shape = _shape(n_queries=2, selected_per_row=3, unique_selected=4)
+    sofa = acc.run(shape, kv_requirements=reqs)
+    base = acc.run_whole_row_baseline(shape, kv_requirements=reqs)
+    assert sofa.kv_vector_loads == 2 * 4  # unique pairs once
+    assert base.kv_vector_loads >= sofa.kv_vector_loads
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        _shape(unique_selected=5000)
+    with pytest.raises(ValueError):
+        _shape(selected_per_row=0)
+
+
+def test_shape_from_pipeline():
+    selected = np.array([[3, 1], [3, 2]])
+    shape = shape_from_pipeline(2, 16, 64, 8, selected, assurance_triggers=1)
+    assert shape.selected_per_row == 2
+    assert shape.unique_selected == 3
+    assert shape.assurance_fraction == pytest.approx(0.25)
+
+
+def test_assurance_fraction_raises_sofa_cost():
+    acc = SofaAccelerator()
+    clean = acc.run(_shape(assurance_fraction=0.0))
+    dirty = acc.run(_shape(assurance_fraction=0.9))
+    assert dirty.total_energy_j > clean.total_energy_j
+
+
+def test_throughput_positive():
+    report = SofaAccelerator().run(_shape())
+    assert report.throughput_gops > 0
+    assert report.average_power_w > 0

@@ -1,0 +1,48 @@
+"""Tests for Table III/IV area and power accounting."""
+
+import pytest
+
+from repro.hw.area_power import (
+    SOFA_MODULES,
+    lp_area_fraction,
+    lp_power_fraction,
+    module_power_shares,
+    table_iv_power_breakdown,
+    total_area_mm2,
+    total_core_power_w,
+)
+
+
+def test_total_area_matches_paper():
+    assert total_area_mm2() == pytest.approx(5.69, abs=0.01)
+
+
+def test_total_power_matches_paper():
+    assert total_core_power_w() == pytest.approx(0.9498, abs=0.001)
+
+
+def test_lp_fractions_match_paper():
+    """Paper: LP (DLZS+SADS) is ~18% of area and ~15% of power."""
+    assert lp_area_fraction() == pytest.approx(0.18, abs=0.01)
+    assert lp_power_fraction() == pytest.approx(0.15, abs=0.01)
+
+
+def test_sufa_is_largest_module():
+    largest = max(SOFA_MODULES, key=lambda m: m.area_mm2)
+    assert largest.name == "sufa"
+
+
+def test_power_shares_sum_to_one():
+    assert sum(module_power_shares().values()) == pytest.approx(1.0)
+
+
+def test_table_iv_breakdown():
+    split = table_iv_power_breakdown()
+    assert split["core_w"] == pytest.approx(0.95, abs=0.01)
+    assert split["interface_w"] == pytest.approx(0.53, abs=0.01)
+    assert split["dram_w"] == pytest.approx(1.92, abs=0.01)
+    assert split["overall_w"] == pytest.approx(3.40, abs=0.02)
+
+
+def test_six_modules_listed():
+    assert len(SOFA_MODULES) == 6

@@ -1,0 +1,114 @@
+"""Tests for the bit-accurate iterative bitonic sorter (the SADS core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hw.bitonic import IterativeBitonicSorter, _bitonic_sort_network
+from repro.hw.units import SadsEngine
+
+
+def test_network_size_validation():
+    with pytest.raises(ValueError):
+        _bitonic_sort_network(12)
+    with pytest.raises(ValueError):
+        IterativeBitonicSorter(width=16, keep=16)
+
+
+def test_network_comparator_count_formula():
+    """A bitonic sorting network of width n=2^m has n/2 * m(m+1)/2 comparators."""
+    for n in (4, 8, 16, 32):
+        m = int(np.log2(n))
+        assert len(_bitonic_sort_network(n)) == (n // 2) * m * (m + 1) // 2
+
+
+def test_single_round_sorts_sixteen():
+    sorter = IterativeBitonicSorter()
+    rng = np.random.default_rng(1)
+    vals = rng.normal(size=12)
+    step = sorter.push(vals, np.arange(12))
+    expected = np.sort(vals)[::-1][:4]
+    np.testing.assert_allclose(step.best, expected)
+
+
+def test_streaming_matches_software_topk():
+    rng = np.random.default_rng(2)
+    vals = rng.normal(size=200)
+    sorter = IterativeBitonicSorter()
+    idx, _ = sorter.stream_topk(vals)
+    expected = np.argsort(-vals, kind="stable")[:4]
+    assert set(map(int, idx)) == set(map(int, expected))
+    # and in descending order
+    assert np.all(np.diff(vals[idx]) <= 0)
+
+
+@given(
+    hnp.arrays(
+        np.float64, st.integers(5, 150),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+        unique=True,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_streamed_topk_always_correct(vals):
+    """Property: the streamed hardware result equals exact top-4 for any
+    distinct-valued input stream."""
+    sorter = IterativeBitonicSorter()
+    idx, _ = sorter.stream_topk(vals)
+    expected = np.argsort(-vals)[: min(4, vals.size)]
+    assert set(map(int, idx)) == set(map(int, expected))
+
+
+def test_comparator_count_exact():
+    """Total comparators = rounds x network size (every lane pair fires)."""
+    sorter = IterativeBitonicSorter()
+    vals = np.arange(48, dtype=np.float64)
+    _, fired = sorter.stream_topk(vals)
+    rounds = -(-48 // sorter.fresh_per_round)
+    assert fired == rounds * sorter.comparators_per_round
+
+
+def test_analytic_engine_model_is_conservative():
+    """The SadsEngine's pruned-network estimate must not exceed the full
+    executed network's comparator count (pruning removes comparators)."""
+    engine = SadsEngine()
+    golden = IterativeBitonicSorter()
+    assert engine.comparators_per_round() <= golden.comparators_per_round
+
+
+def test_push_validates_inputs():
+    sorter = IterativeBitonicSorter()
+    with pytest.raises(ValueError):
+        sorter.push(np.zeros(13), np.arange(13))  # too many fresh inputs
+    with pytest.raises(ValueError):
+        sorter.push(np.zeros((2, 2)), np.zeros((2, 2), dtype=np.int64))
+
+
+def test_reset_clears_state():
+    sorter = IterativeBitonicSorter()
+    sorter.push(np.array([5.0, 1.0]), np.array([0, 1]))
+    sorter.reset()
+    vals, idx = sorter.top()
+    assert vals.size == 0 and idx.size == 0
+
+
+def test_carried_values_survive_weak_rounds():
+    """Early strong values must survive later rounds of weak inputs."""
+    sorter = IterativeBitonicSorter()
+    sorter.push(np.array([100.0, 99.0, 98.0, 97.0]), np.arange(4))
+    for start in range(0, 36, 12):
+        sorter.push(np.zeros(12), np.arange(10 + start, 22 + start))
+    vals, idx = sorter.top()
+    np.testing.assert_allclose(vals, [100.0, 99.0, 98.0, 97.0])
+    np.testing.assert_array_equal(idx, [0, 1, 2, 3])
+
+
+def test_wider_network_variant():
+    sorter = IterativeBitonicSorter(width=8, keep=2)
+    rng = np.random.default_rng(3)
+    vals = rng.normal(size=50)
+    idx, _ = sorter.stream_topk(vals)
+    expected = np.argsort(-vals)[:2]
+    assert set(map(int, idx)) == set(map(int, expected))

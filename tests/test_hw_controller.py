@@ -1,0 +1,57 @@
+"""Tests for the tiled pipeline controller."""
+
+import pytest
+
+from repro.hw.scheduler.controller import (
+    PipelineTiming,
+    StageLatencies,
+    TiledPipelineController,
+)
+
+
+def test_single_tile_no_overlap():
+    ctl = TiledPipelineController()
+    timing = ctl.uniform_timing(StageLatencies(10, 20, 30), 1)
+    assert timing.pipelined_cycles == timing.serial_cycles == 60
+
+
+def test_balanced_pipeline_approaches_3x():
+    """With many balanced tiles the 3-stage pipeline approaches 3x."""
+    ctl = TiledPipelineController()
+    timing = ctl.uniform_timing(StageLatencies(10, 10, 10), 100)
+    assert timing.speedup > 2.8
+
+
+def test_bottleneck_stage_limits_throughput():
+    ctl = TiledPipelineController()
+    timing = ctl.uniform_timing(StageLatencies(1, 50, 1), 40)
+    # steady state is paced by the 50-cycle sort stage
+    assert timing.pipelined_cycles == pytest.approx(1 + 40 * 50 + 1, rel=0.05)
+
+
+def test_heterogeneous_tiles_exact_recurrence():
+    ctl = TiledPipelineController()
+    tiles = [StageLatencies(5, 1, 1), StageLatencies(1, 5, 1)]
+    timing = ctl.timing(tiles)
+    # tile0: p@5, s@6, f@7 ; tile1: p@6, s@11, f@12
+    assert timing.pipelined_cycles == 12
+    assert timing.serial_cycles == 14
+
+
+def test_pipelined_never_slower_than_serial():
+    ctl = TiledPipelineController()
+    for lat in [(3, 7, 2), (10, 1, 1), (1, 1, 10)]:
+        timing = ctl.uniform_timing(StageLatencies(*lat), 16)
+        assert timing.pipelined_cycles <= timing.serial_cycles
+
+
+def test_empty_tiles_rejected():
+    with pytest.raises(ValueError):
+        TiledPipelineController().timing([])
+    with pytest.raises(ValueError):
+        TiledPipelineController().uniform_timing(StageLatencies(1, 1, 1), 0)
+
+
+def test_speedup_property():
+    timing = PipelineTiming(pipelined_cycles=50, serial_cycles=150, n_tiles=10)
+    assert timing.speedup == 3.0

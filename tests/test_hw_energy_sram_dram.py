@@ -1,0 +1,127 @@
+"""Tests for the energy model, SRAM buffers and the DRAM channel."""
+
+import pytest
+
+from repro.hw.dram import DramChannelModel
+from repro.hw.energy import ENERGY_28NM, EnergyModel
+from repro.hw.scaling import TechnologyNode
+from repro.hw.sram import SramBuffer, SramCapacityError, sofa_srams
+from repro.numerics.complexity import OpCounter
+
+
+# ----------------------------------------------------------------- energy
+def test_energy_op_ordering():
+    """exp > div > mul >> add > shift: the relation every engine relies on."""
+    e = ENERGY_28NM
+    assert e.op_energy("exp") > e.op_energy("div") > e.op_energy("mul")
+    assert e.op_energy("mul") > 10 * e.op_energy("add")
+    assert e.op_energy("shift") < e.op_energy("add")
+
+
+def test_energy_counter_reduction():
+    counter = OpCounter()
+    counter.add_op("mul", 10)
+    counter.add_op("add", 100)
+    e = ENERGY_28NM
+    expected = 10 * e.op_energy("mul") + 100 * e.op_energy("add")
+    assert e.counter_energy(counter) == pytest.approx(expected)
+
+
+def test_energy_scales_down_at_smaller_node():
+    e28 = EnergyModel(node=TechnologyNode(28.0))
+    e45 = EnergyModel(node=TechnologyNode(45.0))
+    assert e28.op_energy("mul") < e45.op_energy("mul")
+
+
+def test_energy_overrides():
+    e = EnergyModel(overrides={"mul": 5e-12})
+    assert e.op_energy("mul") == 5e-12
+
+
+def test_energy_unknown_op():
+    with pytest.raises(KeyError):
+        ENERGY_28NM.op_energy("bogus")
+
+
+# ------------------------------------------------------------------- sram
+def test_sram_capacity_enforced():
+    buf = SramBuffer("t", capacity_bytes=100)
+    buf.allocate("a", 60)
+    with pytest.raises(SramCapacityError):
+        buf.allocate("b", 50)
+    buf.free("a")
+    buf.allocate("b", 90)
+
+
+def test_sram_reallocate_same_tag_replaces():
+    buf = SramBuffer("t", capacity_bytes=100)
+    buf.allocate("a", 60)
+    buf.allocate("a", 90)  # replaces, not adds
+    assert buf.bytes_in_use == 90
+
+
+def test_sram_access_energy_grows_with_capacity():
+    small = SramBuffer("s", 8 * 1024)
+    big = SramBuffer("b", 512 * 1024)
+    assert big.access_energy_per_byte() > small.access_energy_per_byte()
+
+
+def test_sram_read_write_accounting():
+    buf = SramBuffer("t", 1024, bytes_per_cycle=32)
+    cycles = buf.read(64) + buf.write(64)
+    assert cycles == pytest.approx(4.0)
+    assert buf.total_energy_j > 0
+    buf.reset_counters()
+    assert buf.total_energy_j == 0.0
+
+
+def test_sofa_srams_match_table3():
+    srams = sofa_srams()
+    assert srams["token"].capacity_bytes == 192 * 1024
+    assert srams["weight"].capacity_bytes == 96 * 1024
+    assert srams["temp"].capacity_bytes == 28 * 1024
+
+
+def test_sram_negative_sizes_rejected():
+    buf = SramBuffer("t", 100)
+    with pytest.raises(ValueError):
+        buf.allocate("a", -1)
+    with pytest.raises(ValueError):
+        buf.read(-5)
+
+
+# ------------------------------------------------------------------- dram
+def test_dram_table_iv_anchor():
+    """Power split at 59.8 GB/s must reproduce Table IV."""
+    dram = DramChannelModel()
+    split = dram.power_at_bandwidth(59.8e9)
+    assert split["interface_w"] == pytest.approx(0.53, abs=0.01)
+    assert split["dram_w"] == pytest.approx(1.92, abs=0.01)
+
+
+def test_dram_energy_per_bit_in_cited_range():
+    """DRAM access energy must land inside the 5-20 pJ/bit range of [44]."""
+    dram = DramChannelModel()
+    pj_per_bit = dram.dram_energy_per_byte / 8 * 1e12
+    assert 2.0 <= pj_per_bit <= 20.0
+
+
+def test_dram_transfer_cycles():
+    dram = DramChannelModel(peak_bandwidth_bytes_per_s=1e9, clock_hz=1e9)
+    cycles = dram.transfer(1000)
+    assert cycles == pytest.approx(1000.0)
+
+
+def test_dram_accumulates_energy():
+    dram = DramChannelModel()
+    dram.transfer(1e6)
+    assert dram.total_energy_j == pytest.approx(
+        dram.interface_energy_j + dram.dram_energy_j
+    )
+    dram.reset_counters()
+    assert dram.total_energy_j == 0.0
+
+
+def test_dram_rejects_negative():
+    with pytest.raises(ValueError):
+        DramChannelModel().transfer(-1)

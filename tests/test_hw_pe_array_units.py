@@ -1,0 +1,139 @@
+"""Tests for the systolic array timing model and the four engine models."""
+
+import pytest
+
+from repro.hw.pe_array import SystolicArray
+from repro.hw.units import DlzsEngine, KvGenerationUnit, SadsEngine, SufaEngine
+
+
+# --------------------------------------------------------------- pe array
+def test_matmul_cycles_stream_dominated():
+    arr = SystolicArray(4, 4)
+    timing = arr.matmul_cycles(4, 100, 4)
+    assert timing.cycles == pytest.approx(100 + 4 + 4 - 2)
+
+
+def test_matmul_tiles_multiply():
+    arr = SystolicArray(4, 4)
+    one = arr.matmul_cycles(4, 50, 4).cycles
+    four = arr.matmul_cycles(8, 50, 8).cycles
+    assert four > 3 * one  # 4 output tiles, shared skew
+
+
+def test_utilization_perfect_when_shapes_match():
+    arr = SystolicArray(8, 8)
+    timing = arr.matmul_cycles(8, 1000, 8)
+    assert timing.utilization > 0.95
+
+
+def test_utilization_poor_when_undersized():
+    arr = SystolicArray(128, 32)
+    timing = arr.matmul_cycles(4, 64, 4)
+    assert timing.utilization < 0.05
+
+
+def test_matmul_rejects_bad_dims():
+    with pytest.raises(ValueError):
+        SystolicArray(4, 4).matmul_cycles(0, 4, 4)
+    with pytest.raises(ValueError):
+        SystolicArray(0, 4)
+
+
+def test_stream_cycles():
+    arr = SystolicArray(128, 32)
+    assert arr.stream_cycles(128 * 32) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        arr.stream_cycles(-1)
+
+
+# ------------------------------------------------------------ dlzs engine
+def test_dlzs_engine_shift_only_energy():
+    eng = DlzsEngine()
+    rep = eng.predict_keys(64, 512, 64)
+    assert rep.ops["mul"] == 0
+    assert rep.energy_j > 0
+
+
+def test_dlzs_engine_zero_elimination_scales_energy():
+    eng = DlzsEngine()
+    full = eng.predict_keys(64, 512, 64, nonzero_fraction=1.0)
+    half = eng.predict_keys(64, 512, 64, nonzero_fraction=0.5)
+    assert half.energy_j == pytest.approx(full.energy_j / 2, rel=0.01)
+    assert half.cycles == full.cycles  # array occupancy unchanged
+
+
+def test_dlzs_engine_attention_counts_lzc():
+    eng = DlzsEngine()
+    rep = eng.predict_attention(128, 64, 64)
+    assert rep.ops["lzc"] == 128 * 64
+
+
+def test_dlzs_engine_validates_fraction():
+    with pytest.raises(ValueError):
+        DlzsEngine().predict_keys(8, 8, 8, nonzero_fraction=1.5)
+
+
+# ------------------------------------------------------------ sads engine
+def test_sads_engine_rows_beyond_cores_serialize():
+    eng = SadsEngine(n_cores=128)
+    one_wave = eng.sort_tile(128, 64).cycles
+    two_waves = eng.sort_tile(256, 64).cycles
+    assert two_waves == pytest.approx(2 * one_wave)
+
+
+def test_sads_engine_survivor_fraction_cuts_compares():
+    eng = SadsEngine()
+    full = eng.sort_tile(128, 64, survivors_fraction=1.0)
+    clipped = eng.sort_tile(128, 64, survivors_fraction=0.25)
+    assert clipped.ops["compare"] < full.ops["compare"]
+
+
+def test_sads_engine_comparators_pruned():
+    eng = SadsEngine()
+    stages = 4  # log2(16)
+    full_network = (16 // 2) * stages * (stages + 1) // 2
+    assert eng.comparators_per_round() < full_network
+
+
+def test_sads_exchange_rounds():
+    eng = SadsEngine()
+    rep = eng.exchange_rounds(128, rounds=2, candidates=64)
+    assert rep.ops["compare"] == 128 * 2 * 64
+
+
+# ---------------------------------------------------------------- kv gen
+def test_kv_gen_zero_selected_free():
+    rep = KvGenerationUnit().generate(0, 512, 64)
+    assert rep.cycles == 0.0 and rep.energy_j == 0.0
+
+
+def test_kv_gen_counts_both_projections():
+    rep = KvGenerationUnit().generate(10, 128, 64)
+    assert rep.ops["mul"] == 2 * 10 * 128 * 64
+
+
+# ------------------------------------------------------------ sufa engine
+def test_sufa_descending_cheaper_than_ascending():
+    eng = SufaEngine()
+    down = eng.attend_tile(128, 16, 64, descending=True)
+    up = eng.attend_tile(128, 16, 64, descending=False)
+    assert down.energy_j < up.energy_j
+
+
+def test_sufa_assurance_fraction_raises_cost():
+    eng = SufaEngine()
+    clean = eng.attend_tile(128, 16, 64, assurance_fraction=0.0)
+    dirty = eng.attend_tile(128, 16, 64, assurance_fraction=0.5)
+    assert dirty.energy_j > clean.energy_j
+    with pytest.raises(ValueError):
+        eng.attend_tile(8, 8, 8, assurance_fraction=2.0)
+
+
+def test_sufa_empty_tile_free():
+    rep = SufaEngine().attend_tile(128, 0, 64)
+    assert rep.cycles == 0.0
+
+
+def test_sufa_epilogue_divides_per_output():
+    rep = SufaEngine().epilogue(128, 64)
+    assert rep.ops["div"] == 128 * 64

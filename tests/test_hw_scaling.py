@@ -1,0 +1,50 @@
+"""Tests for technology scaling rules (Table II footnote)."""
+
+import pytest
+
+from repro.hw.scaling import (
+    REFERENCE_NODE,
+    TechnologyNode,
+    scale_area,
+    scale_energy_per_op,
+    scale_frequency,
+    scale_power,
+    scale_to_28nm,
+)
+
+
+def test_identity_at_reference_node():
+    out = scale_to_28nm(freq_hz=1e9, power_w=1.0, area_mm2=2.0, node=REFERENCE_NODE)
+    assert out == {"freq_hz": 1e9, "power_w": 1.0, "area_mm2": 2.0}
+
+
+def test_40nm_scaling_factors():
+    node = TechnologyNode(40.0, 1.0)
+    s = 40.0 / 28.0
+    assert scale_frequency(1e9, node) == pytest.approx(1e9 * s**2)
+    assert scale_power(1.0, node) == pytest.approx(1.0 / s)
+    assert scale_area(2.0, node) == pytest.approx(2.0 / s**2)
+
+
+def test_voltage_scaling_quadratic():
+    node = TechnologyNode(28.0, 0.8)
+    assert scale_power(1.0, node) == pytest.approx((1.0 / 0.8) ** 2)
+
+
+def test_smaller_node_power_grows_toward_28():
+    """Scaling a 22 nm design UP to 28 nm increases its power figure."""
+    node = TechnologyNode(22.0, 1.0)
+    assert scale_power(1.0, node) > 1.0
+
+
+def test_energy_scaling_consistent_with_power_over_freq():
+    node = TechnologyNode(45.0, 1.0)
+    expected = scale_power(1.0, node) / (scale_frequency(1.0, node))
+    assert scale_energy_per_op(1.0, node) == pytest.approx(expected)
+
+
+def test_invalid_nodes_rejected():
+    with pytest.raises(ValueError):
+        TechnologyNode(0.0, 1.0)
+    with pytest.raises(ValueError):
+        TechnologyNode(28.0, -0.1)

@@ -1,0 +1,122 @@
+"""Integration tests: SOFA attention inside a full Transformer forward pass,
+and the functional pipeline feeding the cycle-level accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.attention.metrics import output_relative_error
+from repro.attention.reference import dense_attention
+from repro.core.config import SofaConfig
+from repro.core.pipeline import SofaAttention
+from repro.hw.accelerator import SofaAccelerator, shape_from_pipeline
+from repro.model.config import get_model
+from repro.model.transformer import Transformer
+from repro.model.workloads import make_workload
+from repro.utils.rng import make_rng
+
+
+def _sofa_attention_fn(top_k_fraction=0.3, tile_cols=16):
+    """Adapter plugging the SOFA operator into MultiHeadAttention."""
+
+    def attention(q, k, v):
+        # Inside a Transformer, tokens/weights are not separately exposed per
+        # head, so the pre-compute stage treats K's float rows as the token
+        # stream with an identity projection - the same three stages run.
+        cfg = SofaConfig(tile_cols=tile_cols, top_k=top_k_fraction)
+        wk = np.eye(k.shape[1])
+        op = SofaAttention(wk, wk, cfg)
+        # K as "tokens", V supplied through the v-projection identity - but
+        # the functional pipeline regenerates V from tokens; instead we run
+        # selection then exact masked attention over the chosen set.
+        res = op(k, q)
+        from repro.attention.reference import masked_attention
+        from repro.attention.topk import indices_to_mask
+
+        mask = indices_to_mask(res.selected, k.shape[0])
+        return masked_attention(q, k, v, mask)
+
+    return attention
+
+
+def test_transformer_with_sofa_attention_close_to_dense(rng):
+    cfg = get_model("bert-base")
+    model = Transformer.init_scaled(rng, cfg, n_layers=2, hidden=32, seq_len=64)
+    x = model.embed_tokens(rng, 64)
+    dense = model(x)
+    sparse = model(x, attention_fn=_sofa_attention_fn(top_k_fraction=0.5))
+    # generous tolerance: random weights make attention nearly uniform, the
+    # worst case for top-k sparsity; the outputs must still track closely.
+    err = output_relative_error(sparse, dense)
+    assert err < 0.35
+
+
+def test_pipeline_feeds_accelerator_model(medium_workload):
+    """The functional pipeline's selection statistics drive the hw model."""
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=32)
+    op = SofaAttention(wl.wk, wl.wv, cfg)
+    res = op(wl.tokens, wl.q)
+    shape = shape_from_pipeline(
+        wl.n_queries, wl.seq_len, wl.tokens.shape[1], wl.head_dim,
+        res.selected, res.assurance_triggers,
+    )
+    acc = SofaAccelerator(config=cfg)
+    reqs = [set(map(int, row)) for row in res.selected]
+    sofa_rep = acc.run(shape, kv_requirements=reqs)
+    base_rep = acc.run_whole_row_baseline(shape, kv_requirements=reqs)
+    assert sofa_rep.cycles < base_rep.cycles
+    assert sofa_rep.kv_vector_loads <= base_rep.kv_vector_loads
+    assert sofa_rep.total_energy_j < base_rep.total_energy_j
+
+
+def test_sofa_output_close_to_dense_on_calibrated_workload(medium_workload):
+    """End-to-end fidelity: SOFA sparse output vs fully dense attention."""
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=0.2)
+    op = SofaAttention(wl.wk, wl.wv, cfg)
+    ratio = wl.k / (wl.tokens @ wl.wk)
+    s = float(ratio[wl.k != 0].flat[0])
+    res = op(wl.tokens, wl.q, k_scale=s, v_scale=s)
+    dense = dense_attention(wl.q, wl.k, wl.v)
+    assert output_relative_error(res.output, dense) < 0.15
+
+
+def test_deterministic_end_to_end():
+    a = make_workload("gpt2/wikitext2", n_queries=8, head_dim=32, seq_len=128, seed=77)
+    b = make_workload("gpt2/wikitext2", n_queries=8, head_dim=32, seq_len=128, seed=77)
+    cfg = SofaConfig(tile_cols=32, top_k=16)
+    ra = SofaAttention(a.wk, a.wv, cfg)(a.tokens, a.q)
+    rb = SofaAttention(b.wk, b.wv, cfg)(b.tokens, b.q)
+    np.testing.assert_array_equal(ra.selected, rb.selected)
+    np.testing.assert_allclose(ra.output, rb.output)
+
+
+def test_sparsity_saves_ops_vs_dense_counting(medium_workload):
+    """The pipeline's total ops must undercut dense attention op counts."""
+    from repro.numerics.complexity import matmul_ops, softmax_ops
+
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=0.1)
+    res = SofaAttention(wl.wk, wl.wv, cfg)(wl.tokens, wl.q)
+    t, s, d = wl.n_queries, wl.seq_len, wl.head_dim
+    dense = (
+        matmul_ops(t, d, s).normalized()
+        + softmax_ops(t, s).normalized()
+        + matmul_ops(t, s, d).normalized()
+        + 2 * matmul_ops(s, wl.tokens.shape[1], d).normalized()  # full KV gen
+    )
+    assert res.total_ops.normalized() < dense
+
+
+def test_accelerator_report_consistency(medium_workload):
+    wl = medium_workload
+    cfg = SofaConfig(tile_cols=32, top_k=32)
+    res = SofaAttention(wl.wk, wl.wv, cfg)(wl.tokens, wl.q)
+    shape = shape_from_pipeline(
+        wl.n_queries, wl.seq_len, wl.tokens.shape[1], wl.head_dim,
+        res.selected, res.assurance_triggers,
+    )
+    rep = SofaAccelerator(config=cfg).run(shape)
+    assert rep.latency_s > 0
+    assert rep.throughput_gops > 0
+    assert 0 < rep.pipeline_speedup <= 3.0

@@ -1,0 +1,48 @@
+"""Tests for the model zoo configurations."""
+
+import pytest
+
+from repro.model.config import MODEL_ZOO, ModelConfig, get_model
+
+
+def test_zoo_contains_paper_models():
+    for name in (
+        "bert-base", "bert-large", "gpt2", "vit-base", "pvt",
+        "bloom-1b7", "llama-7b", "llama-13b",
+    ):
+        assert name in MODEL_ZOO
+
+
+def test_head_dim_consistency():
+    for cfg in MODEL_ZOO.values():
+        assert cfg.hidden == cfg.head_dim * cfg.n_heads
+
+
+def test_families_valid():
+    assert {cfg.family for cfg in MODEL_ZOO.values()} <= {
+        "nlp-encoder", "nlp-decoder", "vision"
+    }
+
+
+def test_get_model_error_lists_known():
+    with pytest.raises(KeyError, match="bert-base"):
+        get_model("nonexistent-model")
+
+
+def test_invalid_head_split_rejected():
+    with pytest.raises(ValueError):
+        ModelConfig("bad", 2, 100, 3, 400, 128, "nlp-encoder")
+
+
+def test_scaled_to_changes_only_seq_len():
+    base = get_model("bert-base")
+    scaled = base.scaled_to(4096)
+    assert scaled.default_seq_len == 4096
+    assert scaled.hidden == base.hidden
+    assert scaled.n_layers == base.n_layers
+
+
+def test_paper_sequence_lengths():
+    assert get_model("llama-7b").default_seq_len == 4096
+    assert get_model("bloom-1b7").default_seq_len == 2048
+    assert get_model("pvt").default_seq_len == 3192

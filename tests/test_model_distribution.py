@@ -1,0 +1,64 @@
+"""Tests for the Type-I/II/III attention-row taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.model.distribution import (
+    FAMILY_MIXTURES,
+    RowType,
+    classify_row,
+    classify_rows,
+)
+from repro.utils.rng import make_rng
+
+
+def _row_with_spikes(rng, n, positions, height):
+    row = rng.normal(0, 1.0, size=n)
+    row[list(positions)] = height
+    return row
+
+
+def test_single_spike_is_type_i(rng):
+    row = _row_with_spikes(rng, 256, [17], 15.0)
+    assert classify_row(row).row_type is RowType.TYPE_I
+
+
+def test_spread_dominants_are_type_ii(rng):
+    positions = list(range(5, 256, 16))  # evenly spread
+    row = _row_with_spikes(rng, 256, positions, 8.0)
+    assert classify_row(row).row_type is RowType.TYPE_II
+
+
+def test_concentrated_region_is_type_iii(rng):
+    positions = list(range(100, 116))  # one tight region
+    row = _row_with_spikes(rng, 256, positions, 8.0)
+    assert classify_row(row).row_type is RowType.TYPE_III
+
+
+def test_classify_rejects_short_rows():
+    with pytest.raises(ValueError):
+        classify_row(np.zeros(3))
+
+
+def test_classify_rows_fractions_sum_to_one(rng):
+    scores = rng.normal(size=(32, 128))
+    shares = classify_rows(scores)
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_family_mixtures_are_distributions():
+    for mix in FAMILY_MIXTURES.values():
+        assert abs(sum(mix) - 1.0) < 0.02
+        assert all(m >= 0 for m in mix)
+        # Type-II predominates in every family (the DCE premise).
+        assert mix[1] == max(mix)
+
+
+def test_type_iii_rare_for_decoders():
+    assert FAMILY_MIXTURES["nlp-decoder"][2] < 0.01
+
+
+def test_dominant_count_reported(rng):
+    row = _row_with_spikes(rng, 128, [5, 60], 15.0)
+    result = classify_row(row)
+    assert result.dominant_count <= 4

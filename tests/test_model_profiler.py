@@ -1,0 +1,83 @@
+"""Tests for the analytic FLOPs/bytes profiler (Figs. 1 and 4 substrate)."""
+
+import pytest
+
+from repro.model.config import get_model
+from repro.model.profiler import (
+    attention_oi_vs_parallelism,
+    attention_profile,
+    breakdown_shares,
+    ffn_profile,
+    memory_footprint_bytes,
+    profile_parts,
+    qkv_profile,
+)
+
+
+def test_attention_flops_quadratic_in_seq():
+    cfg = get_model("llama-7b")
+    a1 = attention_profile(cfg, 1024).flops
+    a2 = attention_profile(cfg, 2048).flops
+    assert 3.9 < a2 / a1 < 4.1
+
+
+def test_qkv_and_ffn_flops_linear_in_seq():
+    cfg = get_model("llama-7b")
+    for profile in (qkv_profile, ffn_profile):
+        p1 = profile(cfg, 1024).flops
+        p2 = profile(cfg, 2048).flops
+        assert 1.9 < p2 / p1 < 2.1
+
+
+def test_attention_dominates_at_long_sequences():
+    """Fig. 1's headline: attention compute crosses 50% past ~32k tokens."""
+    cfg = get_model("llama-7b")
+    short = breakdown_shares(cfg, 4096)["attention"]["compute_share"]
+    long = breakdown_shares(cfg, 131072)["attention"]["compute_share"]
+    assert short < 0.5
+    assert long > 0.75
+
+
+def test_ffn_dominates_at_short_sequences():
+    cfg = get_model("bert-base")
+    shares = breakdown_shares(cfg, 512)
+    assert shares["ffn"]["compute_share"] > shares["attention"]["compute_share"]
+
+
+def test_shares_sum_to_one():
+    cfg = get_model("gpt2")
+    shares = breakdown_shares(cfg, 1024)
+    assert sum(s["compute_share"] for s in shares.values()) == pytest.approx(1.0)
+    assert sum(s["memory_share"] for s in shares.values()) == pytest.approx(1.0)
+
+
+def test_mha_oi_well_below_ffn():
+    """Fig. 4(b): MHA's operational intensity is a small fraction of FFN's."""
+    for name in ("vit-base", "bert-base", "gpt2-large", "bloom-3b"):
+        parts = profile_parts(get_model(name))
+        ratio = parts["attention"].operational_intensity / parts["ffn"].operational_intensity
+        assert ratio < 0.35
+
+
+def test_oi_increases_with_parallelism():
+    """Fig. 4(c): token parallelism raises attention OI monotonically."""
+    cfg = get_model("bloom-3b")
+    ois = [attention_oi_vs_parallelism(cfg, t) for t in (1, 2, 4, 8, 16, 32)]
+    assert all(b > a for a, b in zip(ois, ois[1:]))
+
+
+def test_oi_parallelism_rejects_zero():
+    with pytest.raises(ValueError):
+        attention_oi_vs_parallelism(get_model("gpt2"), 0)
+
+
+def test_memory_footprint_grows_quadratically():
+    cfg = get_model("llama-7b")
+    f1 = memory_footprint_bytes(cfg, 65536)
+    f2 = memory_footprint_bytes(cfg, 131072)
+    assert f2 / f1 > 3.0  # S^2 term dominates at these lengths
+
+
+def test_profile_parts_keys():
+    parts = profile_parts(get_model("bert-base"))
+    assert set(parts) == {"qkv", "attention", "ffn"}

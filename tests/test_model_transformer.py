@@ -1,0 +1,56 @@
+"""Tests for the full Transformer substrate."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import get_model
+from repro.model.transformer import Transformer
+
+
+def test_forward_shape(rng):
+    cfg = get_model("bert-base")
+    model = Transformer.init_scaled(rng, cfg, n_layers=2, hidden=48, seq_len=16)
+    x = model.embed_tokens(rng, 16)
+    out = model(x)
+    assert out.shape == (16, 48)
+
+
+def test_forward_rejects_wrong_hidden(rng):
+    cfg = get_model("bert-base")
+    model = Transformer.init_scaled(rng, cfg, n_layers=1, hidden=48)
+    with pytest.raises(ValueError):
+        model(rng.normal(size=(8, 64)))
+
+
+def test_init_scaled_preserves_head_divisibility(rng):
+    cfg = get_model("bert-large")  # 16 heads
+    model = Transformer.init_scaled(rng, cfg, n_layers=1, hidden=50)
+    assert model.config.hidden % model.config.n_heads == 0
+
+
+def test_deterministic_given_seed():
+    from repro.utils.rng import make_rng
+
+    cfg = get_model("gpt2")
+    m1 = Transformer.init_scaled(make_rng(4), cfg, n_layers=1, hidden=24, seq_len=8)
+    m2 = Transformer.init_scaled(make_rng(4), cfg, n_layers=1, hidden=24, seq_len=8)
+    x = make_rng(5).normal(size=(8, 24))
+    np.testing.assert_allclose(m1(x), m2(x))
+
+
+def test_attention_fn_threaded_through_blocks(rng):
+    cfg = get_model("bert-base")
+    model = Transformer.init_scaled(rng, cfg, n_layers=2, hidden=24, seq_len=8)
+    x = model.embed_tokens(rng, 8)
+    count = []
+
+    def spy(q, k, v):
+        count.append(1)
+        from repro.attention.reference import dense_attention
+
+        return dense_attention(q, k, v)
+
+    dense = model(x)
+    spied = model(x, attention_fn=spy)
+    assert len(count) == 2 * model.config.n_heads
+    np.testing.assert_allclose(spied, dense, atol=1e-9)

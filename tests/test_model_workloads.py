@@ -1,0 +1,111 @@
+"""Tests for the synthetic workload generators and the benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.attention.topk import exact_topk_indices
+from repro.model.distribution import RowType, classify_rows
+from repro.model.workloads import (
+    BENCHMARK_SUITE,
+    make_workload,
+    synthetic_scores,
+)
+from repro.numerics.softmax import softmax
+from repro.utils.rng import make_rng
+
+
+def test_suite_has_twenty_benchmarks():
+    assert len(BENCHMARK_SUITE) == 20
+
+
+def test_suite_names_unique():
+    names = [c.name for c in BENCHMARK_SUITE]
+    assert len(set(names)) == len(names)
+
+
+def test_suite_models_resolvable():
+    from repro.model.config import get_model
+
+    for case in BENCHMARK_SUITE:
+        get_model(case.model)
+
+
+def test_make_workload_shapes():
+    wl = make_workload("bert-b/mrpc", n_queries=8, head_dim=32, seq_len=64, seed=1)
+    assert wl.q.shape == (8, 32)
+    assert wl.k.shape == (64, 32)
+    assert wl.v.shape == (64, 32)
+    assert wl.tokens.shape == (64, 64)
+
+
+def test_make_workload_unknown_case():
+    with pytest.raises(KeyError):
+        make_workload("not/a-case")
+
+
+def test_tokens_are_int8_range():
+    wl = make_workload("gpt2/wikitext2", n_queries=4, head_dim=16, seq_len=64, seed=2)
+    assert np.all(np.abs(wl.tokens) <= 127)
+    assert np.allclose(wl.tokens, np.rint(wl.tokens))
+
+
+def test_k_derives_from_tokens():
+    """The prediction chain must be real: K == scaled tokens @ Wk."""
+    wl = make_workload("bert-b/rte", n_queries=4, head_dim=16, seq_len=64, seed=3)
+    prod = wl.tokens @ wl.wk
+    nz = wl.k != 0
+    ratio = prod[nz] / wl.k[nz]
+    np.testing.assert_allclose(ratio, ratio.flat[0], rtol=1e-9)
+
+
+def test_scores_concentrated():
+    """Top 20% of keys must capture the bulk of softmax mass (the premise
+    of top-k sparsity; calibrated against real attention behaviour)."""
+    wl = make_workload("llama-7b/wikitext2", n_queries=16, head_dim=64, seq_len=256, seed=4)
+    scores = wl.scores()
+    probs = softmax(scores, axis=-1)
+    k = int(0.2 * 256)
+    idx = exact_topk_indices(scores, k)
+    mass = np.mean([probs[i, idx[i]].sum() for i in range(16)])
+    assert mass > 0.9
+
+
+def test_selection_overlap_across_queries():
+    """Shared dominant columns make per-query selections overlap (drives
+    on-demand KV savings and RASS reuse)."""
+    wl = make_workload("llama-7b/wikitext2", n_queries=32, head_dim=64, seq_len=256, seed=4)
+    k = 20
+    idx = exact_topk_indices(wl.scores(), k)
+    union = np.unique(idx).size
+    assert union < 0.5 * 32 * k  # heavy overlap vs disjoint selections
+
+
+def test_synthetic_scores_family_mixture():
+    rng = make_rng(6)
+    scores = synthetic_scores(rng, 400, 256, "nlp-decoder")
+    shares = classify_rows(scores)
+    assert shares[RowType.TYPE_II] > 0.5
+    assert shares[RowType.TYPE_III] < 0.1
+
+
+def test_synthetic_scores_unknown_family():
+    with pytest.raises(KeyError):
+        synthetic_scores(make_rng(1), 4, 64, "unknown-family")
+
+
+def test_synthetic_scores_shared_fraction_bounds():
+    with pytest.raises(ValueError):
+        synthetic_scores(make_rng(1), 4, 64, "vision", shared_column_fraction=1.5)
+
+
+def test_workload_deterministic_by_seed():
+    a = make_workload("bert-b/stsb", n_queries=4, head_dim=16, seq_len=64, seed=9)
+    b = make_workload("bert-b/stsb", n_queries=4, head_dim=16, seq_len=64, seed=9)
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+    np.testing.assert_allclose(a.q, b.q)
+
+
+def test_top_k_respects_sparsity():
+    case = next(c for c in BENCHMARK_SUITE if c.name == "bert-b/stsb")
+    wl = make_workload(case, n_queries=4, head_dim=16, seq_len=None, seed=1)
+    assert wl.top_k == pytest.approx(case.seq_len * (1 - case.sparsity), abs=1)

@@ -1,0 +1,106 @@
+"""Tests for the arithmetic complexity model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.complexity import (
+    DEFAULT_WEIGHTS,
+    OpCounter,
+    OpWeights,
+    matmul_ops,
+    softmax_ops,
+)
+
+
+def test_add_and_lookup():
+    c = OpCounter()
+    c.add_op("mul", 3)
+    assert c["mul"] == 3
+    assert c["add"] == 0
+
+
+def test_unknown_op_rejected():
+    c = OpCounter()
+    with pytest.raises(KeyError):
+        c.add_op("sqrt")
+    with pytest.raises(KeyError):
+        _ = c["sqrt"]
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        OpCounter().add_op("add", -1)
+
+
+def test_counter_addition_merges():
+    a, b = OpCounter(), OpCounter()
+    a.add_op("add", 2)
+    b.add_op("add", 3)
+    b.add_op("exp", 1)
+    merged = a + b
+    assert merged["add"] == 5 and merged["exp"] == 1
+    assert a["add"] == 2  # operands untouched
+
+
+def test_normalized_uses_weights():
+    c = OpCounter()
+    c.add_op("mul", 2)
+    c.add_op("add", 4)
+    weights = OpWeights(mul=10.0, add=1.0)
+    assert c.normalized(weights) == 24.0
+
+
+def test_default_weights_order():
+    """The cost ordering the model assumes: exp > div > mul > add > shift."""
+    w = DEFAULT_WEIGHTS
+    assert w.exp > w.div > w.mul > w.add > w.shift > w.xor
+
+
+def test_scaled_multiplies_counts():
+    c = OpCounter()
+    c.add_op("mul", 3)
+    s = c.scaled(2.5)
+    assert s["mul"] == 7.5
+    with pytest.raises(ValueError):
+        c.scaled(-1)
+
+
+def test_matmul_ops_counts():
+    c = matmul_ops(2, 3, 4)
+    assert c["mul"] == 24
+    assert c["add"] == 2 * 2 * 4
+
+
+def test_softmax_ops_counts():
+    c = softmax_ops(2, 5)
+    assert c["exp"] == 10
+    assert c["compare"] == 8
+    assert c["div"] == 10
+
+
+@given(st.integers(1, 20), st.integers(1, 20), st.integers(1, 20))
+@settings(max_examples=50, deadline=None)
+def test_matmul_ops_monotone_in_dims(m, k, n):
+    base = matmul_ops(m, k, n).normalized()
+    grown = matmul_ops(m + 1, k, n).normalized()
+    assert grown > base
+
+
+def test_iteration_sorted():
+    c = OpCounter()
+    c.add_op("mul", 1)
+    c.add_op("add", 1)
+    assert [op for op, _ in c] == ["add", "mul"]
+
+
+def test_total_raw():
+    c = OpCounter()
+    c.add_op("mul", 2)
+    c.add_op("exp", 3)
+    assert c.total_raw() == 5
+
+
+def test_weights_cost_unknown():
+    with pytest.raises(KeyError):
+        DEFAULT_WEIGHTS.cost("nope")

@@ -1,0 +1,86 @@
+"""Tests for symmetric fixed-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.numerics.fixed_point import (
+    QuantizedTensor,
+    dequantize,
+    int_range,
+    quantize,
+    requantize,
+    saturating_add,
+)
+
+
+def test_int_range_symmetric():
+    lo, hi = int_range(8)
+    assert lo == -127 and hi == 127
+
+
+def test_int_range_rejects_tiny_width():
+    with pytest.raises(ValueError):
+        int_range(1)
+
+
+def test_quantize_saturates_extremes():
+    q = quantize(np.array([-10.0, 10.0]), bits=8)
+    assert q.values.min() == -127 and q.values.max() == 127
+
+
+def test_quantize_zero_tensor():
+    q = quantize(np.zeros(4), bits=8)
+    assert q.scale == 1.0
+    np.testing.assert_array_equal(q.values, np.zeros(4, dtype=np.int64))
+
+
+def test_dequantize_functional_alias():
+    q = quantize(np.array([1.0, -2.0]), bits=8)
+    np.testing.assert_allclose(dequantize(q), q.dequantize())
+
+
+def test_requantize_narrows():
+    q16 = quantize(np.linspace(-1, 1, 9), bits=16)
+    q4 = requantize(q16, bits=4)
+    assert q4.bits == 4
+    assert np.max(np.abs(q4.values)) <= 7
+
+
+def test_saturating_add_clips():
+    out = saturating_add(np.array([120]), np.array([120]), bits=8)
+    assert out[0] == 127
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(max_dims=2, max_side=16),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    ),
+    st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_roundtrip_error_bounded(x, bits):
+    """Dequantized values stay within half a quantization step of the input."""
+    q = quantize(x, bits)
+    back = q.dequantize()
+    assert np.all(np.abs(back - x) <= q.scale * 0.5 + 1e-12)
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(1, 32), elements=st.floats(-100, 100, allow_nan=False)),
+    st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_respects_bit_range(x, bits):
+    q = quantize(x, bits)
+    lo, hi = int_range(bits)
+    assert q.values.min() >= lo and q.values.max() <= hi
+
+
+def test_quantized_tensor_shape_property():
+    q = QuantizedTensor(values=np.zeros((2, 3), dtype=np.int64), scale=1.0, bits=8)
+    assert q.shape == (2, 3)

@@ -1,0 +1,99 @@
+"""Tests for the leading-zero counters and the configurable LZE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.leading_zero import (
+    ConfigurableLZE,
+    leading_zeros,
+    lz_decode_magnitude,
+    lz_encode,
+    lzc8,
+    shift_by_exponent,
+)
+
+
+def test_leading_zeros_known_values():
+    assert leading_zeros(1, 8) == 7
+    assert leading_zeros(0x80, 8) == 0
+    assert leading_zeros(0, 8) == 8
+    assert leading_zeros(-3, 8) == 6  # magnitude based
+
+
+def test_leading_zeros_rejects_overflow():
+    with pytest.raises(ValueError):
+        leading_zeros(256, 8)
+
+
+@given(st.integers(-0xFFFF, 0xFFFF))
+@settings(max_examples=200, deadline=None)
+def test_leading_zeros_matches_bit_length(x):
+    lz = int(leading_zeros(x, 16))
+    assert lz == 16 - abs(x).bit_length()
+
+
+def test_lz_encode_returns_sign_and_count():
+    signs, lz = lz_encode(np.array([-4, 0, 9]), 8)
+    np.testing.assert_array_equal(signs, [-1, 0, 1])
+    np.testing.assert_array_equal(lz, [5, 8, 4])
+
+
+@given(st.integers(1, 0xFF))
+@settings(max_examples=100, deadline=None)
+def test_decode_brackets_magnitude(x):
+    """2^(W-LZ) is the power of two in (x, 2x]: the one-hot approximation
+    always rounds the magnitude up by strictly less than 2x."""
+    mag = int(lz_decode_magnitude(leading_zeros(x, 8), 8))
+    assert x < mag <= 2 * x
+
+
+def test_decode_zero_gives_zero():
+    assert lz_decode_magnitude(8, 8) == 0
+
+
+def test_shift_by_exponent_matches_decode_multiply():
+    vals = np.array([3, -5, 7])
+    lz = np.array([4, 6, 8])
+    shifted = shift_by_exponent(vals, lz, 8)
+    expected = vals * lz_decode_magnitude(lz, 8)
+    np.testing.assert_array_equal(shifted, expected)
+
+
+def test_lzc8_all_zero_flag():
+    rep = lzc8(np.array([0, 1]))
+    np.testing.assert_array_equal(rep.all_zero, [True, False])
+
+
+def test_lzc8_rejects_wide_input():
+    with pytest.raises(ValueError):
+        lzc8(np.array([300]))
+
+
+@given(st.integers(-0xFFFF, 0xFFFF))
+@settings(max_examples=200, deadline=None)
+def test_lze_16bit_composition_equals_flat_count(x):
+    """Two chained 8-bit LZCs must equal a flat 16-bit leading-zero count."""
+    lze = ConfigurableLZE(mode_bits=16)
+    _, count = lze.encode(x)
+    assert int(count) == int(leading_zeros(x, 16))
+
+
+@given(st.integers(-0xFF, 0xFF))
+@settings(max_examples=100, deadline=None)
+def test_lze_8bit_mode(x):
+    lze = ConfigurableLZE(mode_bits=8)
+    signs, count = lze.encode(x)
+    assert int(count) == int(leading_zeros(x, 8))
+    assert int(signs) == int(np.sign(x))
+
+
+def test_lze_rejects_other_widths():
+    with pytest.raises(ValueError):
+        ConfigurableLZE(mode_bits=12)
+
+
+def test_lze_16bit_rejects_overflow():
+    with pytest.raises(ValueError):
+        ConfigurableLZE(mode_bits=16).encode(np.array([1 << 16]))

@@ -1,0 +1,77 @@
+"""Tests for softmax references, including streaming order-invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.numerics.softmax import (
+    StreamingState,
+    log_sum_exp,
+    softmax,
+    streaming_softmax_row,
+)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    probs = softmax(rng.normal(size=(5, 12)))
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+
+def test_softmax_stable_for_large_scores():
+    probs = softmax(np.array([1e4, 1e4 - 1.0]))
+    assert np.isfinite(probs).all()
+    assert probs[0] > probs[1]
+
+
+def test_softmax_shift_invariance(rng):
+    x = rng.normal(size=16)
+    np.testing.assert_allclose(softmax(x), softmax(x + 123.0), atol=1e-12)
+
+
+def test_streaming_matches_batch(rng):
+    scores = rng.normal(size=20)
+    values = rng.normal(size=(20, 4))
+    expected = softmax(scores) @ values
+    np.testing.assert_allclose(streaming_softmax_row(scores, values), expected, atol=1e-12)
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(2, 24), elements=st.floats(-40, 40, allow_nan=False)),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_streaming_order_invariance(scores, pyrandom):
+    """The (m, l, o) streaming state is permutation-invariant - the property
+    that legalizes FlashAttention tiling and SU-FA reordering."""
+    n = scores.shape[0]
+    values = np.arange(n * 3, dtype=np.float64).reshape(n, 3)
+    order = list(range(n))
+    pyrandom.shuffle(order)
+    base = streaming_softmax_row(scores, values)
+    shuffled = streaming_softmax_row(scores, values, order=np.array(order))
+    np.testing.assert_allclose(shuffled, base, atol=1e-9)
+
+
+def test_streaming_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        streaming_softmax_row(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_streaming_state_merge_tracks_max():
+    state = StreamingState(m=-np.inf, l=0.0, o=np.zeros(2))
+    state.merge(1.0, np.ones(2))
+    state.merge(3.0, np.ones(2))
+    assert state.m == 3.0
+
+
+def test_log_sum_exp_matches_naive(rng):
+    x = rng.normal(size=(4, 9))
+    np.testing.assert_allclose(
+        log_sum_exp(x), np.log(np.exp(x).sum(axis=-1)), atol=1e-12
+    )
+
+
+def test_log_sum_exp_stable():
+    assert np.isfinite(log_sum_exp(np.array([1e4, 1e4])))

@@ -1,0 +1,47 @@
+"""Tests for deterministic RNG construction and stream derivation."""
+
+import numpy as np
+
+from repro.utils.rng import DEFAULT_SEED, derive_rng, make_rng
+
+
+def test_default_seed_is_deterministic():
+    a = make_rng().integers(0, 1 << 30, size=8)
+    b = make_rng().integers(0, 1 << 30, size=8)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_explicit_seed_changes_stream():
+    a = make_rng(1).integers(0, 1 << 30, size=8)
+    b = make_rng(2).integers(0, 1 << 30, size=8)
+    assert not np.array_equal(a, b)
+
+
+def test_none_uses_default_seed():
+    a = make_rng(None).integers(0, 1 << 30, size=4)
+    b = make_rng(DEFAULT_SEED).integers(0, 1 << 30, size=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_derive_rng_independent_of_parent_consumption():
+    parent1 = make_rng(7)
+    child1 = derive_rng(parent1, "stage")
+    parent2 = make_rng(7)
+    child2 = derive_rng(parent2, "stage")
+    np.testing.assert_array_equal(
+        child1.integers(0, 100, size=5), child2.integers(0, 100, size=5)
+    )
+
+
+def test_derive_rng_keys_give_different_streams():
+    parent = make_rng(7)
+    a = derive_rng(parent, "a")
+    parent2 = make_rng(7)
+    b = derive_rng(parent2, "b")
+    assert not np.array_equal(a.integers(0, 1 << 30, 8), b.integers(0, 1 << 30, 8))
+
+
+def test_derive_rng_accepts_int_keys():
+    parent = make_rng(9)
+    child = derive_rng(parent, 3, "layer")
+    assert child.integers(0, 10, size=1).shape == (1,)

@@ -1,0 +1,50 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_basic_rendering():
+    out = format_table(["a", "bb"], [[1, 2], [3, 4]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "-+-" in lines[1]
+    assert len(lines) == 4
+
+
+def test_title_prepended():
+    out = format_table(["x"], [[1]], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_numeric_formats_applied():
+    out = format_table(["v"], [[3.14159]], formats=[".2f"])
+    assert "3.14" in out
+    assert "3.14159" not in out
+
+
+def test_format_skips_strings():
+    out = format_table(["v"], [["text"]], formats=[".2f"])
+    assert "text" in out
+
+
+def test_column_alignment_pads_to_widest():
+    out = format_table(["col"], [["short"], ["muchlongervalue"]])
+    lines = out.splitlines()
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_formats_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1]], formats=[".2f", ".3f"])
+
+
+def test_bool_not_formatted_as_number():
+    out = format_table(["flag"], [[True]], formats=[".1f"])
+    assert "True" in out
