@@ -1,0 +1,117 @@
+"""Engine bench: requests/sec of batched serving vs the sequential path.
+
+Acceptance anchor: on an 8-head batch the fused engine must at least match a
+Python loop of per-head ``SofaAttention`` calls (in practice it wins by
+fusing the DLZS matmuls and streaming all rows through SADS/SU-FA at once).
+
+Run as a script to record the measurement in ``BENCH_engine.json``:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.config import SofaConfig
+from repro.core.pipeline import SofaAttention
+from repro.engine import AttentionRequest, SofaEngine
+from repro.utils.rng import make_rng
+
+N_HEADS = 8
+SEQ_LEN = 256
+N_QUERIES = 16
+HIDDEN = 32
+HEAD_DIM = 32
+CONFIG = SofaConfig(tile_cols=32, top_k=0.15)
+
+
+def _make_requests(seed: int = 21) -> list[AttentionRequest]:
+    rng = make_rng(seed)
+    return [
+        AttentionRequest(
+            tokens=rng.integers(-100, 100, size=(SEQ_LEN, HIDDEN)).astype(np.float64),
+            q=rng.normal(size=(N_QUERIES, HEAD_DIM)),
+            wk=rng.normal(size=(HIDDEN, HEAD_DIM)),
+            wv=rng.normal(size=(HIDDEN, HEAD_DIM)),
+        )
+        for _ in range(N_HEADS)
+    ]
+
+
+def _run_engine(requests: list[AttentionRequest]):
+    engine = SofaEngine(CONFIG, max_batch_heads=N_HEADS)
+    return engine.run(requests)
+
+
+def _run_sequential(requests: list[AttentionRequest]):
+    return [SofaAttention(r.wk, r.wv, CONFIG)(r.tokens, r.q) for r in requests]
+
+
+def _requests_per_sec(fn, requests, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(requests)
+        best = min(best, time.perf_counter() - t0)
+    return len(requests) / best
+
+
+def measure() -> dict:
+    """One full measurement: both paths plus a parity confirmation."""
+    requests = _make_requests()
+    engine_results = _run_engine(requests)
+    sequential_results = _run_sequential(requests)
+    exact = all(
+        a.output.tobytes() == b.output.tobytes()
+        and np.array_equal(a.selected, b.selected)
+        for a, b in zip(sequential_results, engine_results)
+    )
+    seq_rps = _requests_per_sec(_run_sequential, requests)
+    eng_rps = _requests_per_sec(_run_engine, requests)
+    return {
+        "bench": "engine_throughput",
+        "workload": {
+            "n_heads": N_HEADS,
+            "seq_len": SEQ_LEN,
+            "n_queries": N_QUERIES,
+            "hidden": HIDDEN,
+            "head_dim": HEAD_DIM,
+            "tile_cols": CONFIG.tile_cols,
+            "top_k": CONFIG.top_k,
+        },
+        "sequential_requests_per_sec": seq_rps,
+        "engine_requests_per_sec": eng_rps,
+        "speedup": eng_rps / seq_rps,
+        "bit_identical": exact,
+    }
+
+
+def test_engine_throughput(benchmark):
+    requests = _make_requests()
+    results = benchmark(_run_engine, requests)
+    assert len(results) == N_HEADS
+
+
+def test_engine_at_least_matches_sequential_on_8_heads():
+    record = measure()
+    assert record["bit_identical"]
+    assert record["speedup"] >= 1.0, (
+        f"batched path slower than sequential: {record['speedup']:.2f}x"
+    )
+
+
+def main() -> None:
+    record = measure()
+    out = pathlib.Path(__file__).resolve().parent / "BENCH_engine.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

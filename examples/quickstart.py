@@ -29,8 +29,7 @@ def main() -> None:
     sofa = SofaAttention(workload.wk, workload.wv, config)
 
     # The workload folds its normalization constant into the K/V scales.
-    prod = workload.tokens @ workload.wk
-    scale = float((workload.k[workload.k != 0] / prod[workload.k != 0]).flat[0])
+    scale = workload.fold_scale()
     result = sofa(workload.tokens, workload.q, k_scale=scale, v_scale=scale)
 
     dense = dense_attention(workload.q, workload.k, workload.v)

@@ -1,0 +1,88 @@
+"""Serving demo: batch a stream of attention requests through SofaEngine.
+
+Simulates production traffic: many independent attention heads (several
+sequences, mixed sequence lengths) are submitted to the engine, whose greedy
+scheduler groups all requests sharing one ``(S, tile_cols)`` cross-stage
+tiling grid into a single fused multi-head pipeline execution.  The demo
+verifies that served results are bit-identical to sequential per-head runs
+and reports the wall-clock throughput of both paths.
+
+Run:  python examples/serving_engine.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import AttentionRequest, SofaAttention, SofaConfig, SofaEngine
+from repro.utils.rng import make_rng
+
+
+def make_traffic(rng: np.random.Generator, n_requests: int) -> list[AttentionRequest]:
+    """A mixed request stream: two sequence-length classes, per-head weights."""
+    requests = []
+    for i in range(n_requests):
+        s = 256 if i % 3 else 128  # two shape classes interleaved
+        h, d, t = 32, 32, 8
+        requests.append(
+            AttentionRequest(
+                tokens=rng.integers(-100, 100, size=(s, h)).astype(np.float64),
+                q=rng.normal(size=(t, d)),
+                wk=rng.normal(size=(h, d)),
+                wv=rng.normal(size=(h, d)),
+                tag=f"req-{i}",
+            )
+        )
+    return requests
+
+
+def main() -> None:
+    rng = make_rng(11)
+    config = SofaConfig(tile_cols=32, top_k=0.15)
+    requests = make_traffic(rng, 24)
+
+    print("SOFA serving engine demo")
+    print("=" * 60)
+
+    # -------------------------------------------------- batched serving path
+    engine = SofaEngine(config, max_batch_heads=16)
+    t0 = time.perf_counter()
+    futures = engine.submit_many(requests)
+    records = engine.flush()
+    results = [f.result() for f in futures]
+    batched_s = time.perf_counter() - t0
+
+    # ------------------------------------------------- sequential head loop
+    t0 = time.perf_counter()
+    sequential = [
+        SofaAttention(r.wk, r.wv, config)(r.tokens, r.q) for r in requests
+    ]
+    sequential_s = time.perf_counter() - t0
+
+    exact = all(
+        np.array_equal(a.selected, b.selected) and a.output.tobytes() == b.output.tobytes()
+        for a, b in zip(sequential, results)
+    )
+
+    print(f"requests submitted      : {len(requests)}")
+    print(f"batches executed        : {len(records)}")
+    for rec in records:
+        print(
+            f"  - {rec.n_heads:2d} heads on the (S={rec.seq_len}, "
+            f"Bc={rec.tile_cols}) grid"
+        )
+    print(f"mean heads per batch    : {engine.stats.mean_batch_heads:.1f}")
+    print(f"bit-identical to loop   : {exact}")
+    print(f"sequential wall clock   : {sequential_s * 1e3:8.1f} ms "
+          f"({len(requests) / sequential_s:7.1f} req/s)")
+    print(f"engine wall clock       : {batched_s * 1e3:8.1f} ms "
+          f"({len(requests) / batched_s:7.1f} req/s)")
+    print(f"throughput gain         : {sequential_s / batched_s:.2f}x")
+    total_triggers = sum(r.assurance_triggers for r in results)
+    print(f"max-ensure activations  : {total_triggers} across the stream")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,10 @@ contribution:
     The SOFA algorithms: DLZS prediction, SADS distributed sorting, SU-FA
     sorted-updating FlashAttention, the cross-stage tiled pipeline and the
     Bayesian-optimisation design-space exploration.
+``repro.engine``
+    The batched execution layer: a fused multi-head operator bit-identical
+    to the per-head pipeline, and a serving frontend with a request queue,
+    shape-batching scheduler and per-request futures.
 ``repro.hw``
     A cycle-approximate model of the SOFA accelerator: engines, SRAM/DRAM,
     RASS scheduling and area/power accounting.
@@ -31,8 +35,9 @@ from repro.core.dlzs import DlzsPredictor
 from repro.core.pipeline import SofaAttention, sofa_attention
 from repro.core.sads import SadsSorter
 from repro.core.sufa import sorted_updating_attention
+from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SofaConfig",
@@ -41,5 +46,8 @@ __all__ = [
     "DlzsPredictor",
     "SadsSorter",
     "sorted_updating_attention",
+    "BatchedSofaAttention",
+    "SofaEngine",
+    "AttentionRequest",
     "__version__",
 ]

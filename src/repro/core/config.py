@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -87,3 +87,12 @@ class SofaConfig:
         if self.tile_cols < 1:
             raise ValueError("tile_cols must be >= 1")
         return -(-seq_len // self.tile_cols)
+
+    def sads_for(self, n_segments: int) -> SadsConfig:
+        """Stage-2 sorter config under the coordinated tiling.
+
+        The sorter's sub-segments ARE the Bc tiles, so the pipeline (and its
+        batched twin, which must stay bit-identical) both derive the sorter
+        from this single place.
+        """
+        return replace(self.sads, n_segments=n_segments)

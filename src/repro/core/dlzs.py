@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.config import DlzsConfig
 from repro.numerics.complexity import OpCounter
-from repro.numerics.fixed_point import quantize
+from repro.numerics.fixed_point import quantize, quantize_stack
 from repro.numerics.leading_zero import (
     ConfigurableLZE,
     leading_zeros,
@@ -223,6 +223,115 @@ class DlzsPredictor:
             k_hat=k_hat,
             ops=ops,
             scale=scale,
+        )
+
+
+@dataclass
+class StackedPredictionResult:
+    """Cross-phase DLZS prediction for a stack of heads.
+
+    ``a_hat`` is ``(N, T, S)``; ``head_ops[i]`` tallies exactly the work the
+    per-head :meth:`DlzsPredictor.predict` would report for head ``i``.
+    """
+
+    a_hat: np.ndarray
+    k_hat: np.ndarray
+    head_ops: list[OpCounter]
+    scales: np.ndarray
+
+
+class StackedDlzsPredictor:
+    """Cross-phase DLZS over a ``(N, H, D)`` stack of key projections.
+
+    The batched twin of :class:`DlzsPredictor`: every head's weights are
+    pre-converted to (sign, LZ) codes with that head's own quantization
+    scale, and :meth:`predict` runs phases 1.1/1.2 for the whole stack in
+    fused integer matmuls.  Because the integer arithmetic is exact and the
+    per-head scales match :func:`repro.numerics.fixed_point.quantize` bit for
+    bit, head ``i`` of the result equals ``DlzsPredictor(wk[i]).predict(
+    tokens[i], q[i])`` exactly.
+    """
+
+    def __init__(self, wk: np.ndarray, config: DlzsConfig | None = None):
+        self.config = config or DlzsConfig()
+        wk = np.asarray(wk)
+        if wk.ndim != 3:
+            raise ValueError("stacked Wk must be 3-D (N, H, D)")
+        if np.issubdtype(wk.dtype, np.floating):
+            self._wk_int = quantize_stack(wk, self.config.weight_bits).values
+        else:
+            self._wk_int = wk.astype(np.int64)
+        w = self.config.weight_bits
+        self._wk_signs = np.sign(self._wk_int)
+        self._wk_lz = leading_zeros(self._wk_int, w)
+        self._wk_pow2 = self._wk_signs * lz_decode_magnitude(self._wk_lz, w)
+
+    @property
+    def n_heads(self) -> int:
+        return self._wk_pow2.shape[0]
+
+    def predict(self, tokens: np.ndarray, q: np.ndarray) -> StackedPredictionResult:
+        """Stack-fused phases 1.1/1.2: ``(N, S, H)`` tokens -> ``(N, T, S)``.
+
+        All heavy arithmetic is batched (integer matmuls over the whole
+        stack); only the per-head op-counter assembly iterates over heads.
+        """
+        tokens = np.asarray(tokens)
+        q_arr = np.asarray(q)
+        if tokens.ndim != 3 or q_arr.ndim != 3:
+            raise ValueError("stacked predict needs (N, S, H) tokens and (N, T, D) q")
+        n = self.n_heads
+        if tokens.shape[0] != n or q_arr.shape[0] != n:
+            raise ValueError("leading axis must match the weight stack")
+
+        # Phase 1.1: K_hat = tokens @ Wk via pre-converted LZ weights.
+        if np.issubdtype(tokens.dtype, np.floating):
+            tok = quantize_stack(tokens, self.config.token_bits).values
+        else:
+            tok = tokens.astype(np.int64)
+        key_values = tok @ self._wk_pow2  # exact batched int64 matmul
+
+        # Truncate K_hat to the intermediate width (hardware keeps <=16 bits).
+        k_hat_q = quantize_stack(key_values, self.config.intermediate_bits)
+        k_hat = k_hat_q.values
+
+        # Phase 1.2: convert Q through the 16-bit-mode LZE, shift K_hat.
+        if np.issubdtype(q_arr.dtype, np.floating):
+            q_q = quantize_stack(q_arr, self.config.query_bits)
+            q_int, q_scales = q_q.values, q_q.scales
+        else:
+            q_int, q_scales = q_arr.astype(np.int64), np.ones(n)
+
+        lze = ConfigurableLZE(mode_bits=self.config.query_bits)
+        q_signs, q_lz = lze.encode(q_int)
+        width = self.config.query_bits
+        pow2 = q_signs * lz_decode_magnitude(q_lz, width)  # (N, T, D)
+        a_hat = pow2 @ k_hat.transpose(0, 2, 1)  # (N, T, S), exact int64
+
+        scales = q_scales * k_hat_q.scales
+        s = tokens.shape[1]
+        t, d = q_int.shape[1], q_int.shape[2]
+        h = tokens.shape[2]
+        dw = self._wk_pow2.shape[2]
+        wk_nonzero = np.count_nonzero(self._wk_pow2, axis=(1, 2))
+        q_nonzero = np.count_nonzero(pow2, axis=(1, 2))
+        head_ops: list[OpCounter] = []
+        for i in range(n):  # per-head bookkeeping only; the math is fused
+            ops = OpCounter()
+            ops.add_op("shift", float(s) * int(wk_nonzero[i]))
+            ops.add_op("xor", float(s) * int(wk_nonzero[i]))
+            ops.add_op("add", float(s) * max(h - 1, 0) * dw)
+            ops.add_op("lzc", t * d)
+            ops.add_op("shift", float(s) * int(q_nonzero[i]))
+            ops.add_op("xor", float(s) * int(q_nonzero[i]))
+            ops.add_op("add", float(t) * max(d - 1, 0) * s)
+            head_ops.append(ops)
+
+        return StackedPredictionResult(
+            a_hat=a_hat.astype(np.float64) * scales[:, None, None],
+            k_hat=k_hat,
+            head_ops=head_ops,
+            scales=scales,
         )
 
 

@@ -20,6 +20,11 @@ Consequences modeled here:
   baselines.
 * **Fine-grained stage overlap** - per-tile latencies feed the hw pipeline
   model; the functional result here is exact regardless of overlap.
+
+This module is the single-head operator; ``repro.engine`` executes whole
+``(batch * heads)`` stacks through the same stages in fused NumPy ops, with
+bit-for-bit identical per-head results (the float paths route through the
+batch-invariant primitives in ``repro.numerics.linalg``).
 """
 
 from __future__ import annotations
@@ -35,6 +40,39 @@ from repro.core.dlzs import DlzsPredictor
 from repro.core.sads import SadsSorter
 from repro.core.sufa import UpdateOrder, sorted_updating_attention
 from repro.numerics.complexity import OpCounter, matmul_ops
+from repro.numerics.linalg import det_matmul
+
+
+def prediction_trace_bytes(
+    cfg: SofaConfig, s: int, h: int, dk: int, t: int
+) -> tuple[float, float]:
+    """(dram, sram) bytes of the DLZS stage - shared with the batched engine."""
+    pred_bits = cfg.dlzs.token_bits
+    dram = float(s) * h * (pred_bits // 8)  # token stream
+    dram += h * dk * 0.5  # 4-bit LZ codes
+    sram = float(t) * cfg.tile_cols * 2 + cfg.tile_cols * h
+    return dram, sram
+
+
+def sads_trace_sram(cfg: SofaConfig, t: int, k_count: int) -> float:
+    """SRAM high-water mark of the SADS stage (its DRAM traffic is zero)."""
+    return float(t) * cfg.tile_cols * 2 + float(t) * k_count * 4
+
+
+def formal_trace_bytes(
+    cfg: SofaConfig, u: int, h: int, t: int, d: int, dk: int, dv: int
+) -> tuple[float, float]:
+    """(dram, sram) bytes of the on-demand-KV + SU-FA stage.
+
+    ``u`` is the number of unique selected tokens (the re-read set).
+    """
+    dram = (
+        u * h * 1.0  # re-read selected tokens (8-bit)
+        + float(t) * d * 2  # Q stream (16-bit)
+        + float(t) * dv * 2  # output write
+    )
+    sram = float(t) * d * 2 + 2 * cfg.tile_cols * dk * 2 + float(t) * (dv + 2) * 2
+    return dram, sram
 
 
 @dataclass
@@ -116,6 +154,7 @@ class SofaAttention:
         q: np.ndarray,
         k_scale: float = 1.0,
         v_scale: float = 1.0,
+        v: np.ndarray | None = None,
     ) -> SofaAttentionResult:
         """Run the pipeline: predict, select, and compute sparse attention.
 
@@ -129,6 +168,10 @@ class SofaAttention:
         k_scale / v_scale:
             Scales applied to the on-demand generated K/V (the model
             substrate folds normalization constants here).
+        v:
+            Optional ``(S, Dv)`` pre-computed value matrix (a serving value
+            cache).  When given, SU-FA consumes it directly and the
+            on-demand generation (and its op charge) covers keys only.
         """
         tokens = np.asarray(tokens, dtype=np.float64)
         q = np.asarray(q, dtype=np.float64)
@@ -140,39 +183,37 @@ class SofaAttention:
 
         # ---------------------------------------------------- stage 1: DLZS
         pred = self.predictor.predict(tokens, q)
-        pred_bits = cfg.dlzs.token_bits
-        pred_dram = float(s) * tokens.shape[1] * (pred_bits // 8)  # token stream
-        pred_dram += tokens.shape[1] * self._wk.shape[1] * 0.5  # 4-bit LZ codes
-        pred_sram = float(t) * cfg.tile_cols * 2 + cfg.tile_cols * tokens.shape[1]
+        pred_dram, pred_sram = prediction_trace_bytes(
+            cfg, s, tokens.shape[1], self._wk.shape[1], t
+        )
         stage1 = StageTrace("dlzs_prediction", pred.ops, pred_dram, pred_sram)
 
         # ----------------------------------------------------- stage 2: SADS
         # The coordinated tiling: the sorter's segments ARE the Bc tiles.
-        sorter = SadsSorter(
-            type(cfg.sads)(
-                n_segments=n_tiles,
-                radius=cfg.sads.radius,
-                adjust_rounds=cfg.sads.adjust_rounds,
-                sorter_width=cfg.sads.sorter_width,
-                sorter_keep=cfg.sads.sorter_keep,
-            )
-        )
+        sorter = SadsSorter(cfg.sads_for(n_tiles))
         sel = sorter.select(pred.a_hat, k_count)
         stage2 = StageTrace(
             "sads_topk",
             sel.ops,
             0.0,  # Pre-Atten tiles never leave SRAM in the tiled dataflow
-            float(t) * cfg.tile_cols * 2 + float(t) * k_count * 4,
+            sads_trace_sram(cfg, t, k_count),
         )
 
         # ------------------------------------------- stage 3: on-demand KV + SU-FA
         unique_tokens = np.unique(sel.indices)
         k_mat = np.zeros((s, self._wk.shape[1]))
-        v_mat = np.zeros((s, self._wv.shape[1]))
-        k_mat[unique_tokens] = tokens[unique_tokens] @ self._wk * k_scale
-        v_mat[unique_tokens] = tokens[unique_tokens] @ self._wv * v_scale
+        k_mat[unique_tokens] = det_matmul(tokens[unique_tokens], self._wk) * k_scale
         kv_ops = matmul_ops(unique_tokens.size, tokens.shape[1], self._wk.shape[1])
-        kv_ops = kv_ops + matmul_ops(unique_tokens.size, tokens.shape[1], self._wv.shape[1])
+        if v is None:
+            v_mat = np.zeros((s, self._wv.shape[1]))
+            v_mat[unique_tokens] = det_matmul(tokens[unique_tokens], self._wv) * v_scale
+            kv_ops = kv_ops + matmul_ops(
+                unique_tokens.size, tokens.shape[1], self._wv.shape[1]
+            )
+        else:
+            v_mat = np.asarray(v, dtype=np.float64)
+            if v_mat.ndim != 2 or v_mat.shape[0] != s:
+                raise ValueError("value cache must be (S, Dv)")
 
         sufa = sorted_updating_attention(
             q,
@@ -183,15 +224,14 @@ class SofaAttention:
             max_assurance=cfg.sufa.max_assurance,
             tile_cols=cfg.tile_cols,
         )
-        formal_dram = (
-            unique_tokens.size * tokens.shape[1] * 1.0  # re-read selected tokens (8-bit)
-            + float(t) * q.shape[1] * 2  # Q stream (16-bit)
-            + float(t) * v_mat.shape[1] * 2  # output write
-        )
-        formal_sram = (
-            float(t) * q.shape[1] * 2
-            + 2 * cfg.tile_cols * self._wk.shape[1] * 2
-            + float(t) * (v_mat.shape[1] + 2) * 2
+        formal_dram, formal_sram = formal_trace_bytes(
+            cfg,
+            unique_tokens.size,
+            tokens.shape[1],
+            t,
+            q.shape[1],
+            self._wk.shape[1],
+            v_mat.shape[1],
         )
         stage3 = StageTrace(
             "sufa_formal", kv_ops + sufa.ops, formal_dram, formal_sram

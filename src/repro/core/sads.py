@@ -85,6 +85,25 @@ class SadsResult:
     clipped_fraction: float
 
 
+@dataclass
+class SadsStackResult:
+    """Row-resolved SADS output for an arbitrary stack of score rows.
+
+    This is the engine-facing variant: op counts stay per-row so a caller
+    batching many heads can re-aggregate them per head without losing the
+    exact totals the per-head sequential path reports.
+    """
+
+    indices: np.ndarray  # (R, k)
+    compare_rows: np.ndarray  # (R,) raw comparator counts
+    clipped_rows: np.ndarray  # (R,) clipped candidate counts
+
+    def row_ops(self, row: int) -> OpCounter:
+        ops = OpCounter()
+        ops.add_op("compare", float(self.compare_rows[row]))
+        return ops
+
+
 class SadsSorter:
     """Distributed top-k selector with sphere clipping and adjustive exchange."""
 
@@ -104,7 +123,7 @@ class SadsSorter:
             raise ValueError(f"k={k} out of range for row of length {s}")
         n = min(self.config.n_segments, k, s)
         bounds = np.linspace(0, s, n + 1, dtype=np.int64)
-        quota = self._segment_quotas(k, n)
+        quota = self._capped_quotas(k, bounds)
 
         ops = OpCounter()
         clipped_total = 0
@@ -131,23 +150,85 @@ class SadsSorter:
 
     # ---------------------------------------------------------------- batch
     def select(self, scores: np.ndarray, k: int) -> SadsResult:
-        """Row-parallel selection over a (T, S) estimate matrix."""
+        """Row-parallel selection over a (T, S) estimate matrix.
+
+        Runs the vectorized :meth:`select_stack` core; each row's indices and
+        comparator counts are bit-identical to :meth:`select_row` on that row
+        (the single-row path is kept as the golden reference and the parity
+        is asserted by the engine test suite).
+        """
+        stack = self.select_stack(scores, k)
+        ops = OpCounter()
+        ops.add_op("compare", float(stack.compare_rows.sum()))
+        total = np.asarray(scores).size
+        clipped = int(stack.clipped_rows.sum())
+        return SadsResult(
+            indices=stack.indices,
+            ops=ops,
+            clipped_fraction=clipped / total if total else 0.0,
+        )
+
+    def select_stack(self, scores: np.ndarray, k: int) -> SadsStackResult:
+        """Vectorized distributed top-k over a ``(R, S)`` stack of rows.
+
+        One fused pass runs every row of every head in a batch through the
+        same segment grid: the per-segment work is ``argsort``/mask algebra
+        over the whole stack, the adjustive exchange advances all rows in
+        lockstep, and per-row comparator tallies are returned so callers can
+        group them back per head.  Row semantics (selection, ordering, tie
+        breaks, op counts) exactly match :meth:`select_row`.
+        """
         scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 2:
             raise ValueError("scores must be 2-D")
-        rows = []
-        ops = OpCounter()
-        clipped = 0
-        for row in scores:
-            res = self.select_row(row, k)
-            rows.append(res.indices)
-            ops = ops + res.ops
-            clipped += res.clipped
-        total = scores.size
-        return SadsResult(
-            indices=np.stack(rows),
-            ops=ops,
-            clipped_fraction=clipped / total if total else 0.0,
+        r, s = scores.shape
+        if not 1 <= k <= s:
+            raise ValueError(f"k={k} out of range for row of length {s}")
+        n = min(self.config.n_segments, k, s)
+        bounds = np.linspace(0, s, n + 1, dtype=np.int64)
+        quotas = self._capped_quotas(k, bounds)
+        fresh = max(self.config.sorter_width - self.config.sorter_keep, 1)
+        per_pass = _bitonic_comparators(self.config.sorter_width)
+
+        compare_rows = np.zeros(r, dtype=np.float64)
+        clipped_rows = np.zeros(r, dtype=np.int64)
+        running_max = np.full(r, -np.inf)
+        chosen_parts: list[np.ndarray] = []
+        for seg in range(n):
+            lo, hi = int(bounds[seg]), int(bounds[seg + 1])
+            block = scores[:, lo:hi]
+            width = hi - lo
+            quota = int(quotas[seg])
+            seg_max = block.max(axis=1)
+            if quota > 0:
+                threshold = np.where(
+                    np.isfinite(running_max), running_max - self.config.radius, -np.inf
+                )
+                survivors = (block >= threshold[:, None]).sum(axis=1)
+                # The top-quota set is threshold-independent (clipping only
+                # suppresses comparator switching), so selection reduces to a
+                # stable descending sort; the survivor count drives op/power
+                # accounting and the below-quota hardware fallback.
+                take = min(quota, width)
+                order = np.argsort(-block, axis=1, kind="stable")[:, :take]
+                chosen_parts.append(order + lo)
+                cand = np.where(survivors < quota, take, survivors)
+                clipped_rows += width - cand
+                compare_rows += width  # threshold check on every element
+                rounds = -(-cand // fresh)
+                compare_rows += rounds * per_pass
+            running_max = np.maximum(running_max, seg_max)
+
+        sel = np.concatenate(chosen_parts, axis=1)
+        sel, exch_compares = self._adjustive_exchange_stack(scores, sel, k)
+        compare_rows += exch_compares
+
+        selvals = np.take_along_axis(scores, sel, axis=1)
+        order = np.argsort(-selvals, axis=1, kind="stable")
+        indices = np.take_along_axis(sel, order, axis=1)
+        compare_rows += _final_merge_compares(k, n)
+        return SadsStackResult(
+            indices=indices, compare_rows=compare_rows, clipped_rows=clipped_rows
         )
 
     # ------------------------------------------------------------- internals
@@ -156,6 +237,26 @@ class SadsSorter:
         base, rem = divmod(k, n)
         quotas = np.full(n, base, dtype=np.int64)
         quotas[:rem] += 1
+        return quotas
+
+    def _capped_quotas(self, k: int, bounds: np.ndarray) -> np.ndarray:
+        """Width-aware quotas: never assign a segment more than it holds.
+
+        The even split can exceed a narrow segment's width when k approaches
+        S (e.g. select-all over uneven tiles); the overflow re-distributes
+        round-robin into segments with spare capacity so exactly k indices
+        are always selected.
+        """
+        widths = np.diff(bounds)
+        quotas = np.minimum(self._segment_quotas(k, widths.size), widths)
+        shortfall = k - int(quotas.sum())
+        while shortfall > 0:
+            for i in range(widths.size):
+                if shortfall <= 0:
+                    break
+                if quotas[i] < widths[i]:
+                    quotas[i] += 1
+                    shortfall -= 1
         return quotas
 
     def _select_segment(
@@ -191,31 +292,74 @@ class SadsSorter:
     def _adjustive_exchange(
         self, row: np.ndarray, indices: np.ndarray, k: int
     ) -> tuple[np.ndarray, OpCounter]:
-        """Swap selected-min with excluded-max while out of order (Fig. 9)."""
+        """Swap selected-min with excluded-max while out of order (Fig. 9).
+
+        The selected set is kept as an array in segment-concatenation order
+        with in-place swaps, so tie-breaking is deterministic and the
+        vectorized :meth:`_adjustive_exchange_stack` can reproduce it row for
+        row.
+        """
         ops = OpCounter()
         rounds = self.config.adjust_rounds
+        indices = np.array(indices[:k], dtype=np.int64)
         if rounds <= 0:
-            return indices[:k], ops
-        selected = set(int(i) for i in indices[:k])
+            return indices, ops
         excluded_mask = np.ones(row.size, dtype=bool)
-        excluded_mask[list(selected)] = False
+        excluded_mask[indices] = False
         for _ in range(rounds):
             if not excluded_mask.any():
                 break
-            sel_arr = np.fromiter(selected, dtype=np.int64)
-            min_idx = sel_arr[np.argmin(row[sel_arr])]
-            exc_idx = int(np.flatnonzero(excluded_mask)[np.argmax(row[excluded_mask])])
+            min_pos = int(np.argmin(row[indices]))
+            exc_idx = int(np.argmax(np.where(excluded_mask, row, -np.inf)))
             # The threshold-updating unit tracks the excluded maximum as a
             # side effect of the clipping pass, so one exchange round only
             # pays a min-scan over the k selected values plus the swap check.
-            ops.add_op("compare", len(selected) + 1)
-            if row[exc_idx] <= row[min_idx]:
+            ops.add_op("compare", indices.size + 1)
+            if row[exc_idx] <= row[indices[min_pos]]:
                 break  # "If the min >= the max: End"
-            selected.remove(int(min_idx))
-            selected.add(exc_idx)
             excluded_mask[exc_idx] = False
-            excluded_mask[min_idx] = True
-        return np.fromiter(selected, dtype=np.int64), ops
+            excluded_mask[indices[min_pos]] = True
+            indices[min_pos] = exc_idx
+        return indices, ops
+
+    def _adjustive_exchange_stack(
+        self, scores: np.ndarray, sel: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized adjustive exchange advancing every row in lockstep.
+
+        A row leaves the lockstep (goes inactive) exactly when the sequential
+        loop would break for it: no excluded candidates left, or the swap
+        check failed.  Returns the adjusted indices and per-row comparator
+        counts.
+        """
+        rounds = self.config.adjust_rounds
+        r, s = scores.shape
+        compare_rows = np.zeros(r, dtype=np.float64)
+        sel = np.array(sel[:, :k], dtype=np.int64)
+        if rounds <= 0:
+            return sel, compare_rows
+        k_sel = sel.shape[1]
+        excluded = np.ones((r, s), dtype=bool)
+        np.put_along_axis(excluded, sel, False, axis=1)
+        rows = np.arange(r)
+        alive = np.ones(r, dtype=bool)
+        for _ in range(rounds):
+            alive = alive & excluded.any(axis=1)
+            if not alive.any():
+                break
+            selvals = np.take_along_axis(scores, sel, axis=1)
+            min_pos = np.argmin(selvals, axis=1)
+            min_idx = sel[rows, min_pos]
+            exc_idx = np.argmax(np.where(excluded, scores, -np.inf), axis=1)
+            compare_rows[alive] += k_sel + 1
+            swap = alive & (scores[rows, exc_idx] > scores[rows, min_idx])
+            if swap.any():
+                sw = np.flatnonzero(swap)
+                excluded[sw, exc_idx[sw]] = False
+                excluded[sw, min_idx[sw]] = True
+                sel[sw, min_pos[sw]] = exc_idx[sw]
+            alive = swap
+        return sel, compare_rows
 
 
 def _final_merge_compares(k: int, n_segments: int) -> float:

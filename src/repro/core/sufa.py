@@ -17,6 +17,14 @@ max can be wrong.  The Max-Ensuring circuit (Sec. IV-D) is modeled by
 ``max_assurance=True``: whenever a streamed score exceeds the running max the
 engine falls back to one classic-FA rescale step (counted), keeping the
 result exact regardless of prediction quality.
+
+Implementation note: the streaming core (:func:`stream_selected`) is
+vectorized over an arbitrary stack of query rows - the key-position loop
+advances every row one selected key at a time, exactly like the hardware's
+row-parallel PE columns share one K/V stream.  Row results are bit-identical
+whether one row or ten thousand share the call, which is what lets the
+batched engine (``repro.engine``) reuse this core while matching the
+per-head operator exactly.
 """
 
 from __future__ import annotations
@@ -26,7 +34,8 @@ from enum import Enum
 
 import numpy as np
 
-from repro.numerics.complexity import OpCounter, matmul_ops
+from repro.numerics.complexity import OpCounter
+from repro.numerics.linalg import det_rowdot
 
 
 class UpdateOrder(Enum):
@@ -64,72 +73,122 @@ class SufaResult:
     assurance_triggers: int
 
 
-def _stream_row(
-    scores: np.ndarray,
-    values: np.ndarray,
-    order: UpdateOrder,
-    max_assurance: bool,
-    tile_cols: int,
-) -> SufaRowResult:
-    """Stream one row's (score, value) pairs in the given order.
+@dataclass
+class SufaStackResult:
+    """Row-resolved SU-FA output for a stack of query rows.
 
-    ``scores``/``values`` must already be arranged in the processing order
-    (the caller applies the top-k stage's permutation).  Tiling only affects
-    the synchronization op count (one tile-boundary bookkeeping compare per
-    tile), not the numerics - the state (m, l, o) carries across tiles.
+    Per-row op tallies stay separate so a caller batching many heads can
+    aggregate them per head without losing the exact per-head totals.
     """
-    ops = OpCounter()
-    k = scores.size
-    d = values.shape[1]
-    triggers = 0
+
+    output: np.ndarray  # (R, Dv)
+    op_rows: dict[str, np.ndarray]  # op kind -> (R,) raw counts
+    trigger_rows: np.ndarray  # (R,) Max-Ensuring activations
+
+    def row_ops(self, row: int) -> OpCounter:
+        ops = OpCounter()
+        for op, counts in self.op_rows.items():
+            ops.add_op(op, float(counts[row]))
+        return ops
+
+
+def stream_selected(
+    q_rows: np.ndarray,
+    k_sel: np.ndarray,
+    v_sel: np.ndarray,
+    order: UpdateOrder = UpdateOrder.DESCENDING,
+    max_assurance: bool = True,
+    tile_cols: int = 64,
+) -> SufaStackResult:
+    """Stream pre-gathered (K, V) pairs through the sorted-updating engine.
+
+    Parameters
+    ----------
+    q_rows:
+        ``(R, D)`` query rows (one per selected-key list).
+    k_sel / v_sel:
+        ``(R, kk, D)`` / ``(R, kk, Dv)`` keys and values already gathered in
+        SADS output order (descending estimated score).
+    order / max_assurance / tile_cols:
+        As in :func:`sorted_updating_attention`.
+
+    The whole stack advances one key position per step; state updates are
+    elementwise, so each row's result is bit-identical to streaming it alone.
+    """
+    q_rows = np.asarray(q_rows, dtype=np.float64)
+    k_sel = np.asarray(k_sel, dtype=np.float64)
+    v_sel = np.asarray(v_sel, dtype=np.float64)
+    r, d = q_rows.shape
+    kk = k_sel.shape[1]
+    dv = v_sel.shape[2]
+    scale = 1.0 / np.sqrt(d)
+
+    scores = det_rowdot(k_sel, q_rows[:, None, :]) * scale  # (R, kk)
+    if order is UpdateOrder.ASCENDING:
+        scores = scores[:, ::-1]
+        values = v_sel[:, ::-1, :]
+    else:
+        values = v_sel
+
+    op_rows: dict[str, np.ndarray] = {
+        # the QK^T gather work, charged as a (1, d) x (d, kk) matmul per row
+        "mul": np.full(r, float(d * kk)),
+        "add": np.full(r, float(max(d - 1, 0) * kk)),
+        "compare": np.zeros(r),
+        "exp": np.zeros(r),
+        "div": np.zeros(r),
+    }
 
     # Mode-1 warmup: the sorter guarantees exact ordering only for the top-1
     # and top-2 entries (paper Sec. IV-C), and the Max-Ensuring circuit runs
     # in max-update mode over the first block, so the engine starts from the
-    # true maximum of the leading entries rather than trusting scores[0].
-    warmup = min(_WARMUP_SCAN, k)
-    m = float(np.max(scores[:warmup]))
-    ops.add_op("compare", warmup - 1)
-    l = 0.0
-    o = np.zeros(d)
+    # true maximum of the leading entries rather than trusting scores[:, 0].
+    warmup = min(_WARMUP_SCAN, kk)
+    m = np.max(scores[:, :warmup], axis=1)
+    op_rows["compare"] += warmup - 1
+    l = np.zeros(r)
+    o = np.zeros((r, dv))
+    triggers = np.zeros(r, dtype=np.int64)
 
-    for j in range(k):
-        x = float(scores[j])
-        if x > m:
+    for j in range(kk):
+        x = scores[:, j]
+        viol = x > m
+        if viol.any():
             if not max_assurance:
                 raise RuntimeError(
                     "running max violated but max assurance is disabled; "
                     "the predicted ordering was wrong"
                 )
-            # Max-Ensuring circuit: one classic-FA rescale step.
-            corr = np.exp(m - x)
-            ops.add_op("exp", 1)
-            l *= corr
-            o *= corr
-            ops.add_op("mul", 1 + d)
-            ops.add_op("compare", 1)
-            m = x
-            triggers += 1
+            # Max-Ensuring circuit: one classic-FA rescale step on the
+            # violating rows only (corr == 1.0 elsewhere leaves state exact).
+            corr = np.exp(np.where(viol, m - x, 0.0))
+            l = l * corr
+            o = o * corr[:, None]
+            op_rows["exp"] += viol
+            op_rows["mul"] += viol * (1 + dv)
+            op_rows["compare"] += viol
+            m = np.where(viol, x, m)
+            triggers += viol
         p = np.exp(x - m)
-        ops.add_op("exp", 1)
+        op_rows["exp"] += 1
         if order is UpdateOrder.ASCENDING and j > 0:
             # Eq. (1): ascending updates rescale l by exp(m_prev - m) even
             # though the exponent simplification makes p == 1; that rescale
             # is one extra mul per step relative to descending.
-            ops.add_op("mul", 1)
-        l += p
-        ops.add_op("add", 1)
-        o += p * values[j]
-        ops.add_op("mul", d)
-        ops.add_op("add", d)
+            op_rows["mul"] += 1
+        l = l + p
+        op_rows["add"] += 1
+        o = o + p[:, None] * values[:, j, :]
+        op_rows["mul"] += dv
+        op_rows["add"] += dv
 
     # tile synchronization bookkeeping: one boundary op per tile
-    n_tiles = -(-k // tile_cols) if tile_cols >= 1 else 1
-    ops.add_op("compare", n_tiles)
+    n_tiles = -(-kk // tile_cols) if tile_cols >= 1 else 1
+    op_rows["compare"] += n_tiles
 
-    o /= l
-    ops.add_op("div", d)
-    return SufaRowResult(output=o, ops=ops, assurance_triggers=triggers)
+    o = o / l[:, None]
+    op_rows["div"] += dv
+    return SufaStackResult(output=o, op_rows=op_rows, trigger_rows=triggers)
 
 
 def sorted_updating_attention(
@@ -163,34 +222,26 @@ def sorted_updating_attention(
     k = np.asarray(k, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)
     sorted_indices = np.asarray(sorted_indices, dtype=np.int64)
-    t, d = q.shape
+    t = q.shape[0]
     if sorted_indices.ndim != 2 or sorted_indices.shape[0] != t:
         raise ValueError("sorted_indices must be (T, k)")
-    kk = sorted_indices.shape[1]
-    scale = 1.0 / np.sqrt(d)
 
+    res = stream_selected(
+        q,
+        k[sorted_indices],
+        v[sorted_indices],
+        order=order,
+        max_assurance=max_assurance,
+        tile_cols=tile_cols,
+    )
     ops = OpCounter()
-    outputs = np.zeros((t, v.shape[1]))
-    triggers = 0
-    for i in range(t):
-        sel = sorted_indices[i]
-        scores = (k[sel] @ q[i]) * scale  # (kk,) - the QK^T work
-        ops_row = matmul_ops(1, d, kk)
-        if order is UpdateOrder.ASCENDING:
-            sel_order = slice(None, None, -1)
-        else:
-            sel_order = slice(None)
-        res = _stream_row(
-            scores[sel_order],
-            v[sel][sel_order],
-            order,
-            max_assurance,
-            tile_cols,
-        )
-        outputs[i] = res.output
-        ops = ops + ops_row + res.ops
-        triggers += res.assurance_triggers
-    return SufaResult(output=outputs, ops=ops, assurance_triggers=triggers)
+    for op, counts in res.op_rows.items():
+        ops.add_op(op, float(counts.sum()))
+    return SufaResult(
+        output=res.output,
+        ops=ops,
+        assurance_triggers=int(res.trigger_rows.sum()),
+    )
 
 
 def sufa_update_ops_per_step(order: UpdateOrder, d: int) -> dict[str, float]:

@@ -1,0 +1,33 @@
+"""``repro.engine``: batched multi-head execution and serving for SOFA.
+
+The paper's pipeline is defined per attention head; production traffic is a
+stream of many heads from many requests.  This package scales the functional
+model along that axis:
+
+:class:`~repro.engine.batched.BatchedSofaAttention`
+    Fused DLZS -> SADS -> SU-FA over a ``(batch * heads)`` stack with no
+    per-head Python loop in any compute stage, bit-for-bit equal to the
+    sequential :class:`~repro.core.pipeline.SofaAttention` per head.
+:class:`~repro.engine.serving.SofaEngine`
+    A request queue with a greedy shape-batching scheduler and per-request
+    futures - the software analogue of the accelerator's head scheduler.
+"""
+
+from repro.engine.batched import BatchedSofaAttention, BatchedSofaResult
+from repro.engine.serving import (
+    AttentionFuture,
+    AttentionRequest,
+    BatchRecord,
+    EngineStats,
+    SofaEngine,
+)
+
+__all__ = [
+    "BatchedSofaAttention",
+    "BatchedSofaResult",
+    "AttentionFuture",
+    "AttentionRequest",
+    "BatchRecord",
+    "EngineStats",
+    "SofaEngine",
+]

@@ -1,0 +1,247 @@
+"""Batched multi-head SOFA attention: one fused pass over a head stack.
+
+:class:`BatchedSofaAttention` executes the DLZS -> SADS -> SU-FA pipeline for
+a whole ``(batch * heads)`` stack of attention problems in fused NumPy ops -
+there is no Python loop over heads in any compute stage:
+
+* **DLZS prediction** runs as stacked integer matmuls over all heads
+  (:class:`repro.core.dlzs.StackedDlzsPredictor`), with per-head quantization
+  scales preserved.
+* **SADS selection** flattens every query row of every head into one
+  ``(N*T, S)`` stack and runs the vectorized segment grid once
+  (:meth:`repro.core.sads.SadsSorter.select_stack`).
+* **SU-FA** streams all ``N*T`` rows through the sorted-updating core in
+  lockstep (:func:`repro.core.sufa.stream_selected`), mirroring how the
+  hardware's PE columns share one K/V stream across rows.
+
+Failure semantics follow the fusion: with ``max_assurance=False`` a
+mispredicted ordering in *any* head aborts the whole call (streaming state
+advances per step for the full stack), so callers needing per-head fault
+isolation - like :class:`~repro.engine.serving.SofaEngine` - serve such
+requests unbatched.
+
+The mapping to the paper's Fig. 6 tiling grid is unchanged: every head in
+the batch shares the same ``(S, tile_cols)`` grid, so the SADS sub-segments
+of all heads are the same Bc tiles the SU-FA stage consumes.  Batching adds
+a fourth reuse axis (heads) on top of the paper's three-stage reuse without
+touching the per-head dataflow - which is why the result is **bit-for-bit**
+identical to running :class:`repro.core.pipeline.SofaAttention` per head,
+including the per-head :class:`~repro.core.pipeline.StageTrace` accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SofaConfig
+from repro.core.dlzs import StackedDlzsPredictor
+from repro.core.pipeline import (
+    SofaAttentionResult,
+    StageTrace,
+    formal_trace_bytes,
+    prediction_trace_bytes,
+    sads_trace_sram,
+)
+from repro.core.sads import SadsSorter
+from repro.core.sufa import UpdateOrder, stream_selected
+from repro.numerics.complexity import OpCounter, matmul_ops
+from repro.numerics.linalg import det_gathered_project
+
+
+@dataclass
+class BatchedSofaResult:
+    """Output of one fused multi-head pipeline execution.
+
+    ``per_head[i]`` is a full :class:`SofaAttentionResult` (output, selected
+    indices, three stage traces, assurance triggers) equal to what the
+    sequential operator reports for head ``i``.
+    """
+
+    outputs: np.ndarray  # (N, T, Dv)
+    selected: np.ndarray  # (N, T, k)
+    per_head: list[SofaAttentionResult]
+
+    @property
+    def n_heads(self) -> int:
+        return self.outputs.shape[0]
+
+    @property
+    def total_ops(self) -> OpCounter:
+        total = OpCounter()
+        for head in self.per_head:
+            total = total + head.total_ops
+        return total
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return sum(head.total_dram_bytes for head in self.per_head)
+
+    @property
+    def assurance_triggers(self) -> int:
+        return sum(head.assurance_triggers for head in self.per_head)
+
+
+def _as_head_scales(scale: float | np.ndarray, n: int) -> np.ndarray:
+    arr = np.asarray(scale, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ValueError(f"per-head scales must be scalar or ({n},), got {arr.shape}")
+    return arr
+
+
+class BatchedSofaAttention:
+    """The fused multi-head SOFA operator.
+
+    Construction pre-converts every head's key projection to (sign, LZ)
+    codes (the offline model-preparation step, done once per weight stack);
+    :meth:`__call__` executes the online pipeline for the whole stack.
+    """
+
+    def __init__(self, wk: np.ndarray, wv: np.ndarray, config: SofaConfig | None = None):
+        self.config = config or SofaConfig()
+        wk = np.asarray(wk, dtype=np.float64)
+        wv = np.asarray(wv, dtype=np.float64)
+        if wk.ndim != 3 or wv.ndim != 3 or wk.shape[:2] != wv.shape[:2]:
+            raise ValueError("need (N, H, Dk) wk and (N, H, Dv) wv stacks")
+        self.predictor = StackedDlzsPredictor(wk, self.config.dlzs)
+        self._wk = wk
+        self._wv = wv
+
+    @property
+    def n_heads(self) -> int:
+        return self._wk.shape[0]
+
+    def __call__(
+        self,
+        tokens: np.ndarray,
+        q: np.ndarray,
+        k_scale: float | np.ndarray = 1.0,
+        v_scale: float | np.ndarray = 1.0,
+        v: np.ndarray | None = None,
+    ) -> BatchedSofaResult:
+        """Run the fused pipeline for the whole head stack.
+
+        Parameters
+        ----------
+        tokens:
+            ``(N, S, H)`` per-head token activations.
+        q:
+            ``(N, T, D)`` per-head query matrices.
+        k_scale / v_scale:
+            Scalar or ``(N,)`` per-head K/V generation scales.
+        v:
+            Optional ``(N, S, Dv)`` per-head value caches; when given the
+            on-demand value generation is skipped (serving decode reuses the
+            cache), matching ``SofaAttention(..., v=v[i])`` per head.
+        """
+        tokens = np.asarray(tokens, dtype=np.float64)
+        q = np.asarray(q, dtype=np.float64)
+        n = self.n_heads
+        if tokens.ndim != 3 or tokens.shape[0] != n or tokens.shape[2] != self._wk.shape[1]:
+            raise ValueError(f"tokens must be ({n}, S, {self._wk.shape[1]})")
+        if q.ndim != 3 or q.shape[0] != n or q.shape[2] != self._wk.shape[2]:
+            raise ValueError(f"q must be ({n}, T, {self._wk.shape[2]})")
+        k_scales = _as_head_scales(k_scale, n)
+        v_scales = _as_head_scales(v_scale, n)
+        s, h = tokens.shape[1], tokens.shape[2]
+        t, d = q.shape[1], q.shape[2]
+        dk = self._wk.shape[2]
+        cfg = self.config
+        k_count = cfg.resolve_top_k(s)
+        n_tiles = cfg.n_tiles(s)
+
+        # ---------------------------------------------------- stage 1: DLZS
+        pred = self.predictor.predict(tokens, q)
+        pred_dram, pred_sram = prediction_trace_bytes(cfg, s, h, dk, t)
+
+        # ----------------------------------------------------- stage 2: SADS
+        # The coordinated tiling: the sorter's segments ARE the Bc tiles,
+        # identical for every head in the batch (shared (S, Bc) grid).
+        sorter = SadsSorter(cfg.sads_for(n_tiles))
+        stack = sorter.select_stack(pred.a_hat.reshape(n * t, s), k_count)
+        kk = stack.indices.shape[1]
+        selected = stack.indices.reshape(n, t, kk)
+        sads_compare = stack.compare_rows.reshape(n, t)
+        sads_sram = sads_trace_sram(cfg, t, k_count)
+
+        # ------------------------------------------- stage 3: on-demand KV + SU-FA
+        sel_mask = np.zeros((n, s), dtype=bool)
+        np.put_along_axis(sel_mask, selected.reshape(n, t * kk), True, axis=1)
+        head_idx, tok_idx = np.nonzero(sel_mask)  # per head, ascending tokens
+        unique_counts = sel_mask.sum(axis=1)
+
+        toks_sel = tokens[head_idx, tok_idx]  # (U, H)
+        k_mat = np.zeros((n, s, dk))
+        k_mat[head_idx, tok_idx] = (
+            det_gathered_project(toks_sel, self._wk, head_idx) * k_scales[head_idx, None]
+        )
+        if v is None:
+            dv = self._wv.shape[2]
+            v_mat = np.zeros((n, s, dv))
+            v_mat[head_idx, tok_idx] = (
+                det_gathered_project(toks_sel, self._wv, head_idx)
+                * v_scales[head_idx, None]
+            )
+        else:
+            v_mat = np.asarray(v, dtype=np.float64)
+            if v_mat.ndim != 3 or v_mat.shape[:2] != (n, s):
+                raise ValueError(f"value caches must be ({n}, {s}, Dv)")
+            dv = v_mat.shape[2]
+
+        head_arange = np.arange(n)[:, None, None]
+        k_sel = k_mat[head_arange, selected]  # (N, T, kk, Dk)
+        v_sel = v_mat[head_arange, selected]  # (N, T, kk, Dv)
+        stream = stream_selected(
+            q.reshape(n * t, d),
+            k_sel.reshape(n * t, kk, dk),
+            v_sel.reshape(n * t, kk, dv),
+            order=UpdateOrder.DESCENDING if cfg.sufa.descending else UpdateOrder.ASCENDING,
+            max_assurance=cfg.sufa.max_assurance,
+            tile_cols=cfg.tile_cols,
+        )
+        outputs = stream.output.reshape(n, t, dv)
+        sufa_ops_rows = {
+            op: counts.reshape(n, t) for op, counts in stream.op_rows.items()
+        }
+        triggers = stream.trigger_rows.reshape(n, t).sum(axis=1)
+
+        # ------------------------------- per-head accounting (bookkeeping only)
+        per_head: list[SofaAttentionResult] = []
+        for i in range(n):
+            stage1 = StageTrace(
+                "dlzs_prediction", pred.head_ops[i], pred_dram, pred_sram
+            )
+            sads_ops = OpCounter()
+            sads_ops.add_op("compare", float(sads_compare[i].sum()))
+            stage2 = StageTrace(
+                "sads_topk",
+                sads_ops,
+                0.0,  # Pre-Atten tiles never leave SRAM in the tiled dataflow
+                sads_sram,
+            )
+            u = int(unique_counts[i])
+            kv_ops = matmul_ops(u, h, dk)
+            if v is None:
+                kv_ops = kv_ops + matmul_ops(u, h, self._wv.shape[2])
+            sufa_ops = OpCounter()
+            for op, counts in sufa_ops_rows.items():
+                sufa_ops.add_op(op, float(counts[i].sum()))
+            formal_dram, formal_sram = formal_trace_bytes(cfg, u, h, t, d, dk, dv)
+            stage3 = StageTrace(
+                "sufa_formal", kv_ops + sufa_ops, formal_dram, formal_sram
+            )
+            result = SofaAttentionResult(
+                output=outputs[i],
+                selected=selected[i],
+                stages=[stage1, stage2, stage3],
+                assurance_triggers=int(triggers[i]),
+            )
+            result._row_len = s
+            per_head.append(result)
+
+        return BatchedSofaResult(
+            outputs=outputs, selected=selected, per_head=per_head
+        )

@@ -1,0 +1,300 @@
+"""SofaEngine: a batching serving frontend over the fused SOFA pipeline.
+
+The paper accelerates one attention head at a time; a serving deployment
+sees a *stream* of independent attention requests (one per head per layer
+per active sequence).  This module provides the software analogue of the
+accelerator's head-level scheduler:
+
+* **Request queue** - callers :meth:`~SofaEngine.submit` independent
+  :class:`AttentionRequest` objects and receive an :class:`AttentionFuture`
+  immediately.
+* **Greedy batch scheduler** - :meth:`~SofaEngine.flush` walks the queue in
+  arrival order and greedily groups requests whose shapes share one
+  cross-stage tiling grid: the batch key is ``(S, T, H, Dk, Dv, config)``,
+  i.e. requests batch together exactly when they agree on the paper's
+  ``(S, tile_cols)`` grid (plus the tensor shapes needed to stack them).
+  Each group is executed as one :class:`BatchedSofaAttention` call of at
+  most ``max_batch_heads`` heads.
+* **Per-request futures** - every request resolves to the same
+  :class:`~repro.core.pipeline.SofaAttentionResult` the sequential operator
+  would have produced (bit-for-bit), so downstream accounting code cannot
+  tell it was served from a batch.
+
+The scheduler is deliberately synchronous (flush-driven): the repository's
+execution model is deterministic NumPy, and determinism is part of the
+engine's contract.  Wall-clock wins come from fusing the per-head NumPy
+work, not from thread concurrency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.config import SofaConfig
+from repro.core.pipeline import SofaAttentionResult
+from repro.engine.batched import BatchedSofaAttention
+
+
+@dataclass
+class AttentionRequest:
+    """One independent attention problem (a head of a layer of a sequence).
+
+    ``wk``/``wv`` are the head's key/value projections (``(H, Dk)`` /
+    ``(H, Dv)``); ``tokens`` is ``(S, H)``; ``q`` is ``(T, D)``.  ``v``
+    optionally supplies a pre-computed value cache, and ``config`` overrides
+    the engine default (requests only batch with compatible configs).
+    """
+
+    tokens: np.ndarray
+    q: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    k_scale: float = 1.0
+    v_scale: float = 1.0
+    v: np.ndarray | None = None
+    config: SofaConfig | None = None
+    tag: str | None = None
+
+
+class AttentionFuture:
+    """Handle to a queued request; resolves when its batch executes.
+
+    ``result()`` triggers a flush if the request is still queued, so callers
+    may simply submit everything and read results in any order.
+    """
+
+    def __init__(self, engine: "SofaEngine", request: AttentionRequest):
+        self._engine = engine
+        self._request = request
+        self._result: SofaAttentionResult | None = None
+        self._error: Exception | None = None
+
+    def done(self) -> bool:
+        return self._result is not None or self._error is not None
+
+    def set_result(self, result: SofaAttentionResult) -> None:
+        self._result = result
+
+    def set_error(self, error: Exception) -> None:
+        self._error = error
+
+    def result(self) -> SofaAttentionResult:
+        if not self.done():
+            try:
+                self._engine.flush()
+            except Exception:
+                # flush re-raises the first batch failure; only propagate it
+                # here when it is THIS request's failure - another request's
+                # error must not leak into a successfully served result.
+                if not self.done():
+                    raise
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None, "flush must resolve every queued future"
+        return self._result
+
+
+@dataclass
+class BatchRecord:
+    """One executed batch: its grid and how many heads rode it."""
+
+    n_heads: int
+    seq_len: int
+    n_queries: int
+    tile_cols: int
+
+
+@dataclass
+class EngineStats:
+    """Aggregate serving statistics since engine construction."""
+
+    n_requests: int = 0
+    n_batches: int = 0
+    batches: list[BatchRecord] = field(default_factory=list)
+
+    @property
+    def mean_batch_heads(self) -> float:
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+
+class SofaEngine:
+    """Serving frontend: queue, greedy shape-batching scheduler, futures."""
+
+    #: cached pre-converted operators kept per (weights, config) identity
+    _OPERATOR_CACHE_SIZE = 16
+
+    def __init__(self, config: SofaConfig | None = None, max_batch_heads: int = 64):
+        if max_batch_heads < 1:
+            raise ValueError("max_batch_heads must be >= 1")
+        self.config = config or SofaConfig()
+        self.max_batch_heads = max_batch_heads
+        self.stats = EngineStats()
+        self._queue: list[tuple[AttentionRequest, AttentionFuture]] = []
+        self._operators: OrderedDict[Hashable, BatchedSofaAttention] = OrderedDict()
+
+    # ------------------------------------------------------------- submission
+    def submit(self, request: AttentionRequest) -> AttentionFuture:
+        """Queue one request; returns immediately with its future.
+
+        Shapes and the top-k budget are validated here, so a malformed
+        request fails at submission instead of aborting the batch it would
+        have joined.
+        """
+        tokens = np.asarray(request.tokens)
+        q = np.asarray(request.q)
+        wk = np.asarray(request.wk)
+        wv = np.asarray(request.wv)
+        if tokens.ndim != 2 or q.ndim != 2 or wk.ndim != 2 or wv.ndim != 2:
+            raise ValueError("request tensors must be 2-D per head")
+        if tokens.shape[1] != wk.shape[0]:
+            raise ValueError("tokens and wk disagree on the hidden dimension")
+        if wv.shape[0] != wk.shape[0]:
+            raise ValueError("wk and wv disagree on the hidden dimension")
+        if q.shape[1] != wk.shape[1]:
+            raise ValueError("q and wk disagree on the head dimension")
+        if request.v is not None:
+            v = np.asarray(request.v)
+            if v.ndim != 2 or v.shape[0] != tokens.shape[0]:
+                raise ValueError("value cache must be (S, Dv)")
+        (request.config or self.config).resolve_top_k(tokens.shape[0])
+        future = AttentionFuture(self, request)
+        self._queue.append((request, future))
+        return future
+
+    def submit_many(self, requests: list[AttentionRequest]) -> list[AttentionFuture]:
+        return [self.submit(r) for r in requests]
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -------------------------------------------------------------- execution
+    def _batch_key(self, request: AttentionRequest) -> Hashable:
+        """Requests batch together iff they share one cross-stage grid."""
+        cfg = request.config or self.config
+        tokens = np.asarray(request.tokens)
+        q = np.asarray(request.q)
+        # Dv comes from the value cache when one is supplied - caches of
+        # different widths must not share a stack.
+        if request.v is not None:
+            dv = np.asarray(request.v).shape[1]
+        else:
+            dv = np.asarray(request.wv).shape[1]
+        return (
+            tokens.shape[0],  # S: the tiled key axis
+            q.shape[0],  # T
+            tokens.shape[1],  # H
+            q.shape[1],  # Dk
+            dv,
+            request.v is not None,
+            cfg,  # frozen dataclass: hashable; carries tile_cols & stage knobs
+        )
+
+    def flush(self) -> list[BatchRecord]:
+        """Drain the queue: greedy grouping in arrival order, fused execution.
+
+        Returns the batch records executed by this flush.  A batch that
+        raises resolves its own futures with the error and does not block
+        the remaining batches; the first error is re-raised once the queue
+        has fully drained.
+        """
+        if not self._queue:
+            return []
+        queue, self._queue = self._queue, []
+        groups: dict[Hashable, list[tuple[AttentionRequest, AttentionFuture]]] = {}
+        group_order: list[Hashable] = []
+        for item in queue:
+            key = self._batch_key(item[0])
+            if key not in groups:
+                groups[key] = []
+                group_order.append(key)
+            groups[key].append(item)
+
+        records: list[BatchRecord] = []
+        first_error: Exception | None = None
+        for key in group_order:
+            members = groups[key]
+            cfg = members[0][0].config or self.config
+            # A misprediction under max_assurance=False aborts a fused call
+            # for every head in it; serve such requests unbatched so the
+            # failure stays confined to the offending request.
+            limit = self.max_batch_heads if cfg.sufa.max_assurance else 1
+            for lo in range(0, len(members), limit):
+                chunk = members[lo : lo + limit]
+                try:
+                    records.append(self._execute(chunk))
+                    self.stats.n_requests += len(chunk)
+                except Exception as error:  # noqa: BLE001 - forwarded to futures
+                    for _, future in chunk:
+                        future.set_error(error)
+                    if first_error is None:
+                        first_error = error
+        self.stats.batches.extend(records)
+        self.stats.n_batches += len(records)
+        if first_error is not None:
+            raise first_error
+        return records
+
+    def _operator(
+        self, wk: np.ndarray, wv: np.ndarray, cfg: SofaConfig
+    ) -> BatchedSofaAttention:
+        """Build (or reuse) the pre-converted operator for a weight stack.
+
+        Weight pre-conversion is the offline model-preparation step; serving
+        loops resubmit the same projections every forward pass, so operators
+        are cached under a digest of the weight bytes plus the config.
+        """
+        key = (
+            cfg,
+            wk.shape,
+            wv.shape,
+            hashlib.sha1(wk.tobytes()).hexdigest(),
+            hashlib.sha1(wv.tobytes()).hexdigest(),
+        )
+        op = self._operators.get(key)
+        if op is None:
+            op = BatchedSofaAttention(wk, wv, cfg)
+            self._operators[key] = op
+            while len(self._operators) > self._OPERATOR_CACHE_SIZE:
+                self._operators.popitem(last=False)
+        else:
+            self._operators.move_to_end(key)
+        return op
+
+    def _execute(
+        self, chunk: list[tuple[AttentionRequest, AttentionFuture]]
+    ) -> BatchRecord:
+        requests = [r for r, _ in chunk]
+        cfg = requests[0].config or self.config
+        wk = np.stack([np.asarray(r.wk, dtype=np.float64) for r in requests])
+        wv = np.stack([np.asarray(r.wv, dtype=np.float64) for r in requests])
+        tokens = np.stack([np.asarray(r.tokens, dtype=np.float64) for r in requests])
+        q = np.stack([np.asarray(r.q, dtype=np.float64) for r in requests])
+        k_scales = np.array([r.k_scale for r in requests], dtype=np.float64)
+        v_scales = np.array([r.v_scale for r in requests], dtype=np.float64)
+        v = None
+        if requests[0].v is not None:
+            v = np.stack([np.asarray(r.v, dtype=np.float64) for r in requests])
+
+        op = self._operator(wk, wv, cfg)
+        result = op(tokens, q, k_scale=k_scales, v_scale=v_scales, v=v)
+        for (_, future), head_result in zip(chunk, result.per_head):
+            future.set_result(head_result)
+        return BatchRecord(
+            n_heads=len(chunk),
+            seq_len=tokens.shape[1],
+            n_queries=q.shape[1],
+            tile_cols=cfg.tile_cols,
+        )
+
+    # ------------------------------------------------------------ convenience
+    def run(self, requests: list[AttentionRequest]) -> list[SofaAttentionResult]:
+        """Submit, flush, and return results in request order."""
+        futures = self.submit_many(requests)
+        self.flush()
+        return [f.result() for f in futures]

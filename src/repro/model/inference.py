@@ -1,26 +1,31 @@
-"""Multi-layer inference runner: a full Transformer with SOFA attention.
+"""Multi-layer inference runner: a full Transformer served by the SOFA engine.
 
 Ties the substrates together for end-to-end studies: every attention head of
-every layer runs the DLZS -> SADS -> SU-FA pipeline (per-layer tile sizes as
-chosen by the DSE), and the runner aggregates per-layer operation counts,
-selection statistics and fidelity against the dense forward pass.
+every layer runs the DLZS -> SADS -> SU-FA pipeline, and the runner
+aggregates per-layer operation counts, selection statistics and fidelity
+against the dense forward pass.
 
-This is the integration surface the examples and ablation studies use when
-one attention head is not enough - e.g. measuring how prediction error
-compounds (or doesn't) across depth.
+Since the serving engine landed, the runner is also its first production
+consumer: each layer submits all of its heads to a shared
+:class:`~repro.engine.serving.SofaEngine` as independent
+:class:`~repro.engine.serving.AttentionRequest` objects.  The engine's
+scheduler groups them onto one ``(S, tile_cols)`` tiling grid and executes
+the whole layer as a single fused :class:`~repro.engine.batched.
+BatchedSofaAttention` call - exactly how a deployment would amortize the
+cross-stage grid over concurrent traffic.  Inside a Transformer the head's
+K rows double as the pre-compute token stream (identity key projection) and
+the real V matrix rides along as the request's value cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.attention.metrics import output_relative_error
-from repro.attention.reference import masked_attention
-from repro.attention.topk import indices_to_mask
-from repro.core.config import SadsConfig, SofaConfig
-from repro.core.sads import SadsSorter
+from repro.core.config import SofaConfig
+from repro.engine.serving import AttentionRequest, SofaEngine
 from repro.model.transformer import Transformer
 from repro.numerics.complexity import OpCounter
 
@@ -60,7 +65,7 @@ class SparseInferenceReport:
 
 
 class SparseInferenceRunner:
-    """Runs a :class:`Transformer` with per-layer SOFA sparse attention.
+    """Runs a :class:`Transformer` with engine-served SOFA sparse attention.
 
     Parameters
     ----------
@@ -70,6 +75,9 @@ class SparseInferenceRunner:
         Base SOFA configuration; ``tile_cols_per_layer`` (when given)
         overrides the tile width layer by layer, mirroring the DSE's
         layer-specific tiling.
+    engine:
+        Optional shared :class:`SofaEngine`; by default the runner owns one,
+        so callers can inspect ``runner.engine.stats`` for batching behavior.
     """
 
     def __init__(
@@ -77,6 +85,7 @@ class SparseInferenceRunner:
         model: Transformer,
         config: SofaConfig | None = None,
         tile_cols_per_layer: list[int] | None = None,
+        engine: SofaEngine | None = None,
     ):
         self.model = model
         self.config = config or SofaConfig(tile_cols=32, top_k=0.25)
@@ -84,36 +93,43 @@ class SparseInferenceRunner:
         if tile_cols_per_layer is not None and len(tile_cols_per_layer) != n_layers:
             raise ValueError("need one tile width per layer")
         self.tile_cols_per_layer = tile_cols_per_layer
+        self.engine = engine or SofaEngine(config=self.config)
+        self._identity: dict[int, np.ndarray] = {}
+
+    def _layer_config(self, layer_idx: int) -> SofaConfig:
+        if self.tile_cols_per_layer is None:
+            return self.config
+        return replace(self.config, tile_cols=self.tile_cols_per_layer[layer_idx])
 
     def _layer_attention(self, layer_idx: int, stats: list[LayerStats]):
-        """Build the per-head attention hook for one layer."""
-        tile_cols = (
-            self.tile_cols_per_layer[layer_idx]
-            if self.tile_cols_per_layer is not None
-            else self.config.tile_cols
-        )
+        """Build the whole-layer batched attention hook for one layer."""
+        cfg = self._layer_config(layer_idx)
 
         def attention(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
-            s = k.shape[0]
-            k_count = self.config.resolve_top_k(s)
-            n_tiles = max(-(-s // tile_cols), 1)
-            sorter = SadsSorter(
-                SadsConfig(
-                    n_segments=n_tiles,
-                    radius=self.config.sads.radius,
-                    adjust_rounds=self.config.sads.adjust_rounds,
-                )
+            n_heads, s, dh = q.shape
+            eye = self._identity.setdefault(dh, np.eye(dh))
+            # One request per head: K rows are the token stream under an
+            # identity key projection; the true V rides as a value cache.
+            futures = self.engine.submit_many(
+                [
+                    AttentionRequest(
+                        tokens=k[h], q=q[h], wk=eye, wv=eye, v=v[h], config=cfg
+                    )
+                    for h in range(n_heads)
+                ]
             )
-            scores = q @ k.T / np.sqrt(q.shape[1])
-            sel = sorter.select(scores, k_count)
-            mask = indices_to_mask(sel.indices, s)
-            out = masked_attention(q, k, v, mask)
+            self.engine.flush()
 
             entry = stats[layer_idx]
-            entry.ops = entry.ops + sel.ops
-            entry.mean_selected_fraction += k_count / s
-            entry.mean_union_fraction += np.unique(sel.indices).size / s
-            return out
+            outputs = []
+            for future in futures:
+                res = future.result()
+                outputs.append(res.output)
+                for stage in res.stages:
+                    entry.ops = entry.ops + stage.ops
+                entry.mean_selected_fraction += res.selected.shape[1] / s
+                entry.mean_union_fraction += np.unique(res.selected).size / s
+            return np.stack(outputs)
 
         return attention
 
@@ -134,7 +150,7 @@ class SparseInferenceRunner:
         n_heads = self.model.config.n_heads
         for i, block in enumerate(self.model.blocks):
             dense = block(dense)
-            sparse = block(sparse, attention_fn=self._layer_attention(i, stats))
+            sparse = block(sparse, batched_attention_fn=self._layer_attention(i, stats))
             stats[i].mean_selected_fraction /= n_heads
             stats[i].mean_union_fraction /= n_heads
         dense = layer_norm(dense)

@@ -66,6 +66,10 @@ class MultiHeadAttention:
     The ``attention_fn`` hook is how SOFA slots in: the default computes exact
     ``softmax(QK^T/sqrt(d)) V``; the pipeline passes a function running the
     DLZS -> SADS -> SU-FA cross-stage flow instead.
+
+    A ``batched_attention_fn`` hook receives the full ``(n_heads, S, Dh)``
+    Q/K/V stacks in one call - the entry point for the batched serving
+    engine, which fuses every head of the layer into one pipeline execution.
     """
 
     wq: LinearLayer
@@ -92,8 +96,12 @@ class MultiHeadAttention:
             split_heads(self.wv(x), self.n_heads),
         )
 
-    def __call__(self, x: np.ndarray, attention_fn=None) -> np.ndarray:
+    def __call__(
+        self, x: np.ndarray, attention_fn=None, batched_attention_fn=None
+    ) -> np.ndarray:
         q, k, v = self.project_qkv(x)
+        if batched_attention_fn is not None:
+            return self.wo(merge_heads(np.asarray(batched_attention_fn(q, k, v))))
         head_dim = q.shape[-1]
         outputs = []
         for h in range(self.n_heads):
@@ -137,6 +145,12 @@ class TransformerBlock:
             ffn=FeedForward.init(rng, cfg),
         )
 
-    def __call__(self, x: np.ndarray, attention_fn=None) -> np.ndarray:
-        x = x + self.attn(layer_norm(x), attention_fn=attention_fn)
+    def __call__(
+        self, x: np.ndarray, attention_fn=None, batched_attention_fn=None
+    ) -> np.ndarray:
+        x = x + self.attn(
+            layer_norm(x),
+            attention_fn=attention_fn,
+            batched_attention_fn=batched_attention_fn,
+        )
         return x + self.ffn(layer_norm(x))

@@ -59,14 +59,20 @@ class Transformer:
         )
         return cls.init(rng, small)
 
-    def __call__(self, x: np.ndarray, attention_fn=None) -> np.ndarray:
+    def __call__(
+        self, x: np.ndarray, attention_fn=None, batched_attention_fn=None
+    ) -> np.ndarray:
         """Forward pass over embeddings ``x`` of shape ``(S, hidden)``."""
         if x.ndim != 2 or x.shape[1] != self.config.hidden:
             raise ValueError(
                 f"expected (S, {self.config.hidden}) embeddings, got {x.shape}"
             )
         for block in self.blocks:
-            x = block(x, attention_fn=attention_fn)
+            x = block(
+                x,
+                attention_fn=attention_fn,
+                batched_attention_fn=batched_attention_fn,
+            )
         return layer_norm(x)
 
     def embed_tokens(self, rng: np.random.Generator, seq_len: int) -> np.ndarray:

@@ -113,6 +113,20 @@ class AttentionWorkload:
         """Exact formal-stage attention scores ``Q K^T / sqrt(d)``."""
         return self.q @ self.k.T / np.sqrt(self.head_dim)
 
+    def fold_scale(self) -> float:
+        """The K/V normalization constant folded into ``k_scale``/``v_scale``.
+
+        ``k`` equals ``tokens @ wk`` times one scalar; recover it from any
+        entry whose numerator *and* denominator are nonzero, so integer-zero
+        products never hit a division (the ratio is constant wherever it is
+        defined).
+        """
+        prod = self.tokens @ self.wk
+        defined = (self.k != 0) & (prod != 0)
+        if not defined.any():
+            return 1.0
+        return float((self.k[defined] / prod[defined]).flat[0])
+
 
 def _row_bias(
     rng: np.random.Generator, row_type: RowType, seq_len: int, strength: float

@@ -67,6 +67,47 @@ def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
     return QuantizedTensor(values=q, scale=scale, bits=bits)
 
 
+@dataclass(frozen=True)
+class StackQuantizedTensor:
+    """A stack of independently-quantized tensors sharing one bit width.
+
+    ``values[i]`` and ``scales[i]`` are bit-identical to
+    ``quantize(x[i], bits)`` - the per-slice maxima, scales and rounding all
+    use the same float operations, so the batched engine's per-head
+    quantization matches the per-head :func:`quantize` calls exactly.
+    """
+
+    values: np.ndarray
+    scales: np.ndarray
+    bits: int
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.values.shape
+
+    def dequantize(self) -> np.ndarray:
+        shape = (-1,) + (1,) * (self.values.ndim - 1)
+        return self.values.astype(np.float64) * self.scales.reshape(shape)
+
+
+def quantize_stack(x: np.ndarray, bits: int) -> StackQuantizedTensor:
+    """Quantize each slice along axis 0 with its own symmetric scale.
+
+    Equivalent to ``[quantize(x[i], bits) for i in range(len(x))]`` but
+    vectorized; each slice saturates its own max-magnitude element.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ValueError("quantize_stack needs a stack of tensors (ndim >= 2)")
+    lo, hi = int_range(bits)
+    reduce_axes = tuple(range(1, x.ndim))
+    max_abs = np.max(np.abs(x), axis=reduce_axes)
+    scales = np.where(max_abs > 0, max_abs / hi, 1.0)
+    bshape = (-1,) + (1,) * (x.ndim - 1)
+    q = np.clip(np.rint(x / scales.reshape(bshape)), lo, hi).astype(np.int64)
+    return StackQuantizedTensor(values=q, scales=scales, bits=bits)
+
+
 def dequantize(q: QuantizedTensor) -> np.ndarray:
     """Functional alias of :meth:`QuantizedTensor.dequantize`."""
     return q.dequantize()

@@ -1,0 +1,105 @@
+"""Deterministic (batch-invariant) linear algebra primitives.
+
+The batched engine (``repro.engine``) promises *bit-for-bit* parity with the
+single-head :class:`~repro.core.pipeline.SofaAttention`: stacking eight heads
+into one call must produce exactly the float64 bit patterns the eight
+individual calls produce.  BLAS-backed ``@`` breaks that promise - gemm/gemv
+pick different blocking (and therefore different summation orders) depending
+on the operand shapes, so a row's result can change when unrelated rows are
+appended.
+
+These helpers implement matmul as an explicit broadcast-multiply followed by
+``np.sum`` over the contraction axis.  NumPy's pairwise reduction over a
+fixed-length axis of a freshly-allocated C-contiguous product is a pure
+function of that row's data, so every row's output is independent of how many
+other rows share the call and of the chunking used to bound memory.
+
+The cost is a materialized ``(rows, K, N)`` product per chunk; callers keep
+``chunk_rows`` small enough that the temporary stays cache-friendly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Rows processed per chunk: bounds the (chunk, K, N) product temporary.
+_DEFAULT_CHUNK_ROWS = 256
+
+
+def det_matmul(
+    a: np.ndarray, b: np.ndarray, chunk_rows: int = _DEFAULT_CHUNK_ROWS
+) -> np.ndarray:
+    """Deterministic ``(M, K) @ (K, N)`` float64 matmul.
+
+    Row ``i`` of the result is bit-identical for any ``M`` and any chunking,
+    which is what lets the sequential pipeline and the batched engine share
+    exact outputs.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    m, n = a.shape[0], b.shape[1]
+    out = np.empty((m, n), dtype=np.float64)
+    for lo in range(0, m, max(chunk_rows, 1)):
+        hi = min(lo + max(chunk_rows, 1), m)
+        prod = a[lo:hi, :, None] * b[None, :, :]  # fresh C-contiguous (c, K, N)
+        out[lo:hi] = prod.sum(axis=1)
+    if m == 0:
+        out = out.reshape(0, n)
+    return out
+
+
+def det_gathered_project(
+    x: np.ndarray,
+    w: np.ndarray,
+    row_matrix: np.ndarray,
+    chunk_rows: int = _DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Per-row projection ``out[i] = x[i] @ w[row_matrix[i]]``.
+
+    ``x`` is ``(R, K)``, ``w`` is a stack ``(N_mats, K, N)`` and
+    ``row_matrix`` maps each row to its matrix (the engine maps selected
+    tokens back to their head's projection weights).  Row results are
+    bit-identical to ``det_matmul(x[i:i+1], w[row_matrix[i]])`` because the
+    per-chunk product has the same ``(c, K, N)`` layout and the same
+    ``axis=1`` pairwise reduction.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    row_matrix = np.asarray(row_matrix, dtype=np.int64)
+    if x.ndim != 2 or w.ndim != 3 or x.shape[1] != w.shape[1]:
+        raise ValueError(f"incompatible shapes {x.shape} x {w.shape}")
+    if row_matrix.shape != (x.shape[0],):
+        raise ValueError("row_matrix must map every row of x to a matrix")
+    r, n = x.shape[0], w.shape[2]
+    out = np.empty((r, n), dtype=np.float64)
+    if r == 0:
+        return out
+    step = max(chunk_rows, 1)
+    # Process runs of a constant matrix index (the engine's rows arrive
+    # head-sorted) with a broadcast instead of a per-row gather copy; the
+    # product layout and reduction are unchanged, so results stay identical.
+    boundaries = np.flatnonzero(np.diff(row_matrix)) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [r]))
+    for start, stop in zip(starts, stops):
+        mat = w[int(row_matrix[start])]
+        for lo in range(int(start), int(stop), step):
+            hi = min(lo + step, int(stop))
+            prod = x[lo:hi, :, None] * mat[None, :, :]  # (c, K, N)
+            out[lo:hi] = prod.sum(axis=1)
+    return out
+
+
+def det_rowdot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Deterministic dot product over the last axis with broadcasting.
+
+    Used for the SU-FA score gather ``scores[r, j] = k_sel[r, j] . q[r]``:
+    the product is materialized C-contiguously and reduced over the final
+    axis, so each ``(r, j)`` entry depends only on its own ``D`` elements.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    prod = np.ascontiguousarray(a * b)
+    return prod.sum(axis=-1)

@@ -15,8 +15,7 @@ def _operator(wl, tile_cols=32, top_k=16):
 
 def _scale(wl):
     # the workload folds its normalization into k_scale/v_scale
-    ratio = wl.k / (wl.tokens @ wl.wk)
-    return float(ratio[wl.k != 0].flat[0])
+    return wl.fold_scale()
 
 
 def test_output_matches_masked_reference(medium_workload):

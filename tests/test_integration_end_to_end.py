@@ -74,8 +74,7 @@ def test_sofa_output_close_to_dense_on_calibrated_workload(medium_workload):
     wl = medium_workload
     cfg = SofaConfig(tile_cols=32, top_k=0.2)
     op = SofaAttention(wl.wk, wl.wv, cfg)
-    ratio = wl.k / (wl.tokens @ wl.wk)
-    s = float(ratio[wl.k != 0].flat[0])
+    s = wl.fold_scale()
     res = op(wl.tokens, wl.q, k_scale=s, v_scale=s)
     dense = dense_attention(wl.q, wl.k, wl.v)
     assert output_relative_error(res.output, dense) < 0.15
