@@ -10,8 +10,6 @@ Run:  python examples/distribution_analysis.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attention.topk import topk_recall
 from repro.core.config import SadsConfig
 from repro.core.sads import SadsSorter

@@ -10,8 +10,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import SofaAttention, SofaConfig
 from repro.attention.metrics import accuracy_loss_proxy
 from repro.attention.reference import dense_attention
@@ -39,7 +37,8 @@ def main() -> None:
     print("=" * 60)
     print(f"queries x keys          : {workload.n_queries} x {workload.seq_len}")
     print(f"top-k per row           : {k_count} ({config.top_k:.0%} of keys)")
-    print(f"top-k recall vs exact   : {topk_recall(result.selected, workload.scores(), k_count):.3f}")
+    recall = topk_recall(result.selected, workload.scores(), k_count)
+    print(f"top-k recall vs exact   : {recall:.3f}")
     print(f"accuracy-loss proxy     : {accuracy_loss_proxy(result.output, dense):.2f}%")
     print(f"max-ensure activations  : {result.assurance_triggers} "
           f"({result.assurance_triggers / result.selected.size:.1%} of steps)")

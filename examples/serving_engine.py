@@ -1,11 +1,17 @@
-"""Serving demo: batch a stream of attention requests through SofaEngine.
+"""Serving demo: continuous batching, executor backends, and decode caching.
 
-Simulates production traffic: many independent attention heads (several
-sequences, mixed sequence lengths) are submitted to the engine, whose greedy
-scheduler groups all requests sharing one ``(S, tile_cols)`` cross-stage
-tiling grid into a single fused multi-head pipeline execution.  The demo
-verifies that served results are bit-identical to sequential per-head runs
-and reports the wall-clock throughput of both paths.
+Simulates production traffic against :class:`~repro.engine.serving.SofaEngine`
+in three acts:
+
+1. **Continuous batching** - requests arrive in waves *between* scheduling
+   rounds; new arrivals join not-yet-executed shape groups, under-full
+   groups age out after ``max_wait_batches`` rounds, and a deadline forces
+   a lonely shape through without batch-mates (the starvation bound).
+2. **Executor backends** - the same stream through ``backend="sync"`` and
+   ``backend="threads"``; results are bit-identical, only wall-clock moves.
+3. **Decode-step cache** - a growing sequence re-submitted step by step
+   with a ``cache_key`` reuses its quantized ``K_hat`` prefix instead of
+   re-running DLZS phase 1.1 over the whole context.
 
 Run:  python examples/serving_engine.py
 """
@@ -20,8 +26,8 @@ from repro import AttentionRequest, SofaAttention, SofaConfig, SofaEngine
 from repro.utils.rng import make_rng
 
 
-def make_traffic(rng: np.random.Generator, n_requests: int) -> list[AttentionRequest]:
-    """A mixed request stream: two sequence-length classes, per-head weights."""
+def make_wave(rng: np.random.Generator, n_requests: int, tag: str) -> list[AttentionRequest]:
+    """A mixed request wave: two sequence-length classes, per-head weights."""
     requests = []
     for i in range(n_requests):
         s = 256 if i % 3 else 128  # two shape classes interleaved
@@ -32,56 +38,129 @@ def make_traffic(rng: np.random.Generator, n_requests: int) -> list[AttentionReq
                 q=rng.normal(size=(t, d)),
                 wk=rng.normal(size=(h, d)),
                 wv=rng.normal(size=(h, d)),
-                tag=f"req-{i}",
+                tag=f"{tag}-{i}",
             )
         )
     return requests
 
 
-def main() -> None:
-    rng = make_rng(11)
+def act_continuous(rng: np.random.Generator) -> None:
+    print("\n[1] continuous batching: waves admitted between rounds")
+    print("-" * 60)
+    engine = SofaEngine(
+        SofaConfig(tile_cols=32, top_k=0.15), max_batch_heads=8, max_wait_batches=2
+    )
+    futures = []
+    for wave in range(3):
+        wave_reqs = make_wave(rng, 6, f"wave{wave}")
+        futures += engine.submit_many(wave_reqs)
+        records = engine.step()
+        print(
+            f"  wave {wave}: +{len(wave_reqs)} requests -> "
+            f"{len(records)} batch(es) ready, {engine.pending} pending"
+        )
+    # a lonely shape with a deadline in the past: executes next round alone
+    lonely = AttentionRequest(
+        tokens=rng.integers(-100, 100, size=(192, 32)).astype(np.float64),
+        q=rng.normal(size=(8, 32)),
+        wk=rng.normal(size=(32, 32)),
+        wv=rng.normal(size=(32, 32)),
+        deadline=time.monotonic() - 1.0,
+    )
+    futures.append(engine.submit(lonely))
+    records = engine.run_until_drained()
+    print(f"  drained: {len(records)} more batch(es), {engine.pending} pending")
+    for rec in engine.stats.batches:
+        print(
+            f"    - {rec.n_heads:2d} heads on the (S={rec.seq_len}, "
+            f"Bc={rec.tile_cols}) grid after {rec.waited_rounds} round(s) waited"
+        )
+    assert all(f.done() for f in futures)
+    print(f"  mean heads per batch    : {engine.stats.mean_batch_heads:.1f}")
+
+
+def act_backends(rng: np.random.Generator) -> None:
+    print("\n[2] executor backends: sync vs threads, bit-identical")
+    print("-" * 60)
     config = SofaConfig(tile_cols=32, top_k=0.15)
-    requests = make_traffic(rng, 24)
+    requests = make_wave(rng, 24, "traffic")
 
-    print("SOFA serving engine demo")
-    print("=" * 60)
-
-    # -------------------------------------------------- batched serving path
-    engine = SofaEngine(config, max_batch_heads=16)
     t0 = time.perf_counter()
-    futures = engine.submit_many(requests)
-    records = engine.flush()
-    results = [f.result() for f in futures]
-    batched_s = time.perf_counter() - t0
-
-    # ------------------------------------------------- sequential head loop
-    t0 = time.perf_counter()
-    sequential = [
-        SofaAttention(r.wk, r.wv, config)(r.tokens, r.q) for r in requests
-    ]
+    sequential = [SofaAttention(r.wk, r.wv, config)(r.tokens, r.q) for r in requests]
     sequential_s = time.perf_counter() - t0
 
-    exact = all(
-        np.array_equal(a.selected, b.selected) and a.output.tobytes() == b.output.tobytes()
-        for a, b in zip(sequential, results)
-    )
+    results, timings = {}, {}
+    for backend in ("sync", "threads"):
+        with SofaEngine(config, max_batch_heads=16, backend=backend) as engine:
+            t0 = time.perf_counter()
+            results[backend] = engine.run(requests)
+            timings[backend] = time.perf_counter() - t0
 
-    print(f"requests submitted      : {len(requests)}")
-    print(f"batches executed        : {len(records)}")
-    for rec in records:
-        print(
-            f"  - {rec.n_heads:2d} heads on the (S={rec.seq_len}, "
-            f"Bc={rec.tile_cols}) grid"
-        )
-    print(f"mean heads per batch    : {engine.stats.mean_batch_heads:.1f}")
-    print(f"bit-identical to loop   : {exact}")
-    print(f"sequential wall clock   : {sequential_s * 1e3:8.1f} ms "
+    exact = all(
+        a.output.tobytes() == b.output.tobytes() == c.output.tobytes()
+        and np.array_equal(a.selected, b.selected)
+        for a, b, c in zip(sequential, results["sync"], results["threads"])
+    )
+    print(f"  requests                : {len(requests)}")
+    print(f"  bit-identical (3 paths) : {exact}")
+    print(f"  sequential loop         : {sequential_s * 1e3:8.1f} ms "
           f"({len(requests) / sequential_s:7.1f} req/s)")
-    print(f"engine wall clock       : {batched_s * 1e3:8.1f} ms "
-          f"({len(requests) / batched_s:7.1f} req/s)")
-    print(f"throughput gain         : {sequential_s / batched_s:.2f}x")
-    total_triggers = sum(r.assurance_triggers for r in results)
-    print(f"max-ensure activations  : {total_triggers} across the stream")
+    for backend, spent in timings.items():
+        print(f"  engine [{backend:7s}]       : {spent * 1e3:8.1f} ms "
+              f"({len(requests) / spent:7.1f} req/s)")
+
+
+def act_decode_cache(rng: np.random.Generator) -> None:
+    print("\n[3] decode-step cache: growing sequence, K_hat prefix reuse")
+    print("-" * 60)
+    config = SofaConfig(tile_cols=32, top_k=0.25)
+    h, d, t = 48, 48, 1
+    wk = rng.normal(size=(h, d))
+    wv = rng.normal(size=(h, d))
+    context = rng.integers(-100, 100, size=(256, h)).astype(np.float64)
+
+    def decode_loop(use_cache: bool) -> tuple[float, SofaEngine]:
+        engine = SofaEngine(config, max_batch_heads=4)
+        tokens = context
+        t0 = time.perf_counter()
+        for step in range(24):
+            new = rng_steps[step]
+            tokens = np.concatenate([tokens, new])
+            fut = engine.submit(
+                AttentionRequest(
+                    tokens=tokens,
+                    q=rng_queries[step],
+                    wk=wk,
+                    wv=wv,
+                    cache_key="seq-0" if use_cache else None,
+                )
+            )
+            engine.flush()
+            fut.result()
+        return time.perf_counter() - t0, engine
+
+    rng_steps = [rng.integers(-100, 100, size=(1, h)).astype(np.float64) for _ in range(24)]
+    rng_queries = [rng.normal(size=(t, d)) for _ in range(24)]
+    cold_s, _ = decode_loop(use_cache=False)
+    warm_s, engine = decode_loop(use_cache=True)
+    cache = engine.stats.cache
+    print(f"  decode steps            : 24 (context 256 -> {256 + 24})")
+    print(f"  uncached loop           : {cold_s * 1e3:8.1f} ms")
+    print(f"  cached loop             : {warm_s * 1e3:8.1f} ms "
+          f"({cold_s / warm_s:.2f}x)")
+    print(f"  cache hits/misses       : {cache.hits}/{cache.misses} "
+          f"(invalidations {cache.invalidations})")
+    print(f"  prefix rows reused      : {cache.rows_reused} "
+          f"(appended {cache.rows_appended})")
+
+
+def main() -> None:
+    rng = make_rng(11)
+    print("SOFA serving engine demo")
+    print("=" * 60)
+    act_continuous(rng)
+    act_backends(rng)
+    act_decode_cache(rng)
 
 
 if __name__ == "__main__":

@@ -37,7 +37,7 @@ from repro.core.sads import SadsSorter
 from repro.core.sufa import sorted_updating_attention
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SofaConfig",

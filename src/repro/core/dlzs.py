@@ -23,19 +23,24 @@ ablations can compare DLZS against 4-bit multiplication baselines.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 import numpy as np
 
 from repro.core.config import DlzsConfig
 from repro.numerics.complexity import OpCounter
-from repro.numerics.fixed_point import quantize, quantize_stack
+from repro.numerics.fixed_point import quantize, quantize_stack, quantize_with_scale
+
 from repro.numerics.leading_zero import (
     ConfigurableLZE,
     leading_zeros,
     lz_decode_magnitude,
-    shift_by_exponent,
 )
+
+if TYPE_CHECKING:
+    from repro.engine.cache import DecodeStepCache
 
 
 @dataclass
@@ -265,16 +270,140 @@ class StackedDlzsPredictor:
         self._wk_signs = np.sign(self._wk_int)
         self._wk_lz = leading_zeros(self._wk_int, w)
         self._wk_pow2 = self._wk_signs * lz_decode_magnitude(self._wk_lz, w)
+        self._head_digests: list[str] | None = None
 
     @property
     def n_heads(self) -> int:
         return self._wk_pow2.shape[0]
 
-    def predict(self, tokens: np.ndarray, q: np.ndarray) -> StackedPredictionResult:
+    def _head_digest(self, i: int) -> str:
+        """Digest identifying head ``i``'s pre-converted weights.
+
+        Namespaces decode-cache keys so entries written by one operator can
+        never satisfy a lookup from an operator with different weights, even
+        when callers reuse sequence ids across models.
+        """
+        if self._head_digests is None:
+            self._head_digests = [
+                hashlib.sha1(np.ascontiguousarray(self._wk_pow2[j]).tobytes()).hexdigest()
+                for j in range(self.n_heads)
+            ]
+        return self._head_digests[i]
+
+    def _phase1_head_cached(
+        self, i: int, t_i: np.ndarray, cache: "DecodeStepCache", key: Hashable
+    ) -> np.ndarray:
+        """Phase 1.1 for one head through the decode-step cache.
+
+        Returns the raw int64 ``K_hat`` rows, bit-identical to the fused
+        uncached computation: cached rows are reused only when the token
+        prefix matches exactly AND the appended rows cannot change the
+        symmetric quantization scale (see :mod:`repro.engine.cache`).
+        """
+        # Function-local on purpose: repro.engine.batched imports this
+        # module, so a module-level import of repro.engine.cache would be a
+        # core -> engine cycle.  Do not hoist.
+        from repro.engine.cache import DecodeCacheEntry
+
+        floating = bool(np.issubdtype(t_i.dtype, np.floating))
+        if floating:
+            # quantize/quantize_stack round in float64; narrower float input
+            # must be widened BEFORE the incremental rint or the appended
+            # rows can round differently than the uncached path would.
+            t_i = np.asarray(t_i, dtype=np.float64)
+        bits = self.config.token_bits
+        store_key = (key, self.config, self._head_digest(i))
+        entry = cache.get(store_key)
+
+        if (
+            entry is not None
+            and entry.quantized == floating
+            and entry.seq_len <= t_i.shape[0]
+            and np.array_equal(t_i[: entry.seq_len], entry.tokens)
+        ):
+            new = t_i[entry.seq_len :]
+            if not floating:
+                new_vals = new.astype(np.int64)
+                reusable = True
+                scale, max_abs = entry.tok_scale, entry.tok_max_abs
+            else:
+                new_max = float(np.max(np.abs(new))) if new.size else 0.0
+                # The per-tensor scale is max|x|/hi over the FULL matrix: the
+                # cached codes stay bit-exact only while the prefix still
+                # holds the maximum.  A louder new token changes the scale
+                # for every row -> invalidate and recompute.
+                reusable = new_max <= entry.tok_max_abs
+                scale, max_abs = entry.tok_scale, entry.tok_max_abs
+                if reusable:
+                    new_vals = quantize_with_scale(new, scale, bits)
+            if reusable:
+                if new_vals.shape[0]:
+                    tok_values = np.concatenate([entry.tok_values, new_vals])
+                    key_values = np.concatenate(
+                        [entry.key_values, new_vals @ self._wk_pow2[i]]
+                    )
+                else:
+                    tok_values, key_values = entry.tok_values, entry.key_values
+                cache.record_hit(
+                    reused_rows=entry.seq_len,
+                    appended_rows=t_i.shape[0] - entry.seq_len,
+                )
+                cache.put(
+                    store_key,
+                    DecodeCacheEntry(
+                        tokens=t_i.copy(),
+                        tok_values=tok_values,
+                        tok_scale=scale,
+                        tok_max_abs=max_abs,
+                        key_values=key_values,
+                        quantized=floating,
+                    ),
+                )
+                return key_values
+
+        # Miss: unknown sequence, rewritten/shrunk prefix, dtype switch, or
+        # scale invalidation - run the full per-head phase 1.1.
+        cache.record_miss(invalidated=entry is not None)
+        if floating:
+            qt = quantize(t_i, bits)
+            tok_values, scale = qt.values, qt.scale
+            max_abs = float(np.max(np.abs(t_i))) if t_i.size else 0.0
+        else:
+            tok_values = t_i.astype(np.int64)
+            scale, max_abs = 1.0, 0.0
+        key_values = tok_values @ self._wk_pow2[i]
+        cache.put(
+            store_key,
+            DecodeCacheEntry(
+                tokens=t_i.copy(),
+                tok_values=tok_values,
+                tok_scale=scale,
+                tok_max_abs=max_abs,
+                key_values=key_values,
+                quantized=floating,
+            ),
+        )
+        return key_values
+
+    def predict(
+        self,
+        tokens: np.ndarray,
+        q: np.ndarray,
+        cache: "DecodeStepCache | None" = None,
+        cache_keys: Sequence[Hashable | None] | None = None,
+    ) -> StackedPredictionResult:
         """Stack-fused phases 1.1/1.2: ``(N, S, H)`` tokens -> ``(N, T, S)``.
 
         All heavy arithmetic is batched (integer matmuls over the whole
         stack); only the per-head op-counter assembly iterates over heads.
+
+        When ``cache`` and ``cache_keys`` are given, phase 1.1 runs through
+        the decode-step cache head by head: head ``i`` with a non-``None``
+        ``cache_keys[i]`` reuses (and extends) its cached quantized-token /
+        ``K_hat`` state.  The result - including the per-head op counters,
+        which keep charging the nominal pipeline work - is bit-identical to
+        the uncached fused path; the cache only skips *re-doing* arithmetic
+        whose outcome is provably unchanged.
         """
         tokens = np.asarray(tokens)
         q_arr = np.asarray(q)
@@ -283,13 +412,39 @@ class StackedDlzsPredictor:
         n = self.n_heads
         if tokens.shape[0] != n or q_arr.shape[0] != n:
             raise ValueError("leading axis must match the weight stack")
+        if cache_keys is not None and len(cache_keys) != n:
+            raise ValueError("need one cache key (or None) per head")
 
         # Phase 1.1: K_hat = tokens @ Wk via pre-converted LZ weights.
-        if np.issubdtype(tokens.dtype, np.floating):
-            tok = quantize_stack(tokens, self.config.token_bits).values
+        keyed = (
+            [i for i in range(n) if cache_keys[i] is not None]
+            if cache is not None and cache_keys is not None
+            else []
+        )
+        if not keyed:
+            if np.issubdtype(tokens.dtype, np.floating):
+                tok = quantize_stack(tokens, self.config.token_bits).values
+            else:
+                tok = tokens.astype(np.int64)
+            key_values = tok @ self._wk_pow2  # exact batched int64 matmul
         else:
-            tok = tokens.astype(np.int64)
-        key_values = tok @ self._wk_pow2  # exact batched int64 matmul
+            # Keyed heads run per head so each sequence's state stays
+            # independent; keyless batch-mates keep the fused stack path.
+            # Integer matmuls are exact, so the split changes no bits.
+            s_len = tokens.shape[1]
+            key_values = np.empty((n, s_len, self._wk_pow2.shape[2]), dtype=np.int64)
+            keyless = [i for i in range(n) if cache_keys[i] is None]
+            if keyless:
+                sub = tokens[keyless]
+                if np.issubdtype(sub.dtype, np.floating):
+                    sub_tok = quantize_stack(sub, self.config.token_bits).values
+                else:
+                    sub_tok = sub.astype(np.int64)
+                key_values[keyless] = sub_tok @ self._wk_pow2[keyless]
+            for i in keyed:
+                key_values[i] = self._phase1_head_cached(
+                    i, tokens[i], cache, cache_keys[i]
+                )
 
         # Truncate K_hat to the intermediate width (hardware keeps <=16 bits).
         k_hat_q = quantize_stack(key_values, self.config.intermediate_bits)

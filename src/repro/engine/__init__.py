@@ -1,19 +1,29 @@
 """``repro.engine``: batched multi-head execution and serving for SOFA.
 
 The paper's pipeline is defined per attention head; production traffic is a
-stream of many heads from many requests.  This package scales the functional
-model along that axis:
+stream of many heads from many requests arriving over time.  This package
+scales the functional model along that axis:
 
 :class:`~repro.engine.batched.BatchedSofaAttention`
     Fused DLZS -> SADS -> SU-FA over a ``(batch * heads)`` stack with no
     per-head Python loop in any compute stage, bit-for-bit equal to the
     sequential :class:`~repro.core.pipeline.SofaAttention` per head.
 :class:`~repro.engine.serving.SofaEngine`
-    A request queue with a greedy shape-batching scheduler and per-request
-    futures - the software analogue of the accelerator's head scheduler.
+    A request queue with a continuously-batching, starvation-free scheduler
+    (``max_wait_batches``/deadline admission), per-request futures, and a
+    ``backend="sync"|"threads"`` execution switch - the software analogue
+    of the accelerator's head scheduler.
+:class:`~repro.engine.cache.DecodeStepCache`
+    Keyed reuse of quantized ``K_hat``/DLZS prediction state across decode
+    steps of a growing sequence, with explicit invalidation and exact
+    hit/miss accounting.
+:mod:`repro.engine.executor`
+    The execution backends behind the engine's futures API.
 """
 
 from repro.engine.batched import BatchedSofaAttention, BatchedSofaResult
+from repro.engine.cache import CacheStats, DecodeCacheEntry, DecodeStepCache
+from repro.engine.executor import SyncExecutor, ThreadedExecutor, make_executor
 from repro.engine.serving import (
     AttentionFuture,
     AttentionRequest,
@@ -28,6 +38,12 @@ __all__ = [
     "AttentionFuture",
     "AttentionRequest",
     "BatchRecord",
+    "CacheStats",
+    "DecodeCacheEntry",
+    "DecodeStepCache",
     "EngineStats",
     "SofaEngine",
+    "SyncExecutor",
+    "ThreadedExecutor",
+    "make_executor",
 ]

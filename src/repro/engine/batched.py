@@ -32,6 +32,7 @@ including the per-head :class:`~repro.core.pipeline.StageTrace` accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 import numpy as np
 
@@ -48,6 +49,9 @@ from repro.core.sads import SadsSorter
 from repro.core.sufa import UpdateOrder, stream_selected
 from repro.numerics.complexity import OpCounter, matmul_ops
 from repro.numerics.linalg import det_gathered_project
+
+if TYPE_CHECKING:
+    from repro.engine.cache import DecodeStepCache
 
 
 @dataclass
@@ -121,6 +125,8 @@ class BatchedSofaAttention:
         k_scale: float | np.ndarray = 1.0,
         v_scale: float | np.ndarray = 1.0,
         v: np.ndarray | None = None,
+        cache: "DecodeStepCache | None" = None,
+        cache_keys: Sequence[Hashable | None] | None = None,
     ) -> BatchedSofaResult:
         """Run the fused pipeline for the whole head stack.
 
@@ -136,6 +142,11 @@ class BatchedSofaAttention:
             Optional ``(N, S, Dv)`` per-head value caches; when given the
             on-demand value generation is skipped (serving decode reuses the
             cache), matching ``SofaAttention(..., v=v[i])`` per head.
+        cache / cache_keys:
+            Optional decode-step cache and one key (or ``None``) per head;
+            keyed heads reuse/extend their quantized ``K_hat`` state across
+            calls (see :mod:`repro.engine.cache`).  Results stay bit-for-bit
+            identical to the uncached call.
         """
         tokens = np.asarray(tokens, dtype=np.float64)
         q = np.asarray(q, dtype=np.float64)
@@ -154,7 +165,7 @@ class BatchedSofaAttention:
         n_tiles = cfg.n_tiles(s)
 
         # ---------------------------------------------------- stage 1: DLZS
-        pred = self.predictor.predict(tokens, q)
+        pred = self.predictor.predict(tokens, q, cache=cache, cache_keys=cache_keys)
         pred_dram, pred_sram = prediction_trace_bytes(cfg, s, h, dk, t)
 
         # ----------------------------------------------------- stage 2: SADS

@@ -1,0 +1,224 @@
+"""Decode-step cache: reuse quantized ``K_hat``/DLZS state across requests.
+
+A decode loop re-submits the *same* attention problem every step with one
+more token appended: the token prefix - and therefore the quantized token
+codes and the phase-1.1 ``K_hat = tokens @ Wk`` rows derived from it - is
+identical to the previous step's.  The accelerator analogue is keeping the
+predicted-key SRAM resident between steps instead of re-running the
+pre-compute stage over the whole context.
+
+:class:`DecodeStepCache` is a keyed LRU store of per-sequence DLZS state
+(:class:`DecodeCacheEntry`).  :class:`~repro.core.dlzs.StackedDlzsPredictor`
+consults it inside the batched pipeline: on a **hit** only the newly appended
+token rows are quantized and projected; on a **miss** (unknown key, prefix
+changed, sequence shrank) the full phase-1.1 runs and the entry is replaced.
+
+Bit-for-bit parity is preserved because reuse is only attempted when it is
+*provably* equal to the uncached computation:
+
+* token quantization uses one symmetric per-tensor scale derived from the
+  global ``max|x|``; appended rows may only reuse the cached codes when
+  their magnitudes stay within the cached maximum (the scale - and hence
+  every previously quantized code - is then bit-identical).  A louder new
+  token **invalidates** the entry and recomputes everything.
+* the raw integer ``K_hat`` rows are exact row-independent int64 matmuls,
+  so appending rows never perturbs cached rows.
+* the intermediate-width truncation of ``K_hat`` (whose scale also depends
+  on a global maximum) is recomputed from the full raw rows every call - it
+  is cheap elementwise work, not the matmul the cache exists to skip.
+
+Entries are immutable after insertion (updates replace the entry), so the
+store is safe to share with the threaded executor backend: a stale read can
+only cost a recompute, never a wrong bit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DecodeCacheEntry:
+    """Immutable per-sequence DLZS phase-1.1 state.
+
+    ``tokens`` is the float64 token matrix the entry was built from (the
+    prefix-equality witness); ``tok_values`` its quantized int64 codes with
+    ``tok_scale`` / ``tok_max_abs`` the per-tensor quantization state, and
+    ``key_values`` the raw (pre-truncation) integer ``K_hat`` rows.
+    ``quantized`` records whether the float quantization path was taken
+    (integer-dtype submissions bypass it and must not mix with float ones).
+    """
+
+    tokens: np.ndarray
+    tok_values: np.ndarray
+    tok_scale: float
+    tok_max_abs: float
+    key_values: np.ndarray
+    quantized: bool
+
+    @property
+    def seq_len(self) -> int:
+        return self.tokens.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident payload: entries grow with context length, not count."""
+        return self.tokens.nbytes + self.tok_values.nbytes + self.key_values.nbytes
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`DecodeStepCache` since construction.
+
+    ``hits``/``misses`` count lookups; ``invalidations`` the subset of
+    misses where a live entry had to be discarded (prefix changed, sequence
+    shrank, or a new token exceeded the cached quantization maximum);
+    ``evictions`` LRU pressure drops.  ``rows_reused``/``rows_appended``
+    tally how many phase-1.1 rows hits skipped vs incrementally computed.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    rows_reused: int = 0
+    rows_appended: int = 0
+    resident_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            invalidations=self.invalidations,
+            evictions=self.evictions,
+            rows_reused=self.rows_reused,
+            rows_appended=self.rows_appended,
+            resident_bytes=self.resident_bytes,
+        )
+
+
+class DecodeStepCache:
+    """Bounded LRU store of :class:`DecodeCacheEntry` keyed per sequence.
+
+    Keys are caller-composed hashables; consumers (the DLZS predictor via
+    :class:`~repro.engine.batched.BatchedSofaAttention`) namespace the
+    user-visible key with the weight/config identity so one store can serve
+    many operators without cross-talk.  All methods are thread-safe: the
+    threaded executor backend may look up and replace entries concurrently.
+
+    Size ``max_entries`` to cover the *concurrent working set* (e.g.
+    ``n_layers * n_heads`` per live decode session): decode scans its keys
+    in a fixed order every step, and an LRU smaller than the scan length
+    evicts each entry just before its next lookup - every lookup then
+    misses and the cache only costs.  The ``evictions`` counter is the
+    tell-tale.
+    """
+
+    def __init__(self, max_entries: int = 256, max_bytes: int | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, DecodeCacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> DecodeCacheEntry | None:
+        """Return the live entry for ``key`` (marking it recently used)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Hashable, entry: DecodeCacheEntry) -> None:
+        """Insert/replace the entry for ``key``, evicting LRU overflow.
+
+        Overflow is bounded on entry *count* and - when ``max_bytes`` is set
+        - on total resident payload bytes (entries scale with context
+        length, so a count bound alone is no byte bound); a single entry
+        larger than ``max_bytes`` is still admitted, alone.
+        """
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.stats.resident_bytes -= old.nbytes
+            self._entries[key] = entry
+            self.stats.resident_bytes += entry.nbytes
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self.stats.resident_bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.resident_bytes -= evicted.nbytes
+                self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Explicitly drop one sequence's state (e.g. its session ended)."""
+        with self._lock:
+            dropped = self._entries.pop(key, None)
+            if dropped is not None:
+                self.stats.resident_bytes -= dropped.nbytes
+            return dropped is not None
+
+    def invalidate_prefix(self, prefix: Hashable) -> int:
+        """Drop every entry namespaced under ``prefix``.
+
+        Store keys are ``(user_key, config, weight_digest)`` tuples; the
+        user key is matched directly, and - because sessions compose user
+        keys as ``(session_id, layer, head)`` - a bare session id matches
+        every entry of that session.  Returns the number dropped.
+        """
+
+        def matches(store_key: Hashable) -> bool:
+            if not (isinstance(store_key, tuple) and store_key):
+                return False
+            user_key = store_key[0]
+            if user_key == prefix:
+                return True
+            return isinstance(user_key, tuple) and bool(user_key) and user_key[0] == prefix
+
+        with self._lock:
+            doomed = [k for k in self._entries if matches(k)]
+            for k in doomed:
+                self.stats.resident_bytes -= self._entries[k].nbytes
+                del self._entries[k]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.resident_bytes = 0
+
+    # ------------------------------------------------------- counter helpers
+    def record_hit(self, reused_rows: int, appended_rows: int) -> None:
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.rows_reused += reused_rows
+            self.stats.rows_appended += appended_rows
+
+    def record_miss(self, invalidated: bool) -> None:
+        with self._lock:
+            self.stats.misses += 1
+            if invalidated:
+                self.stats.invalidations += 1

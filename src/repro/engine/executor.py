@@ -1,0 +1,110 @@
+"""Execution backends for :class:`~repro.engine.serving.SofaEngine`.
+
+The engine's scheduler produces *chunks* - independently executable fused
+multi-head pipeline calls.  This module decides how chunks run:
+
+* :class:`SyncExecutor` executes them inline on the calling thread, in
+  dispatch order.  This is the default and the reference for determinism.
+* :class:`ThreadedExecutor` dispatches chunks onto a shared
+  :class:`concurrent.futures.ThreadPoolExecutor`.  NumPy releases the GIL
+  inside the fused matmul/ufunc kernels, so chunks overlap there - but the
+  SU-FA streaming loop is Python-level and serializes on the GIL, so the
+  net effect is workload-dependent (``BENCH_engine_continuous.json``
+  records it honestly; matmul-heavy stacks win, stream-heavy ones do not).
+  Because every chunk is a pure function of its own requests (the
+  batch-invariant numerics guarantee bit-identical outputs regardless of
+  scheduling), thread interleaving cannot change a single result bit - only
+  wall-clock time.
+
+Both backends present one method, :meth:`run`, which returns one outcome
+per task **in dispatch order**: the task's :class:`BatchRecord`-like return
+value on success or the raised exception on failure.  Gathering in dispatch
+order is what keeps the engine's statistics and error reporting identical
+across backends.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Names accepted by :func:`make_executor` / ``SofaEngine(backend=...)``.
+BACKENDS = ("sync", "threads")
+
+
+class SyncExecutor:
+    """Inline execution on the dispatching thread (the deterministic baseline)."""
+
+    name = "sync"
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T | Exception]:
+        outcomes: list[T | Exception] = []
+        for task in tasks:
+            try:
+                outcomes.append(task())
+            except Exception as error:  # noqa: BLE001 - outcome, not control flow
+                outcomes.append(error)
+        return outcomes
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadedExecutor:
+    """Chunk execution on a shared thread pool with ordered gathering.
+
+    The pool is created lazily on first use and reused across scheduling
+    rounds; :meth:`shutdown` releases it.  Running again after a shutdown
+    deliberately *revives* the pool (raising would strand futures a caller
+    drains after an engine's ``with`` block) - pair every burst of use with
+    its own :meth:`shutdown`/context manager if thread lifetime matters.
+    ``max_workers=None`` defers to :class:`ThreadPoolExecutor`'s default
+    sizing.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="sofa-engine"
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T | Exception]:
+        if len(tasks) <= 1:
+            # One chunk cannot overlap with anything; skip the pool hop.
+            return SyncExecutor().run(tasks)
+        pool = self._ensure_pool()
+        futures = [pool.submit(task) for task in tasks]
+        outcomes: list[T | Exception] = []
+        for future in futures:  # dispatch order, NOT completion order
+            try:
+                outcomes.append(future.result())
+            except Exception as error:  # noqa: BLE001 - outcome, not control flow
+                outcomes.append(error)
+        return outcomes
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(
+    backend: str, max_workers: int | None = None
+) -> SyncExecutor | ThreadedExecutor:
+    """Build the named backend (``"sync"`` or ``"threads"``)."""
+    if backend == "sync":
+        return SyncExecutor()
+    if backend == "threads":
+        return ThreadedExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -1,34 +1,56 @@
-"""SofaEngine: a batching serving frontend over the fused SOFA pipeline.
+"""SofaEngine: a continuously-batching serving frontend over the fused pipeline.
 
 The paper accelerates one attention head at a time; a serving deployment
 sees a *stream* of independent attention requests (one per head per layer
-per active sequence).  This module provides the software analogue of the
-accelerator's head-level scheduler:
+per active sequence) arriving over time.  This module provides the software
+analogue of the accelerator's head-level scheduler:
 
-* **Request queue** - callers :meth:`~SofaEngine.submit` independent
-  :class:`AttentionRequest` objects and receive an :class:`AttentionFuture`
-  immediately.
-* **Greedy batch scheduler** - :meth:`~SofaEngine.flush` walks the queue in
-  arrival order and greedily groups requests whose shapes share one
-  cross-stage tiling grid: the batch key is ``(S, T, H, Dk, Dv, config)``,
+* **Request queue with continuous admission** - callers
+  :meth:`~SofaEngine.submit` independent :class:`AttentionRequest` objects
+  and receive an :class:`AttentionFuture` immediately.  Admission is
+  *continuous*: a new request joins the not-yet-executed group sharing its
+  cross-stage tiling grid (the batch key is ``(S, T, H, Dk, Dv, config)``,
   i.e. requests batch together exactly when they agree on the paper's
-  ``(S, tile_cols)`` grid (plus the tensor shapes needed to stack them).
-  Each group is executed as one :class:`BatchedSofaAttention` call of at
-  most ``max_batch_heads`` heads.
+  ``(S, tile_cols)`` grid), so groups keep filling between scheduling
+  rounds instead of only seeing what was queued before one flush.
+* **Starvation-free scheduling** - :meth:`~SofaEngine.step` runs one
+  scheduling round: groups execute when full (``max_batch_heads``), when
+  they have waited ``max_wait_batches`` rounds, or when any member's
+  ``deadline`` has passed - so a request on a rare shape never waits
+  forever for batch-mates.  :meth:`~SofaEngine.flush` force-drains
+  everything, and :meth:`~SofaEngine.run_until_drained` loops rounds until
+  the queue is empty.
+* **Pluggable execution backend** - ready chunks run through
+  :mod:`repro.engine.executor`: ``backend="sync"`` executes inline,
+  ``backend="threads"`` dispatches independent chunks onto a thread pool
+  (overlap is workload-dependent: NumPy releases the GIL in the fused
+  kernels, the SU-FA streaming loop holds it).  Outcomes are gathered in
+  dispatch order, so statistics, error reporting and - thanks to the
+  batch-invariant numerics - every result bit are identical across
+  backends.
+* **Decode-step cache** - requests carrying a ``cache_key`` reuse their
+  quantized ``K_hat``/DLZS prediction state across steps of a growing
+  sequence (:mod:`repro.engine.cache`), skipping re-quantization of the
+  unchanged token prefix.  Hit/miss/invalidation counters surface in
+  :attr:`SofaEngine.stats`.
 * **Per-request futures** - every request resolves to the same
   :class:`~repro.core.pipeline.SofaAttentionResult` the sequential operator
   would have produced (bit-for-bit), so downstream accounting code cannot
-  tell it was served from a batch.
+  tell it was served from a batch, a thread, or a cache hit.
 
-The scheduler is deliberately synchronous (flush-driven): the repository's
-execution model is deterministic NumPy, and determinism is part of the
-engine's contract.  Wall-clock wins come from fusing the per-head NumPy
-work, not from thread concurrency.
+Determinism remains part of the engine's contract: the scheduler and both
+backends produce bit-identical results in deterministic arrival order; the
+executor and the cache only change *when* work happens, never what it
+computes.  Submissions are expected from one caller thread; worker threads
+are engine-internal.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable
@@ -38,6 +60,8 @@ import numpy as np
 from repro.core.config import SofaConfig
 from repro.core.pipeline import SofaAttentionResult
 from repro.engine.batched import BatchedSofaAttention
+from repro.engine.cache import CacheStats, DecodeStepCache
+from repro.engine.executor import make_executor
 
 
 @dataclass
@@ -48,6 +72,13 @@ class AttentionRequest:
     ``(H, Dv)``); ``tokens`` is ``(S, H)``; ``q`` is ``(T, D)``.  ``v``
     optionally supplies a pre-computed value cache, and ``config`` overrides
     the engine default (requests only batch with compatible configs).
+
+    ``cache_key`` opts the request into the decode-step cache: submit the
+    same key every step of a growing sequence (e.g. ``(session, layer,
+    head)``) and the DLZS phase-1.1 state of the unchanged token prefix is
+    reused.  ``deadline`` (absolute :func:`time.monotonic` seconds) forces
+    the request's group to execute at the first scheduling round past it,
+    even if the batch is not full.
     """
 
     tokens: np.ndarray
@@ -59,18 +90,21 @@ class AttentionRequest:
     v: np.ndarray | None = None
     config: SofaConfig | None = None
     tag: str | None = None
+    cache_key: Hashable | None = None
+    deadline: float | None = None
 
 
 class AttentionFuture:
     """Handle to a queued request; resolves when its batch executes.
 
-    ``result()`` triggers a flush if the request is still queued, so callers
-    may simply submit everything and read results in any order.
+    ``result()`` triggers a full drain if the request is still queued, so
+    callers may simply submit everything and read results in any order.
     """
 
-    def __init__(self, engine: "SofaEngine", request: AttentionRequest):
+    def __init__(self, engine: "SofaEngine"):
+        # Deliberately does NOT hold the request: retaining a future must
+        # not pin the request's token/weight tensors after it is served.
         self._engine = engine
-        self._request = request
         self._result: SofaAttentionResult | None = None
         self._error: Exception | None = None
 
@@ -101,49 +135,139 @@ class AttentionFuture:
 
 @dataclass
 class BatchRecord:
-    """One executed batch: its grid and how many heads rode it."""
+    """One executed batch: its grid, size, and how long it waited."""
 
     n_heads: int
     seq_len: int
     n_queries: int
     tile_cols: int
+    waited_rounds: int = 0
 
 
 @dataclass
 class EngineStats:
-    """Aggregate serving statistics since engine construction."""
+    """Aggregate serving statistics since engine construction.
+
+    ``cache`` is a live view of the engine's decode-step cache counters
+    (hits/misses/invalidations/evictions plus reused/appended row tallies).
+    ``batches`` retains only the most recent ``MAX_BATCH_RECORDS`` records
+    so a long-lived engine's memory stays bounded; the scalar aggregates
+    (``n_requests``/``n_batches``/``mean_batch_heads``) cover the full
+    lifetime regardless.
+    """
+
+    #: per-batch records kept for inspection; older ones are dropped
+    MAX_BATCH_RECORDS = 1024
 
     n_requests: int = 0
     n_batches: int = 0
+    n_steps: int = 0
     batches: list[BatchRecord] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def record_batches(self, records: list[BatchRecord]) -> None:
+        self.batches.extend(records)
+        self.n_batches += len(records)
+        if len(self.batches) > self.MAX_BATCH_RECORDS:
+            del self.batches[: len(self.batches) - self.MAX_BATCH_RECORDS]
 
     @property
     def mean_batch_heads(self) -> float:
         return self.n_requests / self.n_batches if self.n_batches else 0.0
 
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+
+@dataclass
+class _Group:
+    """A not-yet-executed shape group: members in arrival order plus age."""
+
+    members: list[tuple[AttentionRequest, AttentionFuture]] = field(
+        default_factory=list
+    )
+    age: int = 0
+
+    def earliest_deadline(self) -> float | None:
+        deadlines = [r.deadline for r, _ in self.members if r.deadline is not None]
+        return min(deadlines) if deadlines else None
+
 
 class SofaEngine:
-    """Serving frontend: queue, greedy shape-batching scheduler, futures."""
+    """Serving frontend: continuous batching scheduler, backends, futures.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`SofaConfig` for requests that carry none.
+    max_batch_heads:
+        Fused-call width; a group executes as soon as it can fill one chunk.
+    backend / max_workers:
+        ``"sync"`` (inline) or ``"threads"`` (thread-pool chunk overlap).
+    max_wait_batches:
+        Starvation bound: a group executes after waiting this many
+        scheduling rounds even if under-full.  ``None`` means groups wait
+        for a full chunk, a deadline, or an explicit :meth:`flush`.
+    cache / cache_entries:
+        Share a :class:`DecodeStepCache` between engines, or size the
+        engine-owned one.
+    """
 
     #: cached pre-converted operators kept per (weights, config) identity
     _OPERATOR_CACHE_SIZE = 16
 
-    def __init__(self, config: SofaConfig | None = None, max_batch_heads: int = 64):
+    def __init__(
+        self,
+        config: SofaConfig | None = None,
+        max_batch_heads: int = 64,
+        backend: str = "sync",
+        max_workers: int | None = None,
+        max_wait_batches: int | None = None,
+        cache: DecodeStepCache | None = None,
+        cache_entries: int = 256,
+    ):
         if max_batch_heads < 1:
             raise ValueError("max_batch_heads must be >= 1")
+        if max_wait_batches is not None and max_wait_batches < 0:
+            raise ValueError("max_wait_batches must be >= 0 (or None)")
         self.config = config or SofaConfig()
         self.max_batch_heads = max_batch_heads
-        self.stats = EngineStats()
-        self._queue: list[tuple[AttentionRequest, AttentionFuture]] = []
+        self.max_wait_batches = max_wait_batches
+        self.executor = make_executor(backend, max_workers=max_workers)
+        self.cache = cache if cache is not None else DecodeStepCache(cache_entries)
+        self.stats = EngineStats(cache=self.cache.stats)
+        self._groups: OrderedDict[Hashable, _Group] = OrderedDict()
         self._operators: OrderedDict[Hashable, BatchedSofaAttention] = OrderedDict()
+        self._op_lock = threading.Lock()  # worker threads share the LRU
+
+    @property
+    def backend(self) -> str:
+        return self.executor.name
+
+    def shutdown(self) -> None:
+        """Release backend resources (idle engines hold none)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "SofaEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     # ------------------------------------------------------------- submission
     def submit(self, request: AttentionRequest) -> AttentionFuture:
-        """Queue one request; returns immediately with its future.
+        """Admit one request into its shape group; returns its future.
 
         Shapes and the top-k budget are validated here, so a malformed
         request fails at submission instead of aborting the batch it would
-        have joined.
+        have joined.  Admission is continuous: the request joins the open
+        group for its grid, including groups formed in earlier rounds that
+        have not executed yet.
         """
         tokens = np.asarray(request.tokens)
         q = np.asarray(request.q)
@@ -161,9 +285,26 @@ class SofaEngine:
             v = np.asarray(request.v)
             if v.ndim != 2 or v.shape[0] != tokens.shape[0]:
                 raise ValueError("value cache must be (S, Dv)")
+        if request.deadline is not None and not (
+            isinstance(request.deadline, (int, float))
+            and math.isfinite(request.deadline)
+        ):
+            # NaN would compare False against every clock reading and
+            # silently defeat the starvation bound the deadline provides.
+            raise ValueError("deadline must be finite monotonic seconds")
+        if request.cache_key is not None:
+            try:
+                hash(request.cache_key)
+            except TypeError as error:
+                raise ValueError("cache_key must be hashable") from error
         (request.config or self.config).resolve_top_k(tokens.shape[0])
-        future = AttentionFuture(self, request)
-        self._queue.append((request, future))
+        future = AttentionFuture(self)
+        key = self._batch_key(request)
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group()
+            self._groups[key] = group
+        group.members.append((request, future))
         return future
 
     def submit_many(self, requests: list[AttentionRequest]) -> list[AttentionFuture]:
@@ -171,71 +312,170 @@ class SofaEngine:
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return sum(len(g.members) for g in self._groups.values())
 
-    # -------------------------------------------------------------- execution
+    def invalidate_cache(self, key: Hashable) -> int:
+        """Explicitly drop a sequence's decode-cache state (session ended).
+
+        Drops both the exact-key entries and - for tuple keys - entries
+        namespaced under ``key`` as their first element; returns how many
+        entries were removed.
+        """
+        removed = self.cache.invalidate_prefix(key)
+        # Raw keys are namespaced (user_key, config, weight_digest) by the
+        # predictor, so prefix matching on the user key is the droppable set.
+        return removed
+
+    # -------------------------------------------------------------- scheduling
     def _batch_key(self, request: AttentionRequest) -> Hashable:
         """Requests batch together iff they share one cross-stage grid."""
         cfg = request.config or self.config
         tokens = np.asarray(request.tokens)
         q = np.asarray(request.q)
         # Dv comes from the value cache when one is supplied - caches of
-        # different widths must not share a stack.
+        # different widths must not share a stack.  wv's own width still
+        # joins the key: the projection stacks even when a cache overrides
+        # it, so mismatched wv shapes must not group either.
+        wv_cols = np.asarray(request.wv).shape[1]
         if request.v is not None:
             dv = np.asarray(request.v).shape[1]
         else:
-            dv = np.asarray(request.wv).shape[1]
+            dv = wv_cols
         return (
             tokens.shape[0],  # S: the tiled key axis
             q.shape[0],  # T
             tokens.shape[1],  # H
             q.shape[1],  # Dk
             dv,
+            wv_cols,
             request.v is not None,
             cfg,  # frozen dataclass: hashable; carries tile_cols & stage knobs
         )
 
-    def flush(self) -> list[BatchRecord]:
-        """Drain the queue: greedy grouping in arrival order, fused execution.
+    def _ready(self, group: _Group, now: float) -> bool:
+        if len(group.members) >= self.max_batch_heads:
+            return True
+        if self.max_wait_batches is not None and group.age >= self.max_wait_batches:
+            return True
+        deadline = group.earliest_deadline()
+        return deadline is not None and deadline <= now
 
-        Returns the batch records executed by this flush.  A batch that
+    def step(self, now: float | None = None) -> list[BatchRecord]:
+        """One scheduling round: execute every ready group, age the rest.
+
+        A group is *ready* when it can fill a chunk (``max_batch_heads``
+        members), has waited ``max_wait_batches`` rounds, or holds a request
+        whose deadline has passed.  Groups that stay behind gain one round
+        of age, so with a finite ``max_wait_batches`` no request waits more
+        than that many rounds - the starvation bound.
+        """
+        now = time.monotonic() if now is None else now
+        ready = [k for k, g in self._groups.items() if self._ready(g, now)]
+        try:
+            return self._execute_keys(ready)
+        finally:
+            # Age even when a ready batch raised: the starvation bound must
+            # hold for the groups left waiting regardless of neighbours'
+            # failures (their own futures already carry the error).
+            for group in self._groups.values():
+                group.age += 1
+            self.stats.n_steps += 1
+
+    def flush(self) -> list[BatchRecord]:
+        """Force-drain every group regardless of readiness.
+
+        Returns the batch records executed by this drain.  A batch that
         raises resolves its own futures with the error and does not block
         the remaining batches; the first error is re-raised once the queue
         has fully drained.
         """
-        if not self._queue:
-            return []
-        queue, self._queue = self._queue, []
-        groups: dict[Hashable, list[tuple[AttentionRequest, AttentionFuture]]] = {}
-        group_order: list[Hashable] = []
-        for item in queue:
-            key = self._batch_key(item[0])
-            if key not in groups:
-                groups[key] = []
-                group_order.append(key)
-            groups[key].append(item)
+        return self._execute_keys(list(self._groups.keys()))
 
+    def run_until_drained(self, max_rounds: int | None = None) -> list[BatchRecord]:
+        """Run scheduling rounds until no request is pending.
+
+        With a finite ``max_wait_batches`` every group ages into readiness,
+        so the loop terminates on rounds alone; otherwise (or when
+        ``max_rounds`` is hit) the remainder is force-flushed.  Returns all
+        batch records executed, in execution order.
+
+        Like :meth:`flush`, a failing batch never aborts the drain: its own
+        futures carry the error, every other group still executes, and the
+        first error is re-raised once nothing is pending (a failing round's
+        successful records remain visible in ``stats.batches``).
+        """
         records: list[BatchRecord] = []
         first_error: Exception | None = None
-        for key in group_order:
-            members = groups[key]
-            cfg = members[0][0].config or self.config
+        rounds = 0
+        while self.pending:
+            try:
+                if max_rounds is not None and rounds >= max_rounds:
+                    records.extend(self.flush())
+                    break
+                if self.max_wait_batches is None and not any(
+                    self._ready(g, time.monotonic()) for g in self._groups.values()
+                ):
+                    records.extend(self.flush())
+                    break
+                stepped = self.step()
+                records.extend(stepped)
+                if not stepped:
+                    # The caller is blocked in this loop, so no new request
+                    # can join a waiting group: aging one round at a time
+                    # only burns no-op rounds.  Fast-forward every group to
+                    # the starvation bound; the next round executes them
+                    # with the same waited_rounds accounting.
+                    for group in self._groups.values():
+                        group.age = max(group.age, self.max_wait_batches)
+            except Exception as error:  # noqa: BLE001 - re-raised after the drain
+                if first_error is None:
+                    first_error = error
+            rounds += 1
+        if first_error is not None:
+            raise first_error
+        return records
+
+    # -------------------------------------------------------------- execution
+    def _execute_keys(self, keys: list[Hashable]) -> list[BatchRecord]:
+        """Chunk and execute the named groups through the backend.
+
+        Chunks are dispatched together (one backend round) and their
+        outcomes gathered in dispatch order, so statistics and the
+        first-error choice are identical for every backend.
+        """
+        chunks: list[tuple[list[tuple[AttentionRequest, AttentionFuture]], int]] = []
+        for key in keys:
+            group = self._groups.pop(key, None)
+            if group is None or not group.members:
+                continue
+            cfg = group.members[0][0].config or self.config
             # A misprediction under max_assurance=False aborts a fused call
             # for every head in it; serve such requests unbatched so the
             # failure stays confined to the offending request.
             limit = self.max_batch_heads if cfg.sufa.max_assurance else 1
-            for lo in range(0, len(members), limit):
-                chunk = members[lo : lo + limit]
-                try:
-                    records.append(self._execute(chunk))
-                    self.stats.n_requests += len(chunk)
-                except Exception as error:  # noqa: BLE001 - forwarded to futures
-                    for _, future in chunk:
-                        future.set_error(error)
-                    if first_error is None:
-                        first_error = error
-        self.stats.batches.extend(records)
-        self.stats.n_batches += len(records)
+            for lo in range(0, len(group.members), limit):
+                chunks.append((group.members[lo : lo + limit], group.age))
+        if not chunks:
+            return []
+
+        tasks = [
+            (lambda chunk=chunk, age=age: self._execute(chunk, age))
+            for chunk, age in chunks
+        ]
+        outcomes = self.executor.run(tasks)
+
+        records: list[BatchRecord] = []
+        first_error: Exception | None = None
+        for (chunk, _age), outcome in zip(chunks, outcomes):
+            if isinstance(outcome, Exception):
+                for _, future in chunk:
+                    future.set_error(outcome)
+                if first_error is None:
+                    first_error = outcome
+            else:
+                records.append(outcome)
+                self.stats.n_requests += len(chunk)
+        self.stats.record_batches(records)
         if first_error is not None:
             raise first_error
         return records
@@ -256,18 +496,21 @@ class SofaEngine:
             hashlib.sha1(wk.tobytes()).hexdigest(),
             hashlib.sha1(wv.tobytes()).hexdigest(),
         )
-        op = self._operators.get(key)
-        if op is None:
-            op = BatchedSofaAttention(wk, wv, cfg)
-            self._operators[key] = op
-            while len(self._operators) > self._OPERATOR_CACHE_SIZE:
-                self._operators.popitem(last=False)
-        else:
-            self._operators.move_to_end(key)
-        return op
+        with self._op_lock:
+            op = self._operators.get(key)
+            if op is None:
+                op = BatchedSofaAttention(wk, wv, cfg)
+                self._operators[key] = op
+                while len(self._operators) > self._OPERATOR_CACHE_SIZE:
+                    self._operators.popitem(last=False)
+            else:
+                self._operators.move_to_end(key)
+            return op
 
     def _execute(
-        self, chunk: list[tuple[AttentionRequest, AttentionFuture]]
+        self,
+        chunk: list[tuple[AttentionRequest, AttentionFuture]],
+        waited_rounds: int = 0,
     ) -> BatchRecord:
         requests = [r for r, _ in chunk]
         cfg = requests[0].config or self.config
@@ -280,9 +523,20 @@ class SofaEngine:
         v = None
         if requests[0].v is not None:
             v = np.stack([np.asarray(r.v, dtype=np.float64) for r in requests])
+        cache_keys = None
+        if any(r.cache_key is not None for r in requests):
+            cache_keys = [r.cache_key for r in requests]
 
         op = self._operator(wk, wv, cfg)
-        result = op(tokens, q, k_scale=k_scales, v_scale=v_scales, v=v)
+        result = op(
+            tokens,
+            q,
+            k_scale=k_scales,
+            v_scale=v_scales,
+            v=v,
+            cache=self.cache if cache_keys is not None else None,
+            cache_keys=cache_keys,
+        )
         for (_, future), head_result in zip(chunk, result.per_head):
             future.set_result(head_result)
         return BatchRecord(
@@ -290,11 +544,12 @@ class SofaEngine:
             seq_len=tokens.shape[1],
             n_queries=q.shape[1],
             tile_cols=cfg.tile_cols,
+            waited_rounds=waited_rounds,
         )
 
     # ------------------------------------------------------------ convenience
     def run(self, requests: list[AttentionRequest]) -> list[SofaAttentionResult]:
-        """Submit, flush, and return results in request order."""
+        """Submit, drain, and return results in request order."""
         futures = self.submit_many(requests)
-        self.flush()
+        self.run_until_drained()
         return [f.result() for f in futures]

@@ -40,7 +40,10 @@ def run(quick: bool = False) -> ExperimentResult:
         rs = rass_schedule(reqs, capacity=64)
         red = 1 - rs.vector_loads / nv.vector_loads
         reductions.append(red)
-        rows.append((name, len(reqs), int(np.unique(sel).size), nv.vector_loads, rs.vector_loads, red * 100))
+        rows.append(
+            (name, len(reqs), int(np.unique(sel).size), nv.vector_loads,
+             rs.vector_loads, red * 100)
+        )
 
     return ExperimentResult(
         experiment_id="fig15",

@@ -11,8 +11,6 @@ closed-form model (a test pins their equality).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attention.flash import flash_attention, vanilla_attention_ops
 from repro.experiments.harness import ExperimentResult
 from repro.numerics.complexity import DEFAULT_WEIGHTS

@@ -27,8 +27,8 @@ from functools import lru_cache
 import numpy as np
 
 from repro.attention.metrics import accuracy_loss_proxy, loss_to_topk_fraction
-from repro.attention.reference import attention_scores, masked_attention
-from repro.attention.topk import exact_topk_indices, indices_to_mask, topk_recall
+from repro.attention.reference import masked_attention
+from repro.attention.topk import topk_recall
 from repro.core.config import SadsConfig
 from repro.core.dlzs import DlzsPredictor
 from repro.core.sads import SadsSorter
@@ -152,14 +152,12 @@ def measure_case(
     recall = topk_recall(sads.indices, exact_scores, k_count)
 
     # --------------------------------------------------------------- formal
-    scale = 1.0 / (np.sqrt(h) * 30 * 12)
     k_mat = wl.k
     v_mat = wl.v
     sufa = sorted_updating_attention(
         wl.q, k_mat, v_mat, sads.indices, order=UpdateOrder.DESCENDING,
         max_assurance=True, tile_cols=64,
     )
-    del scale
     dense_out = masked_attention(
         wl.q, k_mat, v_mat, np.ones((t, s), dtype=bool)
     )

@@ -23,7 +23,7 @@ example (bitmask 1000 -> {5, 6}) is checkable.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

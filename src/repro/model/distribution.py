@@ -90,7 +90,9 @@ def classify_row(
         row_type = RowType.TYPE_III
     else:
         row_type = RowType.TYPE_II
-    return RowClassification(row_type=row_type, dominant_count=int(dom.size), dominant_spread=float(spread))
+    return RowClassification(
+        row_type=row_type, dominant_count=int(dom.size), dominant_spread=float(spread)
+    )
 
 
 def classify_rows(score_matrix: np.ndarray) -> dict[RowType, float]:

@@ -15,6 +15,13 @@ BatchedSofaAttention` call - exactly how a deployment would amortize the
 cross-stage grid over concurrent traffic.  Inside a Transformer the head's
 K rows double as the pre-compute token stream (identity key projection) and
 the real V matrix rides along as the request's value cache.
+
+:class:`SparseDecodeSession` extends this to autoregressive decode: it
+keeps per-layer K/V stacks, forwards only the new positions each step, and
+serves every head's attention through the engine's **decode-step cache**
+(``cache_key=(session, layer, head)``), so the DLZS phase-1.1 state of the
+unchanged context prefix is reused instead of re-quantized - with results
+bit-identical to uncached serving.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import numpy as np
 from repro.attention.metrics import output_relative_error
 from repro.core.config import SofaConfig
 from repro.engine.serving import AttentionRequest, SofaEngine
+from repro.model.layers import layer_norm, merge_heads
 from repro.model.transformer import Transformer
 from repro.numerics.complexity import OpCounter
 
@@ -145,8 +153,6 @@ class SparseInferenceRunner:
         # Run layer by layer so each layer gets its own attention hook.
         dense = x.copy()
         sparse = x.copy()
-        from repro.model.layers import layer_norm
-
         n_heads = self.model.config.n_heads
         for i, block in enumerate(self.model.blocks):
             dense = block(dense)
@@ -156,3 +162,131 @@ class SparseInferenceRunner:
         dense = layer_norm(dense)
         sparse = layer_norm(sparse)
         return SparseInferenceReport(output=sparse, dense_output=dense, layers=stats)
+
+
+@dataclass
+class DecodeStepReport:
+    """Outcome of one decode step.
+
+    ``output`` holds the final-normalized hidden states of the *new*
+    positions only; ``seq_len`` is the total context length after the step.
+    ``cache_hits``/``cache_misses`` are the decode-step-cache lookups this
+    step performed (hits skip re-quantizing the context prefix).
+    """
+
+    output: np.ndarray
+    seq_len: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class SparseDecodeSession:
+    """Autoregressive decode served through the engine's decode-step cache.
+
+    The session keeps per-layer K/V stacks (the model substrate's KV cache)
+    and, each :meth:`step`, forwards only the newly appended positions: every
+    layer projects the new rows, extends its K/V stacks, and submits one
+    :class:`AttentionRequest` per head with ``cache_key=(session_id, layer,
+    head)``.  Because a head's K rows double as the SOFA token stream and
+    earlier rows never change, the engine's :class:`~repro.engine.cache.
+    DecodeStepCache` reuses the quantized ``K_hat`` prefix from the previous
+    step - the serving analogue of keeping the predicted-key SRAM resident
+    across decode steps.  Outputs are bit-identical to running the same
+    requests uncached (``use_cache=False``).
+
+    Note the session computes attention for new positions over the *whole*
+    context (the substrate's attention is bidirectional over the submitted
+    rows); earlier positions' outputs are never revisited, which is the
+    standard causal-decode contract.
+    """
+
+    def __init__(
+        self,
+        model: Transformer,
+        config: SofaConfig | None = None,
+        engine: SofaEngine | None = None,
+        session_id: str | None = None,
+        use_cache: bool = True,
+    ):
+        self.model = model
+        self.config = config or SofaConfig(tile_cols=32, top_k=0.25)
+        # The session touches n_layers*n_heads cache entries in a fixed scan
+        # order every step; an LRU smaller than that working set would evict
+        # each entry right before its next lookup (0% hits), so a
+        # session-owned engine sizes its cache to hold the whole session.
+        working_set = model.config.n_layers * model.config.n_heads
+        self.engine = engine or SofaEngine(
+            config=self.config, cache_entries=max(256, 2 * working_set)
+        )
+        self.session_id = session_id or f"decode-session-{id(self):x}"
+        self.use_cache = use_cache
+        n_layers = model.config.n_layers
+        self._k: list[np.ndarray | None] = [None] * n_layers
+        self._v: list[np.ndarray | None] = [None] * n_layers
+        self._identity: dict[int, np.ndarray] = {}
+
+    @property
+    def seq_len(self) -> int:
+        """Tokens decoded so far (0 before the first step/prefill)."""
+        first = self._k[0] if self._k else None
+        return 0 if first is None else first.shape[1]
+
+    def prefill(self, x: np.ndarray) -> DecodeStepReport:
+        """Ingest the prompt: one step covering all prompt positions."""
+        return self.step(x)
+
+    def step(self, x_new: np.ndarray) -> DecodeStepReport:
+        """Append embeddings ``x_new`` (``(T_new, hidden)`` or ``(hidden,)``)
+        and return the final hidden states of the new positions."""
+        x_new = np.asarray(x_new, dtype=np.float64)
+        if x_new.ndim == 1:
+            x_new = x_new[None, :]
+        if x_new.ndim != 2 or x_new.shape[1] != self.model.config.hidden:
+            raise ValueError(
+                f"expected (T_new, {self.model.config.hidden}) embeddings, "
+                f"got {x_new.shape}"
+            )
+        stats = self.engine.stats.cache
+        hits0, misses0 = stats.hits, stats.misses
+
+        cur = x_new
+        for i, block in enumerate(self.model.blocks):
+            q, k, v = block.attn.project_qkv(layer_norm(cur))
+            if self._k[i] is None:
+                k_full, v_full = k, v
+            else:
+                k_full = np.concatenate([self._k[i], k], axis=1)
+                v_full = np.concatenate([self._v[i], v], axis=1)
+            self._k[i], self._v[i] = k_full, v_full
+
+            dh = q.shape[2]
+            eye = self._identity.setdefault(dh, np.eye(dh))
+            futures = self.engine.submit_many(
+                [
+                    AttentionRequest(
+                        tokens=k_full[h],
+                        q=q[h],
+                        wk=eye,
+                        wv=eye,
+                        v=v_full[h],
+                        config=self.config,
+                        cache_key=(self.session_id, i, h) if self.use_cache else None,
+                    )
+                    for h in range(k_full.shape[0])
+                ]
+            )
+            self.engine.flush()
+            heads = np.stack([f.result().output for f in futures])
+            cur = cur + block.attn.wo(merge_heads(heads))
+            cur = cur + block.ffn(layer_norm(cur))
+
+        return DecodeStepReport(
+            output=layer_norm(cur),
+            seq_len=self.seq_len,
+            cache_hits=stats.hits - hits0,
+            cache_misses=stats.misses - misses0,
+        )
+
+    def close(self) -> int:
+        """End the session: drop its decode-cache entries; returns how many."""
+        return self.engine.cache.invalidate_prefix(self.session_id)

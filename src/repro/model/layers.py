@@ -8,7 +8,7 @@ matmuls).  Weights are float64 for clean comparisons against quantized paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -53,6 +53,20 @@ class QuantizedTensor:
         return self.values.astype(np.float64) * self.scale
 
 
+def quantize_with_scale(
+    x: np.ndarray, scale: float | np.ndarray, bits: int
+) -> np.ndarray:
+    """Round and saturate float64 ``x`` at a fixed symmetric ``scale``.
+
+    This is THE rounding rule of the package: :func:`quantize`,
+    :func:`quantize_stack` and the decode-step cache's incremental
+    re-quantization all call it, so bit-for-bit parity between full and
+    incremental paths rests on a single formula.
+    """
+    lo, hi = int_range(bits)
+    return np.clip(np.rint(x / scale), lo, hi).astype(np.int64)
+
+
 def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
     """Symmetrically quantize ``x`` to a signed ``bits``-wide integer tensor.
 
@@ -60,10 +74,10 @@ def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
     range; an all-zero tensor gets scale 1.0.
     """
     x = np.asarray(x, dtype=np.float64)
-    lo, hi = int_range(bits)
+    _, hi = int_range(bits)
     max_abs = float(np.max(np.abs(x))) if x.size else 0.0
     scale = (max_abs / hi) if max_abs > 0 else 1.0
-    q = np.clip(np.rint(x / scale), lo, hi).astype(np.int64)
+    q = quantize_with_scale(x, scale, bits)
     return QuantizedTensor(values=q, scale=scale, bits=bits)
 
 
@@ -99,12 +113,12 @@ def quantize_stack(x: np.ndarray, bits: int) -> StackQuantizedTensor:
     x = np.asarray(x, dtype=np.float64)
     if x.ndim < 2:
         raise ValueError("quantize_stack needs a stack of tensors (ndim >= 2)")
-    lo, hi = int_range(bits)
+    _, hi = int_range(bits)
     reduce_axes = tuple(range(1, x.ndim))
     max_abs = np.max(np.abs(x), axis=reduce_axes)
     scales = np.where(max_abs > 0, max_abs / hi, 1.0)
     bshape = (-1,) + (1,) * (x.ndim - 1)
-    q = np.clip(np.rint(x / scales.reshape(bshape)), lo, hi).astype(np.int64)
+    q = quantize_with_scale(x, scales.reshape(bshape), bits)
     return StackQuantizedTensor(values=q, scales=scales, bits=bits)
 
 

@@ -1,7 +1,6 @@
 """Tests for the whole-row dynamic-sparsity baseline."""
 
 import numpy as np
-import pytest
 
 from repro.attention.dynamic_sparse import (
     dynamic_sparse_attention,

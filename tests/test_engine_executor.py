@@ -1,0 +1,132 @@
+"""Executor-backend tests: the threads path must be a pure wall-clock knob.
+
+``backend="threads"`` dispatches independent chunks onto a thread pool; the
+batch-invariant numerics guarantee that scheduling cannot move a single bit,
+so these tests compare everything - outputs, selections, op counts, stage
+traces, statistics ordering, and error routing - against the sync backend
+and the sequential per-head operator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SadsConfig, SofaConfig, SufaConfig
+from repro.core.pipeline import SofaAttention
+from repro.engine import AttentionRequest, SofaEngine
+from repro.engine.executor import SyncExecutor, ThreadedExecutor, make_executor
+from repro.utils.rng import make_rng
+
+
+def _request(rng, s=64, h=16, d=16, t=4, config=None):
+    return AttentionRequest(
+        tokens=rng.integers(-80, 80, size=(s, h)).astype(np.float64),
+        q=rng.normal(size=(t, d)),
+        wk=rng.normal(size=(h, d)),
+        wv=rng.normal(size=(h, d)),
+        config=config,
+    )
+
+
+def test_make_executor_names_and_validation():
+    assert make_executor("sync").name == "sync"
+    assert make_executor("threads", max_workers=2).name == "threads"
+    with pytest.raises(ValueError):
+        make_executor("fibers")
+    with pytest.raises(ValueError):
+        make_executor("threads", max_workers=0)
+
+
+def test_sync_executor_preserves_order_and_errors():
+    backend = SyncExecutor()
+    outcomes = backend.run([lambda: 1, lambda: (_ for _ in ()).throw(RuntimeError("x")), lambda: 3])
+    assert outcomes[0] == 1 and outcomes[2] == 3
+    assert isinstance(outcomes[1], RuntimeError)
+
+
+def test_threaded_executor_gathers_in_dispatch_order():
+    backend = ThreadedExecutor(max_workers=4)
+    try:
+        outcomes = backend.run([(lambda i=i: i * i) for i in range(16)])
+        assert outcomes == [i * i for i in range(16)]
+        bad = backend.run([lambda: 7, lambda: (_ for _ in ()).throw(ValueError("boom"))])
+        assert bad[0] == 7 and isinstance(bad[1], ValueError)
+    finally:
+        backend.shutdown()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_threads_backend_bit_identical_to_sequential(seed):
+    """Randomized sweep: threads-served == per-head SofaAttention, exactly."""
+    rng = make_rng(4000 + seed)
+    s = int(rng.integers(32, 160))
+    cfg = SofaConfig(
+        tile_cols=int(rng.choice([8, 16, 32])),
+        top_k=int(rng.integers(1, s + 1)),
+        sads=SadsConfig(
+            n_segments=int(rng.integers(1, 6)),
+            radius=float(rng.uniform(1.0, 6.0)),
+            adjust_rounds=int(rng.integers(0, 3)),
+        ),
+    )
+    requests = [_request(rng, s=s) for _ in range(int(rng.integers(2, 9)))]
+    with SofaEngine(cfg, max_batch_heads=3, backend="threads", max_workers=4) as engine:
+        results = engine.run(requests)
+    for req, res in zip(requests, results):
+        seq = SofaAttention(req.wk, req.wv, cfg)(req.tokens, req.q)
+        np.testing.assert_array_equal(seq.selected, res.selected)
+        assert seq.output.tobytes() == res.output.tobytes()
+        assert seq.assurance_triggers == res.assurance_triggers
+        for st_s, st_b in zip(seq.stages, res.stages):
+            assert st_s.dram_bytes == st_b.dram_bytes
+            assert st_s.sram_peak_bytes == st_b.sram_peak_bytes
+            for op in set(st_s.ops.counts) | set(st_b.ops.counts):
+                assert st_s.ops[op] == st_b.ops[op], (st_s.name, op)
+
+
+def test_threads_and_sync_record_identical_batch_stats():
+    """Dispatch-order gathering keeps statistics deterministic per backend."""
+    rng_a, rng_b = make_rng(50), make_rng(50)
+    shapes = [64, 96, 64, 128, 96, 64, 128, 64]
+    records = {}
+    for backend, rng in (("sync", rng_a), ("threads", rng_b)):
+        with SofaEngine(
+            SofaConfig(tile_cols=16, top_k=8), max_batch_heads=2, backend=backend
+        ) as engine:
+            engine.run([_request(rng, s=s) for s in shapes])
+            records[backend] = [
+                (r.n_heads, r.seq_len, r.tile_cols) for r in engine.stats.batches
+            ]
+            assert engine.stats.n_requests == len(shapes)
+    assert records["sync"] == records["threads"]
+
+
+def test_threads_error_isolation_matches_sync():
+    """A failing chunk resolves only its own futures with the error."""
+    cfg = SofaConfig(tile_cols=16, top_k=12, sufa=SufaConfig(max_assurance=False))
+    for backend in ("sync", "threads"):
+        with SofaEngine(cfg, backend=backend) as engine:
+            fut_good = engine.submit(_request(make_rng(0)))
+            fut_bad = engine.submit(_request(make_rng(1)))  # ordering violated
+            with pytest.raises(RuntimeError):
+                engine.flush()
+            assert fut_good.done() and fut_bad.done()
+            assert fut_good.result().output.shape == (4, 16)
+            with pytest.raises(RuntimeError):
+                fut_bad.result()
+            assert engine.stats.n_requests == 1, backend
+
+
+def test_engine_backend_property_and_shutdown_idempotent():
+    engine = SofaEngine(SofaConfig(tile_cols=16, top_k=8), backend="threads")
+    assert engine.backend == "threads"
+    engine.run([_request(make_rng(2))])
+    engine.shutdown()
+    engine.shutdown()  # second shutdown is a no-op
+    # the pool is rebuilt lazily after shutdown
+    assert engine.run([_request(make_rng(3))])[0].output.shape == (4, 16)
+    engine.shutdown()
+
+
+def test_unknown_backend_rejected_at_construction():
+    with pytest.raises(ValueError):
+        SofaEngine(SofaConfig(tile_cols=16, top_k=8), backend="gpu")

@@ -2,7 +2,6 @@
 and the functional pipeline feeding the cycle-level accelerator model."""
 
 import numpy as np
-import pytest
 
 from repro.attention.metrics import output_relative_error
 from repro.attention.reference import dense_attention
@@ -12,7 +11,6 @@ from repro.hw.accelerator import SofaAccelerator, shape_from_pipeline
 from repro.model.config import get_model
 from repro.model.transformer import Transformer
 from repro.model.workloads import make_workload
-from repro.utils.rng import make_rng
 
 
 def _sofa_attention_fn(top_k_fraction=0.3, tile_cols=16):

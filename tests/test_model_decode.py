@@ -1,0 +1,100 @@
+"""SparseDecodeSession tests: cached decode through the serving engine.
+
+The session's contract: step-by-step decode produces bit-identical hidden
+states whether or not the decode-step cache is engaged, every post-prefill
+step hits once per (layer, head), and closing the session drops exactly its
+own cache entries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SofaConfig
+from repro.model.config import ModelConfig
+from repro.model.inference import SparseDecodeSession
+from repro.model.transformer import Transformer
+from repro.utils.rng import make_rng
+
+SOFA_CFG = SofaConfig(tile_cols=16, top_k=0.5)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    cfg = ModelConfig(
+        name="tiny",
+        n_layers=2,
+        hidden=32,
+        n_heads=4,
+        ffn_hidden=64,
+        default_seq_len=64,
+        family="bert",
+    )
+    return Transformer.init(make_rng(77), cfg)
+
+
+def test_cached_decode_bit_identical_to_uncached(tiny_model):
+    rng = make_rng(1)
+    prompt = rng.normal(size=(20, 32))
+    steps = [rng.normal(size=(1, 32)) for _ in range(4)]
+    cached = SparseDecodeSession(tiny_model, SOFA_CFG, session_id="parity")
+    plain = SparseDecodeSession(tiny_model, SOFA_CFG, use_cache=False)
+    a = cached.prefill(prompt)
+    b = plain.prefill(prompt)
+    assert a.output.tobytes() == b.output.tobytes()
+    for x in steps:
+        a = cached.step(x)
+        b = plain.step(x)
+        assert a.output.tobytes() == b.output.tobytes()
+    assert cached.seq_len == plain.seq_len == 24
+
+
+def test_step_hit_counts_are_layers_times_heads(tiny_model):
+    rng = make_rng(2)
+    session = SparseDecodeSession(tiny_model, SOFA_CFG, session_id="counts")
+    report = session.prefill(rng.normal(size=(16, 32)))
+    n_units = tiny_model.config.n_layers * tiny_model.config.n_heads
+    assert report.cache_hits == 0
+    assert report.cache_misses == n_units  # cold fill: one miss per (layer, head)
+    stats = session.engine.stats.cache
+    for i in range(3):
+        inv0 = stats.invalidations
+        report = session.step(rng.normal(size=(1, 32)))
+        # every (layer, head) looks up exactly once per step; the only
+        # admissible miss is a quantization-scale invalidation (a new K row
+        # louder than the cached prefix maximum), never a prefix mismatch
+        assert report.cache_hits + report.cache_misses == n_units, f"step {i}"
+        assert report.cache_misses == stats.invalidations - inv0, f"step {i}"
+        assert report.seq_len == 17 + i
+    assert stats.misses == stats.invalidations + n_units  # cold fill + scale bumps
+    assert report.output.shape == (1, 32)
+
+
+def test_multi_token_step_and_1d_input(tiny_model):
+    rng = make_rng(3)
+    session = SparseDecodeSession(tiny_model, SOFA_CFG)
+    session.prefill(rng.normal(size=(8, 32)))
+    wide = session.step(rng.normal(size=(3, 32)))  # speculative-style burst
+    assert wide.output.shape == (3, 32)
+    single = session.step(rng.normal(size=32))  # 1-D convenience
+    assert single.output.shape == (1, 32)
+    assert session.seq_len == 12
+
+
+def test_close_drops_exactly_this_sessions_entries(tiny_model):
+    rng = make_rng(4)
+    engine_shared = SparseDecodeSession(tiny_model, SOFA_CFG, session_id="one")
+    engine_shared.prefill(rng.normal(size=(8, 32)))
+    other = SparseDecodeSession(
+        tiny_model, SOFA_CFG, engine=engine_shared.engine, session_id="two"
+    )
+    other.prefill(rng.normal(size=(8, 32)))
+    n_units = tiny_model.config.n_layers * tiny_model.config.n_heads
+    assert engine_shared.close() == n_units
+    assert other.close() == n_units
+    assert engine_shared.close() == 0
+
+
+def test_decode_session_validates_hidden_dim(tiny_model):
+    session = SparseDecodeSession(tiny_model, SOFA_CFG)
+    with pytest.raises(ValueError):
+        session.step(np.zeros((2, 33)))

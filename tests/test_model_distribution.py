@@ -9,7 +9,6 @@ from repro.model.distribution import (
     classify_row,
     classify_rows,
 )
-from repro.utils.rng import make_rng
 
 
 def _row_with_spikes(rng, n, positions, height):

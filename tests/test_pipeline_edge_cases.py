@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.attention.reference import masked_attention
-from repro.attention.topk import indices_to_mask
 from repro.core.config import SofaConfig
 from repro.core.pipeline import SofaAttention
 from repro.engine import BatchedSofaAttention
