@@ -3,14 +3,17 @@
 Builds a calibrated synthetic attention workload (BERT-style head), runs the
 full cross-stage pipeline (DLZS prediction -> SADS top-k -> SU-FA formal
 compute), and reports fidelity plus per-stage operation counts against the
-dense reference.
+dense reference - then serves the same head through the batched
+:class:`~repro.engine.serving.SofaEngine` and reads its counters back
+through the public ``engine.stats`` API (the only stable surface: the same
+counters a sharded ``repro.cluster`` deployment aggregates per worker).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import SofaAttention, SofaConfig
+from repro import AttentionRequest, SofaAttention, SofaConfig, SofaEngine
 from repro.attention.metrics import accuracy_loss_proxy
 from repro.attention.reference import dense_attention
 from repro.attention.topk import topk_recall
@@ -67,6 +70,29 @@ def main() -> None:
     )
     reduction = 1 - result.total_ops.normalized() / dense_ops
     print(f"\ncomputation reduction vs dense: {reduction:.1%}")
+
+    # The served path: the same head as engine traffic.  Only the public
+    # SofaEngine.stats surface is read - no reaching into scheduler or
+    # group internals, so this stays stable as the serving tier evolves
+    # (a cluster aggregates exactly these counters per worker).
+    with SofaEngine(config, max_batch_heads=8) as engine:
+        served = engine.run(
+            [
+                AttentionRequest(
+                    tokens=workload.tokens, q=workload.q,
+                    wk=workload.wk, wv=workload.wv,
+                    k_scale=scale, v_scale=scale,
+                )
+                for _ in range(8)
+            ]
+        )
+        assert all(r.output.tobytes() == result.output.tobytes() for r in served)
+        stats = engine.stats
+        print("\nengine-served (public stats API)")
+        print(f"requests / batches      : {stats.n_requests} / {stats.n_batches}")
+        print(f"mean heads per batch    : {stats.mean_batch_heads:.1f}")
+        print(f"decode cache h/m/exp    : {stats.cache_hits}/{stats.cache_misses}"
+              f"/{stats.cache_expirations}")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,7 @@
-"""Serving demo: continuous batching, executor backends, and decode caching.
+"""Serving demo: batching, backends, decode caching, and the cluster tier.
 
 Simulates production traffic against :class:`~repro.engine.serving.SofaEngine`
-in three acts:
+in four acts:
 
 1. **Continuous batching** - requests arrive in waves *between* scheduling
    rounds; new arrivals join not-yet-executed shape groups, under-full
@@ -12,17 +12,30 @@ in three acts:
 3. **Decode-step cache** - a growing sequence re-submitted step by step
    with a ``cache_key`` reuses its quantized ``K_hat`` prefix instead of
    re-running DLZS phase 1.1 over the whole context.
+4. **Cluster tier** - an asyncio loop drives a 2-worker
+   :class:`~repro.cluster.EngineCluster` through the
+   :class:`~repro.cluster.AsyncSofaClient`: sharded worker processes,
+   cross-request dedup, a mid-stream worker crash survived by re-routing -
+   and every awaited result still bit-identical to the sequential operator.
 
 Run:  python examples/serving_engine.py
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 
 import numpy as np
 
-from repro import AttentionRequest, SofaAttention, SofaConfig, SofaEngine
+from repro import (
+    AsyncSofaClient,
+    AttentionRequest,
+    EngineCluster,
+    SofaAttention,
+    SofaConfig,
+    SofaEngine,
+)
 from repro.utils.rng import make_rng
 
 
@@ -154,6 +167,51 @@ def act_decode_cache(rng: np.random.Generator) -> None:
           f"(appended {cache.rows_appended})")
 
 
+def act_cluster(rng: np.random.Generator) -> None:
+    print("\n[4] cluster tier: async frontend over 2 sharded worker processes")
+    print("-" * 60)
+    config = SofaConfig(tile_cols=32, top_k=0.15)
+    requests = make_wave(rng, 12, "async")
+    # one bit-identical duplicate rides along: dedup shares its execution
+    requests.insert(
+        1,
+        AttentionRequest(
+            tokens=requests[0].tokens, q=requests[0].q,
+            wk=requests[0].wk, wv=requests[0].wv, tag="duplicate",
+        ),
+    )
+    sequential = [SofaAttention(r.wk, r.wv, config)(r.tokens, r.q) for r in requests]
+
+    async def serve() -> None:
+        async with AsyncSofaClient(
+            EngineCluster(n_workers=2, config=config, routing="round_robin")
+        ) as client:
+            cluster = client.backend
+            # a burst of concurrent coroutines, one per request
+            results = await client.map(requests[:7])
+            # a worker dies with work in flight: stall it, queue the crash
+            # behind the stall, keep submitting - nothing is dropped
+            cluster.stall_worker(0, 0.3)
+            cluster.crash_worker(0, hard=False, wait=False)
+            results += await client.map(requests[7:])
+            stats = cluster.stats
+            exact = all(
+                a.output.tobytes() == b.output.tobytes()
+                and np.array_equal(a.selected, b.selected)
+                for a, b in zip(sequential, results)
+            )
+            print(f"  requests awaited        : {len(results)} "
+                  f"(deduped {stats.n_deduped})")
+            print(f"  bit-identical vs seq    : {exact}")
+            print(f"  worker failures         : {stats.n_worker_failures} "
+                  f"(re-routed {stats.n_rerouted}, errors {stats.n_errors})")
+            print(f"  served per worker       : "
+                  f"{[w.n_requests for w in stats.workers]} "
+                  f"(alive {[w.alive for w in stats.workers]})")
+
+    asyncio.run(serve())
+
+
 def main() -> None:
     rng = make_rng(11)
     print("SOFA serving engine demo")
@@ -161,6 +219,7 @@ def main() -> None:
     act_continuous(rng)
     act_backends(rng)
     act_decode_cache(rng)
+    act_cluster(rng)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,10 @@ contribution:
     The batched execution layer: a fused multi-head operator bit-identical
     to the per-head pipeline, and a serving frontend with a request queue,
     shape-batching scheduler and per-request futures.
+``repro.cluster``
+    The sharded serving tier: an ``EngineCluster`` of engine worker
+    processes with pluggable routing, cross-request dedup and failure
+    re-routing, plus an ``AsyncSofaClient`` for asyncio serving loops.
 ``repro.hw``
     A cycle-approximate model of the SOFA accelerator: engines, SRAM/DRAM,
     RASS scheduling and area/power accounting.
@@ -30,6 +34,7 @@ contribution:
     One module per paper table/figure, regenerating its rows.
 """
 
+from repro.cluster import AsyncSofaClient, EngineCluster
 from repro.core.config import SofaConfig
 from repro.core.dlzs import DlzsPredictor
 from repro.core.pipeline import SofaAttention, sofa_attention
@@ -37,7 +42,7 @@ from repro.core.sads import SadsSorter
 from repro.core.sufa import sorted_updating_attention
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SofaConfig",
@@ -46,7 +51,9 @@ __all__ = [
     "DlzsPredictor",
     "SadsSorter",
     "sorted_updating_attention",
+    "AsyncSofaClient",
     "BatchedSofaAttention",
+    "EngineCluster",
     "SofaEngine",
     "AttentionRequest",
     "__version__",

@@ -1,0 +1,52 @@
+"""``repro.cluster``: the sharded multi-process serving tier.
+
+Scaling past one process is the ROADMAP's next rung: the engine's SU-FA
+streaming loop is Python-bound, so a single :class:`~repro.engine.serving.
+SofaEngine` caps throughput regardless of batching.  This package shards
+the request stream across worker processes - the software analogue of the
+paper's parallel hardware lanes (RASS balancing heads across lanes, STAR
+tiling across spatial lanes, Occamy partitioning across chiplets):
+
+:class:`~repro.cluster.serving.EngineCluster`
+    N engine worker processes behind one frontend: pluggable routing
+    (``round_robin`` / ``shape_affinity`` / ``cache_affinity`` /
+    ``least_loaded``), cross-request dedup of bit-identical requests,
+    aggregated :class:`~repro.cluster.serving.ClusterStats`, and graceful
+    worker-failure handling (in-flight requests re-route, never drop).
+:class:`~repro.cluster.aio.AsyncSofaClient`
+    ``async``/``await`` over the same futures, for asyncio serving loops.
+:mod:`repro.cluster.routing`
+    The routing policies (rendezvous-hashed affinity, RASS lane
+    balancing).
+:mod:`repro.cluster.worker`
+    The worker-process entrypoint and wire protocol.
+
+The engine's parity contract crosses the process boundary intact: every
+result is bit-identical - outputs, selections, op counts - to the same
+request served by a single sequential engine, regardless of which worker
+served it, how it was routed, or whether a worker died mid-stream.
+"""
+
+from repro.cluster.aio import AsyncSofaClient
+from repro.cluster.routing import POLICIES, RequestInfo, make_policy
+from repro.cluster.serving import (
+    ClusterError,
+    ClusterFuture,
+    ClusterStats,
+    EngineCluster,
+    WorkerStats,
+    WorkerUnavailableError,
+)
+
+__all__ = [
+    "AsyncSofaClient",
+    "ClusterError",
+    "ClusterFuture",
+    "ClusterStats",
+    "EngineCluster",
+    "POLICIES",
+    "RequestInfo",
+    "WorkerStats",
+    "WorkerUnavailableError",
+    "make_policy",
+]

@@ -1,0 +1,154 @@
+"""Routing policies: which engine worker serves which request.
+
+The cluster's routing decision is the software twin of RASS's head-to-lane
+assignment: the accelerator balances head-level work across parallel
+compute lanes, the cluster balances request-level work across engine
+worker processes.  Four policies are provided:
+
+``round_robin``
+    Cycle over the live workers.  Baseline fairness, no affinity.
+``shape_affinity``
+    Requests sharing one cross-stage tiling grid - the engine batch key
+    ``(S, T, H, Dk, Dv, config)`` - land on the same worker, so they join
+    the same shape group there and execute as one fused call (the paper's
+    Fig. 6 grid reuse, preserved across the process boundary).
+``cache_affinity``
+    Requests carrying a ``cache_key`` stick to the worker holding their
+    decode-step-cache state; keyless requests fall back to shape affinity.
+    Decode streams hit their cached ``K_hat`` prefix this way, and the
+    aggregate cache capacity of the cluster becomes the *sum* of the
+    workers' caches instead of one process's bound.
+``least_loaded``
+    Greedy least-outstanding-work assignment, reusing the exact
+    :class:`~repro.hw.scheduler.rass.LaneLoadBalancer` accounting the
+    hardware scheduler model applies to lanes (cost unit: ``S * T``, the
+    tile-grid area a request covers).
+
+Affinity policies use rendezvous (highest-random-weight) hashing over the
+*live* worker set: when a worker dies, only the keys it owned remap - the
+survivors keep their assignments, so a failure does not cold-start every
+cache in the cluster.  All policies are deterministic (hashes are content
+digests, not Python's salted ``hash``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.hw.scheduler.rass import LaneLoadBalancer
+
+#: Names accepted by :func:`make_policy` / ``EngineCluster(routing=...)``.
+POLICIES = ("round_robin", "shape_affinity", "cache_affinity", "least_loaded")
+
+
+@dataclass(frozen=True)
+class RequestInfo:
+    """The routing-relevant view of one encoded request.
+
+    ``shape_key`` is a canonical byte encoding of the engine batch key
+    (requests with equal ``shape_key`` would batch together inside one
+    engine); ``cache_key`` the encoded decode-cache key (``None`` when the
+    request is uncached); ``cost`` the ``S * T`` work estimate.
+    """
+
+    shape_key: bytes
+    cache_key: bytes | None
+    cost: float
+
+
+def _rendezvous(key: bytes, live: list[int]) -> int:
+    """Highest-random-weight choice of a worker for ``key`` among ``live``."""
+    if not live:
+        raise ValueError("no live worker to route to")
+    best, best_score = live[0], b""
+    for worker in live:
+        score = hashlib.sha256(b"%d|" % worker + key).digest()
+        if score > best_score:
+            best, best_score = worker, score
+    return best
+
+
+class RoundRobinPolicy:
+    name = "round_robin"
+
+    def __init__(self, n_workers: int):
+        self._next = 0
+        self.n_workers = n_workers
+
+    def route(self, info: RequestInfo, live: list[int]) -> int:
+        if not live:
+            raise ValueError("no live worker to route to")
+        live_set = set(live)
+        # Advance the cursor over the full id space so the cycle stays
+        # stable when a dead worker later matters for determinism.
+        for _ in range(self.n_workers):
+            worker = self._next % self.n_workers
+            self._next += 1
+            if worker in live_set:
+                return worker
+        return live[0]
+
+    def retire(self, worker: int, cost: float) -> None:
+        """Round-robin tracks no outstanding load."""
+
+
+class ShapeAffinityPolicy:
+    name = "shape_affinity"
+
+    def __init__(self, n_workers: int):
+        self.n_workers = n_workers
+
+    def route(self, info: RequestInfo, live: list[int]) -> int:
+        return _rendezvous(info.shape_key, live)
+
+    def retire(self, worker: int, cost: float) -> None:
+        """Affinity policies track no outstanding load."""
+
+
+class CacheAffinityPolicy:
+    name = "cache_affinity"
+
+    def __init__(self, n_workers: int):
+        self.n_workers = n_workers
+
+    def route(self, info: RequestInfo, live: list[int]) -> int:
+        if info.cache_key is not None:
+            return _rendezvous(info.cache_key, live)
+        return _rendezvous(info.shape_key, live)
+
+    def retire(self, worker: int, cost: float) -> None:
+        """Affinity policies track no outstanding load."""
+
+
+class LeastLoadedPolicy:
+    """RASS lane balancing applied to worker processes.
+
+    Outstanding load per worker is tracked in ``S * T`` cost units by the
+    shared :class:`LaneLoadBalancer`; the cluster retires a request's cost
+    when its result (or error) arrives.
+    """
+
+    name = "least_loaded"
+
+    def __init__(self, n_workers: int):
+        self.balancer = LaneLoadBalancer(n_lanes=n_workers)
+
+    def route(self, info: RequestInfo, live: list[int]) -> int:
+        return self.balancer.pick(info.cost, eligible=live)
+
+    def retire(self, worker: int, cost: float) -> None:
+        self.balancer.retire(worker, cost)
+
+
+def make_policy(name: str, n_workers: int):
+    """Build the named routing policy for an ``n_workers``-wide cluster."""
+    table = {
+        "round_robin": RoundRobinPolicy,
+        "shape_affinity": ShapeAffinityPolicy,
+        "cache_affinity": CacheAffinityPolicy,
+        "least_loaded": LeastLoadedPolicy,
+    }
+    if name not in table:
+        raise ValueError(f"unknown routing policy {name!r}; expected one of {POLICIES}")
+    return table[name](n_workers)

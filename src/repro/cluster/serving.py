@@ -1,0 +1,695 @@
+"""EngineCluster: a sharded multi-process serving tier over ``SofaEngine``.
+
+One :class:`~repro.engine.serving.SofaEngine` is continuously batched but
+Python-bound in its SU-FA streaming loop, so a single process caps
+throughput.  The cluster shards the request stream across ``n_workers``
+child processes - each running its own engine (own fused operators, own
+decode-step cache) behind the message loop of
+:mod:`repro.cluster.worker` - the software shape of the paper's parallel
+hardware lanes.
+
+Responsibilities of this frontend:
+
+* **Routing** - every submitted request is encoded once
+  (:mod:`repro.engine.codec`) and routed by a pluggable policy
+  (:mod:`repro.cluster.routing`): ``round_robin``, ``shape_affinity``
+  (same tiling grid -> same worker -> same fused batch), ``cache_affinity``
+  (decode ``cache_key`` sticks to the worker holding its cached state) or
+  ``least_loaded`` (RASS lane balancing over processes).
+* **Cross-request dedup** - bit-identical requests (equal codec
+  fingerprints; ``tag``/``deadline`` excluded) submitted while the first
+  copy is still in flight share one execution: the duplicates' futures
+  resolve from the same result payload, each decoding its own tensors.
+  The *routing window* of the dedup is exactly that in-flight span - once
+  a result is delivered the fingerprint is forgotten.
+* **Failure handling** - a worker that dies (crash, kill, fault drill)
+  is detected during the pump; results it already shipped still count,
+  and every request still in flight on it is **re-routed** to a live
+  worker (affinity policies use rendezvous hashing, so survivors keep
+  their keys).  Requests are only failed when no worker is left.
+* **Aggregated statistics** - every result piggybacks the worker's
+  engine counters; :attr:`EngineCluster.stats` merges them with the
+  frontend's own (submitted/deduped/rerouted/failures) into a
+  :class:`ClusterStats` snapshot.
+
+The parity contract of the engine extends across the process boundary:
+each worker's engine is bit-identical to the sequential operator, the
+codec round-trips tensors bit-exactly, and routing only chooses *where* a
+request runs - so every result is bit-identical to single-engine serving
+regardless of policy, worker count, dedup, or mid-stream failures.
+
+The cluster is a drop-in engine for the call surface
+``submit / submit_many / flush / run_until_drained / run /
+invalidate_cache / stats / shutdown`` - e.g.
+:class:`~repro.model.inference.SparseInferenceRunner` and
+:class:`~repro.model.inference.SparseDecodeSession` accept one via their
+``engine`` parameter.  Submissions are expected from one caller thread
+(mirroring the engine's contract); :class:`~repro.cluster.aio.
+AsyncSofaClient` layers ``async``/``await`` on top for asyncio servers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.core.config import SofaConfig
+from repro.core.pipeline import SofaAttentionResult
+from repro.engine.cache import CacheStats
+from repro.engine.codec import (
+    decode_result,
+    encode_config,
+    encode_request,
+    request_fingerprint,
+)
+from repro.engine.serving import AttentionRequest, validate_request
+from repro.cluster.routing import POLICIES, RequestInfo, make_policy
+from repro.cluster.worker import worker_main
+
+
+class ClusterError(RuntimeError):
+    """Cluster-level serving failure."""
+
+
+class WorkerUnavailableError(ClusterError):
+    """No live worker is left to (re-)route a request to."""
+
+
+class ClusterFuture:
+    """Handle to a request submitted to the cluster.
+
+    Mirrors :class:`~repro.engine.serving.AttentionFuture`: ``result()``
+    blocks (pumping worker results) until this request resolves, so
+    callers may submit everything and read results in any order.
+    """
+
+    def __init__(self, cluster: "EngineCluster"):
+        self._cluster = cluster
+        self._result: SofaAttentionResult | None = None
+        self._error: Exception | None = None
+
+    def done(self) -> bool:
+        return self._result is not None or self._error is not None
+
+    def set_result(self, result: SofaAttentionResult) -> None:
+        self._result = result
+
+    def set_error(self, error: Exception) -> None:
+        self._error = error
+
+    def result(self) -> SofaAttentionResult:
+        if not self.done():
+            self._cluster._drain_until(self.done)
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None, "drain must resolve every in-flight future"
+        return self._result
+
+
+@dataclass
+class WorkerStats:
+    """Last known engine counters of one worker (piggybacked on results)."""
+
+    worker_id: int
+    alive: bool
+    n_requests: int = 0
+    n_batches: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+@dataclass
+class ClusterStats:
+    """Point-in-time aggregate of the cluster (see :attr:`EngineCluster.stats`).
+
+    Frontend counters (``n_submitted``/``n_deduped``/``n_rerouted``/
+    ``n_worker_failures``) are exact; per-worker engine counters are the
+    latest piggybacked snapshots, so they are exact whenever the cluster
+    is drained (every result has been received).
+    """
+
+    n_workers: int
+    routing: str
+    n_submitted: int = 0
+    n_deduped: int = 0
+    n_rerouted: int = 0
+    n_worker_failures: int = 0
+    n_completed: int = 0
+    n_errors: int = 0
+    pending: int = 0
+    workers: list[WorkerStats] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        """Requests actually executed by worker engines (dedup excluded)."""
+        return sum(w.n_requests for w in self.workers)
+
+    @property
+    def n_batches(self) -> int:
+        return sum(w.n_batches for w in self.workers)
+
+    @property
+    def mean_batch_heads(self) -> float:
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def cache(self) -> CacheStats:
+        """Merged decode-step-cache counters across every worker."""
+        merged = CacheStats()
+        for worker in self.workers:
+            merged = merged.merge(worker.cache)
+        return merged
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for w in self.workers if w.alive)
+
+
+@dataclass
+class _InFlight:
+    """Parent-side record of one dispatched request (until it resolves).
+
+    The encoded payload is retained so the request can be re-routed if its
+    worker dies; ``futures`` holds the primary plus any deduped followers.
+    """
+
+    payload: dict[str, Any]
+    info: RequestInfo
+    fingerprint: str
+    worker: int
+    futures: list[ClusterFuture] = field(default_factory=list)
+    rerouted: int = 0
+
+
+class _WorkerHandle:
+    """One child process plus its inbox and last stats snapshot."""
+
+    def __init__(self, worker_id: int, process, inbox):
+        self.worker_id = worker_id
+        self.process = process
+        self.inbox = inbox
+        self.alive = True
+        self.snapshot: dict[str, Any] | None = None
+
+    def stats(self) -> WorkerStats:
+        snap = self.snapshot or {}
+        cache = snap.get("cache") or {}
+        return WorkerStats(
+            worker_id=self.worker_id,
+            alive=self.alive,
+            n_requests=snap.get("n_requests", 0),
+            n_batches=snap.get("n_batches", 0),
+            cache=CacheStats(**cache),
+        )
+
+
+class EngineCluster:
+    """Sharded multi-process serving frontend (see module docstring).
+
+    Parameters
+    ----------
+    n_workers:
+        Engine worker processes to spawn.
+    config:
+        Default :class:`SofaConfig` for every worker engine.
+    routing:
+        One of :data:`~repro.cluster.routing.POLICIES`.
+    dedup:
+        Share one execution among bit-identical in-flight requests.
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else ``spawn``).
+    max_batch_heads / max_wait_batches / backend / cache_entries /
+    cache_ttl_s:
+        Forwarded to every worker's :class:`SofaEngine`.
+    startup_timeout_s:
+        How long to wait for all workers to report ready.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        config: SofaConfig | None = None,
+        routing: str = "shape_affinity",
+        dedup: bool = True,
+        start_method: str | None = None,
+        max_batch_heads: int = 64,
+        max_wait_batches: int | None = None,
+        backend: str = "sync",
+        cache_entries: int = 256,
+        cache_ttl_s: float | None = None,
+        startup_timeout_s: float = 60.0,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if routing not in POLICIES:
+            raise ValueError(f"unknown routing policy {routing!r}; expected {POLICIES}")
+        self.config = config or SofaConfig()
+        self.routing = routing
+        self.dedup = dedup
+        self._policy = make_policy(routing, n_workers)
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._outbox = self._ctx.Queue()
+        self._lock = threading.RLock()
+        self._inflight: dict[int, _InFlight] = {}
+        self._dedup_window: dict[str, int] = {}
+        self._next_req_id = 0
+        self._next_ctl_id = 0
+        self._ctl_replies: dict[int, int] = {}
+        self._pending_ctl: set[int] = set()
+        self._n_submitted = 0
+        self._n_deduped = 0
+        self._n_rerouted = 0
+        self._n_failures = 0
+        self._n_completed = 0
+        self._n_errors = 0
+        self._shut_down = False
+
+        engine_kwargs = {
+            "config": encode_config(self.config),
+            "max_batch_heads": max_batch_heads,
+            "max_wait_batches": max_wait_batches,
+            "backend": backend,
+            "cache_entries": cache_entries,
+            "cache_ttl_s": cache_ttl_s,
+        }
+        self._workers: list[_WorkerHandle] = []
+        for worker_id in range(n_workers):
+            inbox = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(worker_id, inbox, self._outbox, engine_kwargs),
+                name=f"sofa-cluster-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(_WorkerHandle(worker_id, process, inbox))
+
+        self._ready: set[int] = set()
+        try:
+            self._drain_until(
+                lambda: len(self._ready) + self._dead_count() >= n_workers,
+                timeout=startup_timeout_s,
+            )
+        except Exception:
+            self.shutdown()
+            raise
+        if self._dead_count():
+            self.shutdown()
+            raise ClusterError("one or more cluster workers failed to start")
+
+    # ---------------------------------------------------------------- topology
+    def _dead_count(self) -> int:
+        return sum(1 for w in self._workers if not w.alive)
+
+    def _live_ids(self) -> list[int]:
+        return [w.worker_id for w in self._workers if w.alive]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def live_workers(self) -> list[int]:
+        with self._lock:
+            self._reap_dead_workers()
+            return self._live_ids()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return sum(len(rec.futures) for rec in self._inflight.values())
+
+    # -------------------------------------------------------------- submission
+    def submit(self, request: AttentionRequest) -> ClusterFuture:
+        """Encode, dedup, route and dispatch one request; returns its future."""
+        with self._lock:
+            if self._shut_down:
+                raise ClusterError("cluster is shut down")
+            validate_request(request, self.config)
+            payload = encode_request(request)
+            # The fingerprint hashes every tensor byte - only worth it when
+            # dedup can use it (sha256 digests are never empty, so "" can
+            # not collide with a real fingerprint).
+            fingerprint = request_fingerprint(payload) if self.dedup else ""
+            future = ClusterFuture(self)
+            self._n_submitted += 1
+
+            if self.dedup and fingerprint in self._dedup_window:
+                primary = self._dedup_window[fingerprint]
+                self._inflight[primary].futures.append(future)
+                self._n_deduped += 1
+                return future
+
+            info = self._request_info(payload, fingerprint)
+            self._reap_dead_workers()
+            live = self._live_ids()
+            if not live:
+                raise WorkerUnavailableError("no live worker to route to")
+            worker = self._policy.route(info, live)
+            req_id = self._next_req_id
+            self._next_req_id += 1
+            record = _InFlight(
+                payload=payload, info=info, fingerprint=fingerprint, worker=worker
+            )
+            record.futures.append(future)
+            self._inflight[req_id] = record
+            if self.dedup:
+                self._dedup_window[fingerprint] = req_id
+            self._workers[worker].inbox.put(("req", req_id, payload))
+            return future
+
+    def submit_many(self, requests: list[AttentionRequest]) -> list[ClusterFuture]:
+        return [self.submit(r) for r in requests]
+
+    def _request_info(self, payload: dict[str, Any], fingerprint: str) -> RequestInfo:
+        """Build the routing view: shape key, cache key, S*T cost."""
+        s, h = payload["tokens"][2]
+        t, dk = payload["q"][2]
+        wv_cols = payload["wv"][2][1]
+        has_v = payload["value_cache"] is not None
+        dv = payload["value_cache"][2][1] if has_v else wv_cols
+        shape_key = repr(
+            (s, t, h, dk, dv, wv_cols, has_v, payload["config"])
+        ).encode()
+        return RequestInfo(
+            shape_key=shape_key,
+            cache_key=payload["cache_key"],
+            cost=float(s) * float(t),
+        )
+
+    # ------------------------------------------------------------------ pumping
+    def poll(self, timeout: float = 0.0) -> int:
+        """Process any available worker messages; returns how many.
+
+        Non-blocking with ``timeout=0`` - the asyncio client calls this
+        between ``await`` points so the event loop never blocks on IPC.
+        """
+        with self._lock:
+            n = self._drain_available()
+            if n == 0 and timeout > 0:
+                n += self._drain_some(timeout)
+            self._reap_dead_workers()
+            return n
+
+    def _drain_available(self) -> int:
+        n = 0
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue.Empty:
+                return n
+            self._handle_message(message)
+            n += 1
+
+    def _drain_some(self, timeout: float) -> int:
+        try:
+            message = self._outbox.get(timeout=timeout)
+        except queue.Empty:
+            return 0
+        self._handle_message(message)
+        return 1 + self._drain_available()
+
+    def _drain_until(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> Exception | None:
+        """Pump messages until ``predicate`` holds; returns the first
+        request error seen (the caller decides whether to re-raise it)."""
+        first_error: Exception | None = None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while not predicate():
+                try:
+                    message = self._outbox.get(timeout=0.05)
+                except queue.Empty:
+                    reap_error = self._reap_dead_workers()
+                    if reap_error is not None and first_error is None:
+                        first_error = reap_error
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(
+                            "cluster drain timed out with "
+                            f"{len(self._inflight)} request(s) in flight"
+                        )
+                    continue
+                error = self._handle_message(message)
+                if error is not None and first_error is None:
+                    first_error = error
+        return first_error
+
+    def _handle_message(self, message: tuple) -> Exception | None:
+        kind = message[0]
+        if kind == "ready":
+            self._ready.add(message[1])
+            return None
+        if kind == "result":
+            _, worker_id, req_id, result_payload, snapshot = message
+            self._workers[worker_id].snapshot = snapshot
+            record = self._inflight.pop(req_id, None)
+            if record is None:  # resolved by a re-route race; stats still count
+                return None
+            self._dedup_window.pop(record.fingerprint, None)
+            self._policy.retire(record.worker, record.info.cost)
+            for future in record.futures:
+                # Each future decodes its own tensors so callers never
+                # share (and can never cross-mutate) result arrays.
+                future.set_result(decode_result(result_payload))
+                self._n_completed += 1
+            return None
+        if kind == "error":
+            _, worker_id, req_id, error_bytes = message
+            record = self._inflight.pop(req_id, None)
+            if record is None:
+                return None
+            self._dedup_window.pop(record.fingerprint, None)
+            self._policy.retire(record.worker, record.info.cost)
+            error = pickle.loads(error_bytes)
+            for future in record.futures:
+                future.set_error(error)
+                self._n_errors += 1
+            return error
+        if kind == "invalidated":
+            _, worker_id, ctl_id, dropped = message
+            if ctl_id in self._pending_ctl:  # late replies of a finished
+                self._ctl_replies[ctl_id] = dropped  # round are dropped,
+            return None  # never accumulated
+        if kind == "stopped":
+            self._workers[message[1]].alive = False
+            return None
+        raise ClusterError(f"unknown worker message {kind!r}")
+
+    def _reap_dead_workers(self) -> Exception | None:
+        """Detect dead workers and re-route their in-flight requests.
+
+        Results a dying worker managed to ship are drained *first* (the
+        caller pumps the outbox before reaping), so only genuinely
+        unresolved requests move.  Affinity policies re-route via
+        rendezvous hashing over the survivors; a request is failed only
+        when no live worker remains - the first such failure is returned
+        so a surrounding drain can re-raise it.
+        """
+        first_error: Exception | None = None
+        for handle in self._workers:
+            if not handle.alive or handle.process.is_alive():
+                continue
+            handle.alive = False
+            if self._shut_down:
+                continue  # a stopping worker's exit is not a failure
+            self._n_failures += 1
+            orphans = [
+                (req_id, rec)
+                for req_id, rec in self._inflight.items()
+                if rec.worker == handle.worker_id
+            ]
+            if not orphans:
+                continue
+            self._drain_available()  # late results beat re-execution
+            live = self._live_ids()
+            for req_id, record in orphans:
+                if req_id not in self._inflight:
+                    continue  # its result arrived in the drain above
+                self._policy.retire(record.worker, record.info.cost)
+                if not live:
+                    self._inflight.pop(req_id)
+                    self._dedup_window.pop(record.fingerprint, None)
+                    error = WorkerUnavailableError(
+                        f"worker {handle.worker_id} died and no live worker "
+                        "is left to re-route to"
+                    )
+                    if first_error is None:
+                        first_error = error
+                    for future in record.futures:
+                        future.set_error(error)
+                        self._n_errors += 1
+                    continue
+                new_worker = self._policy.route(record.info, live)
+                record.worker = new_worker
+                record.rerouted += 1
+                self._n_rerouted += 1
+                self._workers[new_worker].inbox.put(
+                    ("req", req_id, record.payload)
+                )
+        return first_error
+
+    # ------------------------------------------------------------------ drains
+    def flush(self) -> None:
+        """Block until every in-flight request resolved; re-raise the first
+        error seen during this drain (each failed future also carries its
+        own), matching :meth:`SofaEngine.flush` semantics."""
+        first_error = self._drain_until(lambda: not self._inflight)
+        if first_error is not None:
+            raise first_error
+
+    def run_until_drained(self) -> None:
+        self.flush()
+
+    def run(self, requests: list[AttentionRequest]) -> list[SofaAttentionResult]:
+        """Submit, drain, and return results in request order."""
+        futures = self.submit_many(requests)
+        self.flush()
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------- cache
+    def invalidate_cache(self, key: Hashable) -> int:
+        """Drop a sequence's decode-cache state on every worker.
+
+        Broadcasts the invalidation (workers apply it after their queued
+        work) and returns the total number of entries dropped cluster-wide.
+        A worker that dies before replying contributes zero.
+        """
+        with self._lock:
+            if self._shut_down:
+                return 0
+            self._reap_dead_workers()
+            key_bytes = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+            ctl_targets: dict[int, int] = {}
+            for worker_id in self._live_ids():
+                ctl_id = self._next_ctl_id
+                self._next_ctl_id += 1
+                ctl_targets[ctl_id] = worker_id
+                self._pending_ctl.add(ctl_id)
+                self._workers[worker_id].inbox.put(("invalidate", ctl_id, key_bytes))
+
+            def all_replied() -> bool:
+                # A worker that died before replying contributes nothing;
+                # reaping (inside the drain) flips its alive bit.
+                return all(
+                    c in self._ctl_replies or not self._workers[w].alive
+                    for c, w in ctl_targets.items()
+                )
+
+            self._drain_until(all_replied)
+            # Scoop replies a dying worker shipped just before its death was
+            # detected (the reply can trail the liveness flip through the
+            # outbox); anything later than this is dropped via _pending_ctl.
+            self._drain_available()
+            self._pending_ctl.difference_update(ctl_targets)
+            return sum(self._ctl_replies.pop(c, 0) for c in ctl_targets)
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def stats(self) -> ClusterStats:
+        """A point-in-time :class:`ClusterStats` snapshot (exact once drained)."""
+        with self._lock:
+            return ClusterStats(
+                n_workers=self.n_workers,
+                routing=self.routing,
+                n_submitted=self._n_submitted,
+                n_deduped=self._n_deduped,
+                n_rerouted=self._n_rerouted,
+                n_worker_failures=self._n_failures,
+                n_completed=self._n_completed,
+                n_errors=self._n_errors,
+                pending=sum(len(r.futures) for r in self._inflight.values()),
+                workers=[handle.stats() for handle in self._workers],
+            )
+
+    # ---------------------------------------------------------------- lifetime
+    def stall_worker(self, worker_id: int, seconds: float) -> None:
+        """Fault-injection hook: make one worker sleep before its next read.
+
+        Lets tests/drills queue submissions behind a crash point
+        deterministically (stall, submit, crash - the stalled worker never
+        serves what arrived during the stall).
+        """
+        handle = self._workers[worker_id]
+        if handle.alive:
+            handle.inbox.put(("sleep", seconds))
+
+    def crash_worker(self, worker_id: int, hard: bool = True, wait: bool = True) -> None:
+        """Fault-injection hook (tests, failure drills): kill one worker.
+
+        ``hard=True`` SIGKILLs the process; ``hard=False`` asks it to
+        ``os._exit`` at its next message read (a clean crash point, so
+        queues are never corrupted mid-write).  Either way the cluster
+        treats it as a real failure: in-flight requests are re-routed on
+        detection.  ``wait=False`` returns without joining (the crash
+        lands whenever the worker reaches it).
+        """
+        handle = self._workers[worker_id]
+        if not handle.alive:
+            return
+        if hard:
+            handle.process.kill()
+        else:
+            handle.inbox.put(("exit", 1))
+        if wait:
+            handle.process.join(timeout=30.0)
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Stop every worker and release IPC resources.
+
+        In-flight requests that never resolved fail with
+        :class:`ClusterError` (their futures stop blocking).  Safe to call
+        twice.
+        """
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            for handle in self._workers:
+                if handle.alive and handle.process.is_alive():
+                    try:
+                        handle.inbox.put(("stop",))
+                    except (OSError, ValueError):  # queue already broken
+                        handle.alive = False
+            try:
+                self._drain_until(
+                    lambda: all(
+                        not w.alive or not w.process.is_alive()
+                        for w in self._workers
+                    ),
+                    timeout=timeout_s,
+                )
+            except TimeoutError:
+                pass
+            error = ClusterError("cluster shut down with requests in flight")
+            for record in self._inflight.values():
+                for future in record.futures:
+                    if not future.done():
+                        future.set_error(error)
+            self._inflight.clear()
+            self._dedup_window.clear()
+            for handle in self._workers:
+                handle.process.join(timeout=timeout_s)
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=timeout_s)
+                handle.alive = False
+                handle.inbox.close()
+                handle.inbox.cancel_join_thread()
+            self._outbox.close()
+            self._outbox.cancel_join_thread()
+
+    def __enter__(self) -> "EngineCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,149 @@
+"""Engine worker process: one :class:`SofaEngine` behind a message loop.
+
+Each cluster worker is a child process running :func:`worker_main`: it
+builds its own engine (own operators, own decode-step cache), pulls encoded
+requests off its inbox queue, serves them, and ships encoded results back
+on the shared outbox.  The loop drains its inbox *greedily* before
+executing, so requests that arrive together join the engine's shape groups
+together and batch into fused calls - per-worker continuous batching, the
+same behaviour a single in-process engine gives.
+
+Wire protocol (plain tuples of built-ins, payloads via
+:mod:`repro.engine.codec`):
+
+parent -> worker (inbox)
+    ``("req", req_id, payload)``    serve one request
+    ``("invalidate", ctl_id, key)`` drop decode-cache state for a key
+    ``("stop",)``                   acknowledge and exit cleanly
+    ``("exit", code)``              die *without* acknowledging - a fault
+                                    hook for tests/drills simulating a
+                                    crashed worker (``os._exit``; anything
+                                    queued behind it is lost, exactly like
+                                    a SIGKILL)
+    ``("sleep", seconds)``          stall before reading further messages -
+                                    a fault hook that lets tests queue work
+                                    behind a crash point deterministically
+
+worker -> parent (outbox)
+    ``("ready", worker_id)``
+    ``("result", worker_id, req_id, result_payload, stats)``
+    ``("error", worker_id, req_id, pickled_exception)``
+    ``("invalidated", worker_id, ctl_id, n_dropped)``
+    ``("stopped", worker_id)``
+
+Every result message piggybacks a tiny engine-stats snapshot (plain dict),
+so the parent's :class:`~repro.cluster.serving.ClusterStats` stays current
+without a separate control round-trip.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+from typing import Any
+
+from repro.engine.codec import decode_config, decode_request, encode_result
+from repro.engine.serving import SofaEngine
+
+
+def stats_snapshot(engine: SofaEngine) -> dict[str, Any]:
+    """The piggybacked per-worker counters, as plain built-ins."""
+    cache = engine.stats.cache
+    return {
+        "n_requests": engine.stats.n_requests,
+        "n_batches": engine.stats.n_batches,
+        "n_steps": engine.stats.n_steps,
+        "cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "invalidations": cache.invalidations,
+            "evictions": cache.evictions,
+            "expirations": cache.expirations,
+            "rows_reused": cache.rows_reused,
+            "rows_appended": cache.rows_appended,
+            "resident_bytes": cache.resident_bytes,
+        },
+    }
+
+
+def _pickle_exception(error: Exception) -> bytes:
+    try:
+        return pickle.dumps(error, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # noqa: BLE001 - unpicklable errors degrade to repr
+        return pickle.dumps(RuntimeError(repr(error)), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def worker_main(worker_id: int, inbox, outbox, engine_kwargs: dict[str, Any]) -> None:
+    """The worker process body (top-level so every start method can spawn it).
+
+    ``engine_kwargs`` is the plain-built-ins engine parameterization
+    assembled by the parent (``config`` travels as a codec payload).
+    """
+    kwargs = dict(engine_kwargs)
+    kwargs["config"] = decode_config(kwargs.get("config"))
+    engine = SofaEngine(**kwargs)
+    outbox.put(("ready", worker_id))
+    running = True
+    while running:
+        batch = [inbox.get()]
+        # Greedy drain: everything already queued joins this round's shape
+        # groups, so co-arriving requests batch exactly as they would in a
+        # single in-process engine.
+        while True:
+            try:
+                batch.append(inbox.get_nowait())
+            except queue.Empty:
+                break
+
+        served: list[tuple[int, Any]] = []
+        for message in batch:
+            kind = message[0]
+            if kind == "req":
+                _, req_id, payload = message
+                try:
+                    future = engine.submit(decode_request(payload))
+                except Exception as error:  # noqa: BLE001 - reported per request
+                    outbox.put(("error", worker_id, req_id, _pickle_exception(error)))
+                    continue
+                served.append((req_id, future))
+            elif kind == "invalidate":
+                _, ctl_id, key_bytes = message
+                dropped = engine.invalidate_cache(pickle.loads(key_bytes))
+                outbox.put(("invalidated", worker_id, ctl_id, dropped))
+            elif kind == "stop":
+                running = False
+            elif kind == "exit":
+                import os
+
+                os._exit(message[1])
+            elif kind == "sleep":
+                import time
+
+                time.sleep(message[1])
+            else:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(f"worker {worker_id}: unknown message {kind!r}")
+
+        if served:
+            try:
+                engine.run_until_drained()
+            except Exception:  # noqa: BLE001 - per-future errors carry it
+                # run_until_drained re-raises the first batch error after
+                # the drain; each failed future already holds its own.
+                pass
+            for req_id, future in served:
+                try:
+                    result = future.result()
+                except Exception as error:  # noqa: BLE001 - reported per request
+                    outbox.put(("error", worker_id, req_id, _pickle_exception(error)))
+                else:
+                    outbox.put(
+                        (
+                            "result",
+                            worker_id,
+                            req_id,
+                            encode_result(result),
+                            stats_snapshot(engine),
+                        )
+                    )
+    outbox.put(("stopped", worker_id))
+    engine.shutdown()

@@ -19,10 +19,21 @@ scales the functional model along that axis:
     hit/miss accounting.
 :mod:`repro.engine.executor`
     The execution backends behind the engine's futures API.
+:mod:`repro.engine.codec`
+    The explicit wire codec (requests/results as plain built-ins,
+    bit-exact tensor round-trips) that carries work to ``repro.cluster``
+    worker processes.
 """
 
 from repro.engine.batched import BatchedSofaAttention, BatchedSofaResult
 from repro.engine.cache import CacheStats, DecodeCacheEntry, DecodeStepCache
+from repro.engine.codec import (
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+    request_fingerprint,
+)
 from repro.engine.executor import SyncExecutor, ThreadedExecutor, make_executor
 from repro.engine.serving import (
     AttentionFuture,
@@ -30,6 +41,7 @@ from repro.engine.serving import (
     BatchRecord,
     EngineStats,
     SofaEngine,
+    validate_request,
 )
 
 __all__ = [
@@ -45,5 +57,11 @@ __all__ = [
     "SofaEngine",
     "SyncExecutor",
     "ThreadedExecutor",
+    "decode_request",
+    "decode_result",
+    "encode_request",
+    "encode_result",
     "make_executor",
+    "request_fingerprint",
+    "validate_request",
 ]

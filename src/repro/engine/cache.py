@@ -35,9 +35,10 @@ only cost a recompute, never a wrong bit.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -78,7 +79,9 @@ class CacheStats:
     ``hits``/``misses`` count lookups; ``invalidations`` the subset of
     misses where a live entry had to be discarded (prefix changed, sequence
     shrank, or a new token exceeded the cached quantization maximum);
-    ``evictions`` LRU pressure drops.  ``rows_reused``/``rows_appended``
+    ``evictions`` LRU pressure drops; ``expirations`` TTL drops of entries
+    whose sequence went quiet (abandoned decode sessions that never called
+    :meth:`DecodeStepCache.invalidate`).  ``rows_reused``/``rows_appended``
     tally how many phase-1.1 rows hits skipped vs incrementally computed.
     """
 
@@ -86,6 +89,7 @@ class CacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    expirations: int = 0
     rows_reused: int = 0
     rows_appended: int = 0
     resident_bytes: int = 0
@@ -104,9 +108,23 @@ class CacheStats:
             misses=self.misses,
             invalidations=self.invalidations,
             evictions=self.evictions,
+            expirations=self.expirations,
             rows_reused=self.rows_reused,
             rows_appended=self.rows_appended,
             resident_bytes=self.resident_bytes,
+        )
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum (aggregating per-worker caches in a cluster)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            invalidations=self.invalidations + other.invalidations,
+            evictions=self.evictions + other.evictions,
+            expirations=self.expirations + other.expirations,
+            rows_reused=self.rows_reused + other.rows_reused,
+            rows_appended=self.rows_appended + other.rows_appended,
+            resident_bytes=self.resident_bytes + other.resident_bytes,
         )
 
 
@@ -125,29 +143,78 @@ class DecodeStepCache:
     evicts each entry just before its next lookup - every lookup then
     misses and the cache only costs.  The ``evictions`` counter is the
     tell-tale.
+
+    ``ttl_s`` bounds how long an *idle* entry may stay resident: a decode
+    session abandoned without :meth:`invalidate` (a dropped connection, a
+    crashed caller) would otherwise pin its context-sized payload until
+    LRU pressure happens to reach it - which on a large cache may be
+    never.  Entries untouched for ``ttl_s`` seconds are dropped lazily on
+    the next cache operation (or an explicit :meth:`sweep_expired`) and
+    counted as ``expirations`` in :class:`CacheStats`.  ``clock`` is
+    injectable for tests and defaults to :func:`time.monotonic`.
     """
 
-    def __init__(self, max_entries: int = 256, max_bytes: int | None = None):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_bytes: int | None = None,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None)")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be > 0 (or None)")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.ttl_s = ttl_s
+        self._clock = clock
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, DecodeCacheEntry] = OrderedDict()
+        self._last_used: dict[Hashable, float] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    def _sweep_expired_locked(self, now: float) -> int:
+        """Drop idle-past-TTL entries; caller holds the lock.
+
+        LRU order *is* idle order (every touch moves the entry to the
+        back), so the scan walks from the front and stops at the first
+        still-fresh entry.
+        """
+        if self.ttl_s is None:
+            return 0
+        dropped = 0
+        while self._entries:
+            key = next(iter(self._entries))
+            if now - self._last_used[key] <= self.ttl_s:
+                break
+            entry = self._entries.pop(key)
+            del self._last_used[key]
+            self.stats.resident_bytes -= entry.nbytes
+            self.stats.expirations += 1
+            dropped += 1
+        return dropped
+
+    def sweep_expired(self) -> int:
+        """Explicitly drop idle-past-TTL entries; returns how many."""
+        with self._lock:
+            return self._sweep_expired_locked(self._clock())
+
     def get(self, key: Hashable) -> DecodeCacheEntry | None:
         """Return the live entry for ``key`` (marking it recently used)."""
         with self._lock:
+            now = self._clock()
+            self._sweep_expired_locked(now)
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
+                self._last_used[key] = now
             return entry
 
     def put(self, key: Hashable, entry: DecodeCacheEntry) -> None:
@@ -159,17 +226,21 @@ class DecodeStepCache:
         larger than ``max_bytes`` is still admitted, alone.
         """
         with self._lock:
+            now = self._clock()
+            self._sweep_expired_locked(now)
             old = self._entries.pop(key, None)
             if old is not None:
                 self.stats.resident_bytes -= old.nbytes
             self._entries[key] = entry
+            self._last_used[key] = now
             self.stats.resident_bytes += entry.nbytes
             while len(self._entries) > self.max_entries or (
                 self.max_bytes is not None
                 and self.stats.resident_bytes > self.max_bytes
                 and len(self._entries) > 1
             ):
-                _, evicted = self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
+                del self._last_used[evicted_key]
                 self.stats.resident_bytes -= evicted.nbytes
                 self.stats.evictions += 1
 
@@ -178,6 +249,7 @@ class DecodeStepCache:
         with self._lock:
             dropped = self._entries.pop(key, None)
             if dropped is not None:
+                del self._last_used[key]
                 self.stats.resident_bytes -= dropped.nbytes
             return dropped is not None
 
@@ -203,11 +275,13 @@ class DecodeStepCache:
             for k in doomed:
                 self.stats.resident_bytes -= self._entries[k].nbytes
                 del self._entries[k]
+                del self._last_used[k]
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._last_used.clear()
             self.stats.resident_bytes = 0
 
     # ------------------------------------------------------- counter helpers

@@ -1,0 +1,189 @@
+"""Wire codec for attention requests/results crossing a process boundary.
+
+``repro.cluster`` ships :class:`~repro.engine.serving.AttentionRequest`
+objects to engine worker processes and
+:class:`~repro.core.pipeline.SofaAttentionResult` objects back.  Relying on
+whatever ``pickle`` happens to do to those classes would tie the wire format
+to their private layout; this module fixes an explicit, versioned payload
+instead:
+
+* payloads are plain built-ins (dicts, tuples, ints, floats, bytes), so any
+  transport that can move built-ins (``multiprocessing`` queues, a socket
+  with its own framing, a disk spill) can carry them;
+* ndarrays travel as ``(bytes, dtype-str, shape)`` triples - the decode
+  rebuilds the exact dtype and shape, so a round-trip is **bit-identical**
+  by construction (the cluster's parity contract stands on this);
+* every payload carries :data:`CODEC_VERSION`; decoding a mismatched
+  version fails loudly instead of misinterpreting fields.
+
+The deduplication fingerprint also lives here: two requests are duplicates
+exactly when their canonical encodings agree byte for byte (metadata that
+cannot change the result - the ``tag`` - is excluded).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import DlzsConfig, SadsConfig, SofaConfig, SufaConfig
+from repro.core.pipeline import SofaAttentionResult, StageTrace
+from repro.engine.serving import AttentionRequest
+from repro.numerics.complexity import OpCounter
+
+#: Bump on any payload layout change; decoders reject other versions.
+CODEC_VERSION = 1
+
+
+def _encode_array(a: np.ndarray | None) -> tuple[bytes, str, tuple[int, ...]] | None:
+    if a is None:
+        return None
+    a = np.ascontiguousarray(a)
+    return (a.tobytes(), a.dtype.str, a.shape)
+
+
+def _decode_array(payload: tuple[bytes, str, tuple[int, ...]] | None) -> np.ndarray | None:
+    if payload is None:
+        return None
+    raw, dtype, shape = payload
+    return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+
+
+def encode_config(cfg: SofaConfig | None) -> dict[str, Any] | None:
+    """Flatten the (nested, frozen) config into plain dicts."""
+    return None if cfg is None else asdict(cfg)
+
+
+def decode_config(payload: dict[str, Any] | None) -> SofaConfig | None:
+    if payload is None:
+        return None
+    return SofaConfig(
+        tile_cols=payload["tile_cols"],
+        top_k=payload["top_k"],
+        dlzs=DlzsConfig(**payload["dlzs"]),
+        sads=SadsConfig(**payload["sads"]),
+        sufa=SufaConfig(**payload["sufa"]),
+    )
+
+
+def encode_request(request: AttentionRequest) -> dict[str, Any]:
+    """One request as a flat, transport-agnostic payload."""
+    if request.cache_key is not None:
+        # The key must survive the hop intact (workers namespace their cache
+        # with it); pickling here keeps arbitrary hashables working while the
+        # rest of the payload stays plain.
+        cache_key = pickle.dumps(request.cache_key, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        cache_key = None
+    return {
+        "v": CODEC_VERSION,
+        "tokens": _encode_array(np.asarray(request.tokens)),
+        "q": _encode_array(np.asarray(request.q)),
+        "wk": _encode_array(np.asarray(request.wk)),
+        "wv": _encode_array(np.asarray(request.wv)),
+        "k_scale": float(request.k_scale),
+        "v_scale": float(request.v_scale),
+        "value_cache": _encode_array(
+            None if request.v is None else np.asarray(request.v)
+        ),
+        "config": encode_config(request.config),
+        "tag": request.tag,
+        "cache_key": cache_key,
+        "deadline": request.deadline,
+    }
+
+
+def decode_request(payload: dict[str, Any]) -> AttentionRequest:
+    if payload.get("v") != CODEC_VERSION:
+        raise ValueError(
+            f"request payload version {payload.get('v')!r} != codec {CODEC_VERSION}"
+        )
+    cache_key = payload["cache_key"]
+    return AttentionRequest(
+        tokens=_decode_array(payload["tokens"]),
+        q=_decode_array(payload["q"]),
+        wk=_decode_array(payload["wk"]),
+        wv=_decode_array(payload["wv"]),
+        k_scale=payload["k_scale"],
+        v_scale=payload["v_scale"],
+        v=_decode_array(payload["value_cache"]),
+        config=decode_config(payload["config"]),
+        tag=payload["tag"],
+        cache_key=None if cache_key is None else pickle.loads(cache_key),
+        deadline=payload["deadline"],
+    )
+
+
+def request_fingerprint(payload: dict[str, Any]) -> str:
+    """Digest identifying a request up to bit-identity.
+
+    Everything that can influence the served result (tensors bit for bit,
+    scales, config, cache key) feeds the digest; ``tag`` (caller metadata)
+    and ``deadline`` (scheduling pressure, not semantics) do not.  Two
+    requests with equal fingerprints therefore resolve to bit-identical
+    results and may share one execution.
+    """
+    h = hashlib.sha256()
+    for name in ("tokens", "q", "wk", "wv", "value_cache"):
+        arr = payload[name]
+        h.update(name.encode())
+        if arr is None:
+            h.update(b"\0none")
+        else:
+            raw, dtype, shape = arr
+            h.update(repr((dtype, shape)).encode())
+            h.update(raw)
+    h.update(repr((payload["k_scale"], payload["v_scale"], payload["config"])).encode())
+    h.update(b"key" + (payload["cache_key"] or b"\0none"))
+    return h.hexdigest()
+
+
+def encode_result(result: SofaAttentionResult) -> dict[str, Any]:
+    """One result (output, selections, stage traces) as a plain payload."""
+    return {
+        "v": CODEC_VERSION,
+        "output": _encode_array(result.output),
+        "selected": _encode_array(result.selected),
+        "stages": [
+            {
+                "name": st.name,
+                "ops": dict(st.ops.counts),
+                "dram_bytes": st.dram_bytes,
+                "sram_peak_bytes": st.sram_peak_bytes,
+            }
+            for st in result.stages
+        ],
+        "assurance_triggers": result.assurance_triggers,
+        "row_len": result._row_len,
+    }
+
+
+def decode_result(payload: dict[str, Any]) -> SofaAttentionResult:
+    if payload.get("v") != CODEC_VERSION:
+        raise ValueError(
+            f"result payload version {payload.get('v')!r} != codec {CODEC_VERSION}"
+        )
+    stages = []
+    for st in payload["stages"]:
+        ops = OpCounter()
+        for op, n in st["ops"].items():
+            ops.add_op(op, n)
+        stages.append(
+            StageTrace(
+                name=st["name"],
+                ops=ops,
+                dram_bytes=st["dram_bytes"],
+                sram_peak_bytes=st["sram_peak_bytes"],
+            )
+        )
+    return SofaAttentionResult(
+        output=_decode_array(payload["output"]),
+        selected=_decode_array(payload["selected"]),
+        stages=stages,
+        assurance_triggers=payload["assurance_triggers"],
+        _row_len=payload["row_len"],
+    )

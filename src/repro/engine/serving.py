@@ -133,6 +133,45 @@ class AttentionFuture:
         return self._result
 
 
+def validate_request(request: AttentionRequest, default_config: SofaConfig) -> None:
+    """Reject a malformed request at submission time.
+
+    Shared by :meth:`SofaEngine.submit` and the cluster frontend
+    (:class:`repro.cluster.EngineCluster`), so a bad request fails in the
+    caller's process instead of aborting the batch (or the worker) it
+    would have joined.
+    """
+    tokens = np.asarray(request.tokens)
+    q = np.asarray(request.q)
+    wk = np.asarray(request.wk)
+    wv = np.asarray(request.wv)
+    if tokens.ndim != 2 or q.ndim != 2 or wk.ndim != 2 or wv.ndim != 2:
+        raise ValueError("request tensors must be 2-D per head")
+    if tokens.shape[1] != wk.shape[0]:
+        raise ValueError("tokens and wk disagree on the hidden dimension")
+    if wv.shape[0] != wk.shape[0]:
+        raise ValueError("wk and wv disagree on the hidden dimension")
+    if q.shape[1] != wk.shape[1]:
+        raise ValueError("q and wk disagree on the head dimension")
+    if request.v is not None:
+        v = np.asarray(request.v)
+        if v.ndim != 2 or v.shape[0] != tokens.shape[0]:
+            raise ValueError("value cache must be (S, Dv)")
+    if request.deadline is not None and not (
+        isinstance(request.deadline, (int, float))
+        and math.isfinite(request.deadline)
+    ):
+        # NaN would compare False against every clock reading and
+        # silently defeat the starvation bound the deadline provides.
+        raise ValueError("deadline must be finite monotonic seconds")
+    if request.cache_key is not None:
+        try:
+            hash(request.cache_key)
+        except TypeError as error:
+            raise ValueError("cache_key must be hashable") from error
+    (request.config or default_config).resolve_top_k(tokens.shape[0])
+
+
 @dataclass
 class BatchRecord:
     """One executed batch: its grid, size, and how long it waited."""
@@ -183,6 +222,11 @@ class EngineStats:
     def cache_misses(self) -> int:
         return self.cache.misses
 
+    @property
+    def cache_expirations(self) -> int:
+        """Decode-cache entries dropped by the idle TTL (abandoned sequences)."""
+        return self.cache.expirations
+
 
 @dataclass
 class _Group:
@@ -213,9 +257,12 @@ class SofaEngine:
         Starvation bound: a group executes after waiting this many
         scheduling rounds even if under-full.  ``None`` means groups wait
         for a full chunk, a deadline, or an explicit :meth:`flush`.
-    cache / cache_entries:
+    cache / cache_entries / cache_ttl_s:
         Share a :class:`DecodeStepCache` between engines, or size the
-        engine-owned one.
+        engine-owned one; ``cache_ttl_s`` bounds how long an *idle* entry
+        (an abandoned decode sequence that never invalidated itself) stays
+        resident before the cache drops it (``stats.cache_expirations``
+        counts these).
     """
 
     #: cached pre-converted operators kept per (weights, config) identity
@@ -230,6 +277,7 @@ class SofaEngine:
         max_wait_batches: int | None = None,
         cache: DecodeStepCache | None = None,
         cache_entries: int = 256,
+        cache_ttl_s: float | None = None,
     ):
         if max_batch_heads < 1:
             raise ValueError("max_batch_heads must be >= 1")
@@ -239,7 +287,11 @@ class SofaEngine:
         self.max_batch_heads = max_batch_heads
         self.max_wait_batches = max_wait_batches
         self.executor = make_executor(backend, max_workers=max_workers)
-        self.cache = cache if cache is not None else DecodeStepCache(cache_entries)
+        self.cache = (
+            cache
+            if cache is not None
+            else DecodeStepCache(cache_entries, ttl_s=cache_ttl_s)
+        )
         self.stats = EngineStats(cache=self.cache.stats)
         self._groups: OrderedDict[Hashable, _Group] = OrderedDict()
         self._operators: OrderedDict[Hashable, BatchedSofaAttention] = OrderedDict()
@@ -269,35 +321,7 @@ class SofaEngine:
         group for its grid, including groups formed in earlier rounds that
         have not executed yet.
         """
-        tokens = np.asarray(request.tokens)
-        q = np.asarray(request.q)
-        wk = np.asarray(request.wk)
-        wv = np.asarray(request.wv)
-        if tokens.ndim != 2 or q.ndim != 2 or wk.ndim != 2 or wv.ndim != 2:
-            raise ValueError("request tensors must be 2-D per head")
-        if tokens.shape[1] != wk.shape[0]:
-            raise ValueError("tokens and wk disagree on the hidden dimension")
-        if wv.shape[0] != wk.shape[0]:
-            raise ValueError("wk and wv disagree on the hidden dimension")
-        if q.shape[1] != wk.shape[1]:
-            raise ValueError("q and wk disagree on the head dimension")
-        if request.v is not None:
-            v = np.asarray(request.v)
-            if v.ndim != 2 or v.shape[0] != tokens.shape[0]:
-                raise ValueError("value cache must be (S, Dv)")
-        if request.deadline is not None and not (
-            isinstance(request.deadline, (int, float))
-            and math.isfinite(request.deadline)
-        ):
-            # NaN would compare False against every clock reading and
-            # silently defeat the starvation bound the deadline provides.
-            raise ValueError("deadline must be finite monotonic seconds")
-        if request.cache_key is not None:
-            try:
-                hash(request.cache_key)
-            except TypeError as error:
-                raise ValueError("cache_key must be hashable") from error
-        (request.config or self.config).resolve_top_k(tokens.shape[0])
+        validate_request(request, self.config)
         future = AttentionFuture(self)
         key = self._batch_key(request)
         group = self._groups.get(key)

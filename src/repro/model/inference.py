@@ -27,12 +27,16 @@ bit-identical to uncached serving.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.attention.metrics import output_relative_error
 from repro.core.config import SofaConfig
 from repro.engine.serving import AttentionRequest, SofaEngine
+
+if TYPE_CHECKING:  # annotation-only: keep repro.model import light
+    from repro.cluster import EngineCluster
 from repro.model.layers import layer_norm, merge_heads
 from repro.model.transformer import Transformer
 from repro.numerics.complexity import OpCounter
@@ -84,8 +88,11 @@ class SparseInferenceRunner:
         overrides the tile width layer by layer, mirroring the DSE's
         layer-specific tiling.
     engine:
-        Optional shared :class:`SofaEngine`; by default the runner owns one,
-        so callers can inspect ``runner.engine.stats`` for batching behavior.
+        Optional shared :class:`SofaEngine` - or an
+        :class:`~repro.cluster.serving.EngineCluster`, which serves the
+        same submit/flush/futures surface from sharded worker processes -
+        by default the runner owns a single engine, so callers can inspect
+        ``runner.engine.stats`` for batching behavior.
     """
 
     def __init__(
@@ -93,7 +100,7 @@ class SparseInferenceRunner:
         model: Transformer,
         config: SofaConfig | None = None,
         tile_cols_per_layer: list[int] | None = None,
-        engine: SofaEngine | None = None,
+        engine: SofaEngine | EngineCluster | None = None,
     ):
         self.model = model
         self.config = config or SofaConfig(tile_cols=32, top_k=0.25)
@@ -204,7 +211,7 @@ class SparseDecodeSession:
         self,
         model: Transformer,
         config: SofaConfig | None = None,
-        engine: SofaEngine | None = None,
+        engine: SofaEngine | EngineCluster | None = None,
         session_id: str | None = None,
         use_cache: bool = True,
     ):
@@ -246,8 +253,10 @@ class SparseDecodeSession:
                 f"expected (T_new, {self.model.config.hidden}) embeddings, "
                 f"got {x_new.shape}"
             )
-        stats = self.engine.stats.cache
-        hits0, misses0 = stats.hits, stats.misses
+        # Engine stats.cache is a live counter object, the cluster's a
+        # point-in-time merged snapshot - capture scalars, re-read after.
+        before = self.engine.stats.cache
+        hits0, misses0 = before.hits, before.misses
 
         cur = x_new
         for i, block in enumerate(self.model.blocks):
@@ -280,13 +289,18 @@ class SparseDecodeSession:
             cur = cur + block.attn.wo(merge_heads(heads))
             cur = cur + block.ffn(layer_norm(cur))
 
+        after = self.engine.stats.cache
         return DecodeStepReport(
             output=layer_norm(cur),
             seq_len=self.seq_len,
-            cache_hits=stats.hits - hits0,
-            cache_misses=stats.misses - misses0,
+            cache_hits=after.hits - hits0,
+            cache_misses=after.misses - misses0,
         )
 
     def close(self) -> int:
-        """End the session: drop its decode-cache entries; returns how many."""
-        return self.engine.cache.invalidate_prefix(self.session_id)
+        """End the session: drop its decode-cache entries; returns how many.
+
+        Goes through the engine/cluster ``invalidate_cache`` surface, so a
+        cluster-backed session drops its state on every worker.
+        """
+        return self.engine.invalidate_cache(self.session_id)

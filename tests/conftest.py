@@ -1,12 +1,30 @@
-"""Shared fixtures: deterministic RNG and a small calibrated workload."""
+"""Shared fixtures: deterministic RNG, calibrated workloads, leak guards."""
 
 from __future__ import annotations
+
+import multiprocessing
 
 import numpy as np
 import pytest
 
 from repro.model.workloads import make_workload
 from repro.utils.rng import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _no_stray_worker_processes():
+    """Process-leak guard: no test may leave child processes behind.
+
+    Cluster tests spawn real engine worker processes; a leaked worker
+    would outlive the suite (and block CI runners).  Leftovers are killed
+    so the rest of the suite stays usable, then the test is failed.
+    """
+    yield
+    leftover = multiprocessing.active_children()
+    for process in leftover:
+        process.kill()
+        process.join(timeout=5.0)
+    assert not leftover, f"test leaked child processes: {leftover}"
 
 
 @pytest.fixture

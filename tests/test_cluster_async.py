@@ -1,0 +1,118 @@
+"""AsyncSofaClient tests: awaitable serving with the parity contract intact.
+
+``async`` changes when the caller regains control, never a result bit:
+everything awaited must be bit-identical to the synchronous path, over
+both backends (cluster worker processes and an in-process engine).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import AsyncSofaClient, EngineCluster
+from repro.core.config import SofaConfig
+from repro.engine import AttentionRequest, SofaEngine
+from repro.utils.rng import make_rng
+
+CFG = SofaConfig(tile_cols=16, top_k=0.25)
+
+
+def _requests(seed: int, n: int) -> list[AttentionRequest]:
+    rng = make_rng(seed)
+    return [
+        AttentionRequest(
+            tokens=rng.integers(-100, 100, size=(32, 8)).astype(np.float64),
+            q=rng.normal(size=(2, 8)),
+            wk=rng.normal(size=(8, 8)),
+            wv=rng.normal(size=(8, 8)),
+        )
+        for _ in range(n)
+    ]
+
+
+def _reference(requests):
+    with SofaEngine(CFG) as engine:
+        return engine.run(requests)
+
+
+def _assert_parity(ref, got):
+    for a, b in zip(ref, got):
+        assert a.output.tobytes() == b.output.tobytes()
+        assert np.array_equal(a.selected, b.selected)
+
+
+@pytest.mark.cluster
+def test_async_run_over_cluster_bit_identical():
+    requests = _requests(41, 6)
+    ref = _reference(requests)
+
+    async def main():
+        async with AsyncSofaClient(EngineCluster(n_workers=2, config=CFG)) as client:
+            return await client.run(requests)
+
+    _assert_parity(ref, asyncio.run(main()))
+
+
+@pytest.mark.cluster
+def test_async_gather_concurrent_coroutines():
+    requests = _requests(42, 6)
+    ref = _reference(requests)
+
+    async def main():
+        async with AsyncSofaClient(EngineCluster(n_workers=2, config=CFG)) as client:
+            results = await client.map(requests)  # one coroutine per request
+            stats = client.backend.stats
+            return results, stats
+
+    results, stats = asyncio.run(main())
+    _assert_parity(ref, results)
+    assert stats.n_completed == len(requests)
+    assert stats.pending == 0
+
+
+def test_async_client_over_plain_engine():
+    requests = _requests(43, 4)
+    ref = _reference(requests)
+
+    async def main():
+        async with AsyncSofaClient(SofaEngine(CFG)) as client:
+            return await client.run(requests)
+
+    _assert_parity(ref, asyncio.run(main()))
+
+
+def test_async_submit_nowait_then_await():
+    requests = _requests(44, 2)
+    ref = _reference(requests)
+
+    async def main():
+        async with AsyncSofaClient(SofaEngine(CFG)) as client:
+            futures = [client.submit_nowait(r) for r in requests]
+            return [await client.result(f) for f in reversed(futures)]
+
+    got = asyncio.run(main())
+    _assert_parity(ref, list(reversed(got)))
+
+
+def test_poll_interval_validated():
+    with pytest.raises(ValueError, match="poll_interval"):
+        AsyncSofaClient(SofaEngine(CFG), poll_interval=0.0)
+
+
+@pytest.mark.cluster
+def test_async_error_propagates_to_awaiting_coroutine():
+    good = _requests(45, 1)[0]
+    bad = AttentionRequest(
+        tokens=good.tokens, q=good.q, wk=good.wk, wv=good.wv,
+        config=SofaConfig(tile_cols=0, top_k=4),
+    )
+
+    async def main():
+        async with AsyncSofaClient(EngineCluster(n_workers=1, config=CFG)) as client:
+            ok = await client.submit(good)
+            with pytest.raises(ValueError, match="tile_cols"):
+                await client.submit(bad)
+            return ok
+
+    assert asyncio.run(main()) is not None

@@ -322,3 +322,63 @@ def test_shared_cache_across_engines():
     second = SofaEngine(CFG, cache=shared)
     second.run([_decode_request(rng, grown, wk, wv)])
     assert shared.stats.hits == 1 and shared.stats.misses == 1
+
+
+# ------------------------------------------------------------------- TTL knob
+def test_ttl_expires_idle_entries_with_injected_clock():
+    now = [0.0]
+    cache = DecodeStepCache(max_entries=8, ttl_s=10.0, clock=lambda: now[0])
+    cache.put(("a", CFG, "d"), _entry())
+    cache.put(("b", CFG, "d"), _entry())
+    now[0] = 5.0
+    assert cache.get(("a", CFG, "d")) is not None  # touch refreshes "a"
+    now[0] = 12.0  # "b" idle 12s > ttl, "a" idle 7s
+    assert cache.get(("b", CFG, "d")) is None
+    assert cache.get(("a", CFG, "d")) is not None
+    assert cache.stats.expirations == 1
+    assert len(cache) == 1
+
+
+def test_ttl_sweep_expired_explicit_and_bytes_released():
+    now = [0.0]
+    cache = DecodeStepCache(max_entries=8, ttl_s=1.0, clock=lambda: now[0])
+    cache.put(("a", CFG, "d"), _entry())
+    assert cache.stats.resident_bytes > 0
+    now[0] = 2.0
+    assert cache.sweep_expired() == 1
+    assert cache.stats.resident_bytes == 0
+    assert cache.stats.expirations == 1
+    assert cache.sweep_expired() == 0  # nothing left
+
+
+def test_ttl_expiration_distinct_from_lru_eviction():
+    now = [0.0]
+    cache = DecodeStepCache(max_entries=1, ttl_s=100.0, clock=lambda: now[0])
+    cache.put(("a", CFG, "d"), _entry())
+    cache.put(("b", CFG, "d"), _entry())  # LRU pressure, not TTL
+    assert cache.stats.evictions == 1
+    assert cache.stats.expirations == 0
+
+
+def test_ttl_validated():
+    with pytest.raises(ValueError):
+        DecodeStepCache(ttl_s=0.0)
+    with pytest.raises(ValueError):
+        DecodeStepCache(ttl_s=-1.0)
+
+
+def test_engine_surfaces_ttl_expirations_in_stats():
+    rng = make_rng(17)
+    engine = SofaEngine(CFG, cache_ttl_s=1e-9)  # everything idles out instantly
+    wk = rng.normal(size=(6, 4))
+    wv = rng.normal(size=(6, 4))
+    tokens = rng.integers(-50, 50, size=(32, 6)).astype(np.float64)
+    for step in range(3):
+        tokens = np.concatenate([tokens, rng.integers(-50, 50, size=(1, 6)).astype(np.float64)])
+        fut = engine.submit(_decode_request(rng, tokens, wk, wv, cache_key="abandoned"))
+        engine.flush()
+        fut.result()
+    # every step's entry expired before the next lookup: all misses
+    assert engine.stats.cache_hits == 0
+    assert engine.stats.cache_misses == 3
+    assert engine.stats.cache_expirations >= 2

@@ -1,0 +1,150 @@
+"""Wire-codec tests: bit-exact round-trips and stable dedup fingerprints.
+
+The cluster's cross-process parity contract stands on this codec: a
+request must decode to exactly the tensors that were encoded (bit for
+bit, dtype and shape included), and a result must round-trip outputs,
+selections, stage traces and op counts without loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DlzsConfig, SofaConfig
+from repro.core.pipeline import SofaAttention
+from repro.engine.codec import (
+    CODEC_VERSION,
+    decode_config,
+    decode_request,
+    decode_result,
+    encode_config,
+    encode_request,
+    encode_result,
+    request_fingerprint,
+)
+from repro.engine.serving import AttentionRequest
+from repro.utils.rng import make_rng
+
+CFG = SofaConfig(tile_cols=16, top_k=0.5)
+
+
+def _request(rng, s=32, h=8, dk=8, t=3, **kwargs):
+    return AttentionRequest(
+        tokens=rng.integers(-100, 100, size=(s, h)).astype(np.float64),
+        q=rng.normal(size=(t, dk)),
+        wk=rng.normal(size=(h, dk)),
+        wv=rng.normal(size=(h, dk)),
+        **kwargs,
+    )
+
+
+def test_request_round_trip_bit_exact():
+    rng = make_rng(3)
+    req = _request(
+        rng,
+        k_scale=0.25,
+        v_scale=1.5,
+        v=rng.normal(size=(32, 8)),
+        config=SofaConfig(tile_cols=8, top_k=4, dlzs=DlzsConfig(token_bits=6)),
+        tag="req-0",
+        cache_key=("session", 2, 5),
+        deadline=123.5,
+    )
+    back = decode_request(encode_request(req))
+    for name in ("tokens", "q", "wk", "wv", "v"):
+        a, b = getattr(req, name), getattr(back, name)
+        assert a.tobytes() == b.tobytes() and a.dtype == b.dtype and a.shape == b.shape
+    assert back.k_scale == req.k_scale and back.v_scale == req.v_scale
+    assert back.config == req.config
+    assert back.tag == req.tag
+    assert back.cache_key == req.cache_key
+    assert back.deadline == req.deadline
+
+
+def test_request_round_trip_defaults_and_non_contiguous():
+    rng = make_rng(4)
+    wide = rng.normal(size=(8, 16))
+    req = AttentionRequest(
+        tokens=rng.integers(-5, 5, size=(12, 8)).astype(np.float32),
+        q=rng.normal(size=(2, 8))[:, ::-1],  # negative-stride view
+        wk=wide[:, ::2],  # non-contiguous columns
+        wv=wide[:, 1::2],
+    )
+    back = decode_request(encode_request(req))
+    assert back.tokens.dtype == np.float32
+    assert np.array_equal(back.q, np.asarray(req.q))
+    assert np.array_equal(back.wk, np.asarray(req.wk))
+    assert back.v is None and back.config is None and back.cache_key is None
+
+
+def test_result_round_trip_preserves_traces_and_ops():
+    rng = make_rng(5)
+    req = _request(rng)
+    result = SofaAttention(req.wk, req.wv, CFG)(req.tokens, req.q)
+    back = decode_result(encode_result(result))
+    assert back.output.tobytes() == result.output.tobytes()
+    assert np.array_equal(back.selected, result.selected)
+    assert back.assurance_triggers == result.assurance_triggers
+    assert [s.name for s in back.stages] == [s.name for s in result.stages]
+    for a, b in zip(result.stages, back.stages):
+        assert a.ops.counts == b.ops.counts
+        assert a.dram_bytes == b.dram_bytes
+        assert a.sram_peak_bytes == b.sram_peak_bytes
+    assert back.total_ops.counts == result.total_ops.counts
+    assert np.array_equal(back.reference_mask, result.reference_mask)
+
+
+def test_config_codec_none_and_nested():
+    assert encode_config(None) is None and decode_config(None) is None
+    cfg = SofaConfig(tile_cols=4, top_k=2)
+    assert decode_config(encode_config(cfg)) == cfg
+
+
+def test_version_mismatch_rejected():
+    rng = make_rng(6)
+    payload = encode_request(_request(rng))
+    payload["v"] = CODEC_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        decode_request(payload)
+    res = encode_result(SofaAttention(
+        _request(rng).wk, _request(rng).wv, CFG
+    )(_request(rng).tokens, _request(rng).q))
+    res["v"] = 0
+    with pytest.raises(ValueError, match="version"):
+        decode_result(res)
+
+
+def test_fingerprint_ignores_tag_and_deadline_only():
+    rng = make_rng(7)
+    base = _request(rng)
+    same = AttentionRequest(
+        tokens=base.tokens, q=base.q, wk=base.wk, wv=base.wv,
+        tag="other", deadline=99.0,
+    )
+    fp = request_fingerprint(encode_request(base))
+    assert request_fingerprint(encode_request(same)) == fp
+
+    louder = AttentionRequest(
+        tokens=base.tokens * 2, q=base.q, wk=base.wk, wv=base.wv
+    )
+    keyed = AttentionRequest(
+        tokens=base.tokens, q=base.q, wk=base.wk, wv=base.wv, cache_key="s0"
+    )
+    configured = AttentionRequest(
+        tokens=base.tokens, q=base.q, wk=base.wk, wv=base.wv,
+        config=SofaConfig(tile_cols=8, top_k=0.5),
+    )
+    scaled = AttentionRequest(
+        tokens=base.tokens, q=base.q, wk=base.wk, wv=base.wv, k_scale=0.5
+    )
+    for variant in (louder, keyed, configured, scaled):
+        assert request_fingerprint(encode_request(variant)) != fp
+
+
+def test_fingerprint_distinguishes_shape_of_same_bytes():
+    rng = make_rng(8)
+    flat = rng.normal(size=(4, 4))
+    a = AttentionRequest(tokens=flat, q=rng.normal(size=(2, 4)),
+                         wk=np.eye(4), wv=np.eye(4))
+    b = AttentionRequest(tokens=flat.reshape(2, 8)[:, :4].copy(),
+                         q=a.q, wk=np.eye(4), wv=np.eye(4))
+    assert request_fingerprint(encode_request(a)) != request_fingerprint(encode_request(b))
