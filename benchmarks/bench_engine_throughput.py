@@ -11,16 +11,16 @@ Three measurements, three artifacts:
   warm.  Every path must stay bit-identical; the cached decode loop must
   record a real speedup (it skips re-quantizing the context prefix).
 * ``BENCH_cluster.json`` (``--cluster N``): worker-count scaling of the
-  sharded :class:`~repro.cluster.EngineCluster` on a GIL-bound decode
-  stream of many concurrent sequences under a **fixed per-worker
-  decode-cache budget**.  One worker cannot hold the whole working set
-  (its LRU thrashes on the round-robin sequence scan: 0% hits), while the
-  sharded tier's aggregate cache capacity is the sum of the workers' -
+  sharded :class:`~repro.cluster.EngineCluster` on a decode stream of
+  many concurrent sequences under a **fixed per-worker decode-cache
+  budget**.  One worker cannot hold the whole working set (its LRU
+  thrashes on the round-robin sequence scan: 0% hits), while the sharded
+  tier's aggregate cache capacity is the sum of the workers' -
   ``cache_affinity`` routing pins each sequence to one worker, whose
   shard then fits.  On a single CPU the recorded scaling is therefore the
   *cache-capacity* win alone (every process shares one core); on
-  multi-core hosts the worker processes additionally run the Python-bound
-  SU-FA loop in parallel, compounding the ratio.  Every worker count must
+  multi-core hosts the worker processes additionally run their CPU-bound
+  engines in parallel, compounding the ratio.  Every worker count must
   stay bit-identical to single-engine serving.
 
 Run as a script to record them:
@@ -364,7 +364,7 @@ def measure_cluster(quick: bool = False, max_workers: int = 4) -> dict:
             "fixed per-worker decode-cache budget; cache_affinity sharding "
             "multiplies aggregate cache capacity (single-CPU hosts measure "
             "this alone; multi-core hosts add process parallelism of the "
-            "GIL-bound SU-FA loop)"
+            "workers' CPU-bound engines)"
         ),
         "workload": {
             "n_sequences": n_seq,

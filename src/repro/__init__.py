@@ -17,6 +17,11 @@ contribution:
     The SOFA algorithms: DLZS prediction, SADS distributed sorting, SU-FA
     sorted-updating FlashAttention, the cross-stage tiled pipeline and the
     Bayesian-optimisation design-space exploration.
+``repro.kernels``
+    Interchangeable implementations of the SU-FA streaming core behind a
+    named registry (``blocked`` tile-vectorized default, ``reference``
+    per-key golden model) - bit-for-bit equal, selectable per config,
+    engine, cluster, or ``SOFA_SUFA_KERNEL``.
 ``repro.engine``
     The batched execution layer: a fused multi-head operator bit-identical
     to the per-head pipeline, and a serving frontend with a request queue,
@@ -41,8 +46,9 @@ from repro.core.pipeline import SofaAttention, sofa_attention
 from repro.core.sads import SadsSorter
 from repro.core.sufa import sorted_updating_attention
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
+from repro.kernels import available_sufa_kernels, get_sufa_kernel, register_sufa_kernel
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SofaConfig",
@@ -56,5 +62,8 @@ __all__ = [
     "EngineCluster",
     "SofaEngine",
     "AttentionRequest",
+    "available_sufa_kernels",
+    "get_sufa_kernel",
+    "register_sufa_kernel",
     "__version__",
 ]

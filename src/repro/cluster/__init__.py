@@ -1,8 +1,9 @@
 """``repro.cluster``: the sharded multi-process serving tier.
 
-Scaling past one process is the ROADMAP's next rung: the engine's SU-FA
-streaming loop is Python-bound, so a single :class:`~repro.engine.serving.
-SofaEngine` caps throughput regardless of batching.  This package shards
+Scaling past one process is the ROADMAP's next rung: even with the
+tile-blocked SU-FA kernel (:mod:`repro.kernels`), a single
+:class:`~repro.engine.serving.SofaEngine` caps at one core's compute and
+one decode-cache budget regardless of batching.  This package shards
 the request stream across worker processes - the software analogue of the
 paper's parallel hardware lanes (RASS balancing heads across lanes, STAR
 tiling across spatial lanes, Occamy partitioning across chiplets):

@@ -1,10 +1,12 @@
 """EngineCluster: a sharded multi-process serving tier over ``SofaEngine``.
 
-One :class:`~repro.engine.serving.SofaEngine` is continuously batched but
-Python-bound in its SU-FA streaming loop, so a single process caps
-throughput.  The cluster shards the request stream across ``n_workers``
-child processes - each running its own engine (own fused operators, own
-decode-step cache) behind the message loop of
+One :class:`~repro.engine.serving.SofaEngine` is continuously batched,
+and since the kernel layer (:mod:`repro.kernels`) its SU-FA streaming
+core is tile-blocked rather than per-key Python-bound - but a single
+process still caps at one core's compute and one cache budget.  The
+cluster shards the request stream across ``n_workers`` child processes -
+each running its own engine (own fused operators, own decode-step cache,
+own kernel selection from the shared registry) behind the message loop of
 :mod:`repro.cluster.worker` - the software shape of the paper's parallel
 hardware lanes.
 
@@ -68,6 +70,7 @@ from repro.engine.codec import (
     request_fingerprint,
 )
 from repro.engine.serving import AttentionRequest, validate_request
+from repro.kernels import resolve_sufa_kernel_name
 from repro.cluster.routing import POLICIES, RequestInfo, make_policy
 from repro.cluster.worker import worker_main
 
@@ -223,9 +226,18 @@ class EngineCluster:
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
         available, else ``spawn``).
-    max_batch_heads / max_wait_batches / backend / cache_entries /
-    cache_ttl_s:
-        Forwarded to every worker's :class:`SofaEngine`.
+    max_batch_heads / max_wait_batches / backend / kernel /
+    cache_entries / cache_ttl_s:
+        Forwarded to every worker's :class:`SofaEngine` (``kernel``
+        selects the SU-FA streaming kernel from the
+        :mod:`repro.kernels` registry; kernels are bit-for-bit
+        interchangeable, so it only moves wall-clock time).  The registry
+        is per-process: built-in kernels resolve everywhere, but a
+        custom-registered kernel reaches the workers only when they
+        inherit the parent's registry (``fork`` start method, the Linux
+        default) or register it at import time of a module the worker
+        imports - under ``spawn``, a parent-only registration will fail
+        worker engine construction at startup.
     startup_timeout_s:
         How long to wait for all workers to report ready.
     """
@@ -240,6 +252,7 @@ class EngineCluster:
         max_batch_heads: int = 64,
         max_wait_batches: int | None = None,
         backend: str = "sync",
+        kernel: str | None = None,
         cache_entries: int = 256,
         cache_ttl_s: float | None = None,
         startup_timeout_s: float = 60.0,
@@ -248,6 +261,10 @@ class EngineCluster:
             raise ValueError("n_workers must be >= 1")
         if routing not in POLICIES:
             raise ValueError(f"unknown routing policy {routing!r}; expected {POLICIES}")
+        if kernel is not None:
+            # Fail a typo here, in the caller's process, instead of
+            # spawning N workers that all die on engine construction.
+            resolve_sufa_kernel_name(kernel)
         self.config = config or SofaConfig()
         self.routing = routing
         self.dedup = dedup
@@ -278,6 +295,11 @@ class EngineCluster:
             "max_batch_heads": max_batch_heads,
             "max_wait_batches": max_wait_batches,
             "backend": backend,
+            # Every worker engine resolves its SU-FA streaming kernel
+            # through the same repro.kernels registry as in-process
+            # serving, so the cross-process parity contract shares one
+            # streaming implementation too.
+            "kernel": kernel,
             "cache_entries": cache_entries,
             "cache_ttl_s": cache_ttl_s,
         }

@@ -14,7 +14,12 @@ from repro.core.config import SofaConfig
 from repro.core.dlzs import DlzsPredictor, dlzs_matmul, vanilla_lz_matmul
 from repro.core.pipeline import SofaAttention, sofa_attention
 from repro.core.sads import SadsSorter
-from repro.core.sufa import UpdateOrder, sorted_updating_attention
+from repro.core.sufa import (
+    UpdateOrder,
+    sorted_updating_attention,
+    stream_selected,
+    stream_selected_reference,
+)
 
 __all__ = [
     "SofaConfig",
@@ -26,4 +31,6 @@ __all__ = [
     "SadsSorter",
     "UpdateOrder",
     "sorted_updating_attention",
+    "stream_selected",
+    "stream_selected_reference",
 ]

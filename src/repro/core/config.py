@@ -50,10 +50,17 @@ class SufaConfig:
     runtime Max-Ensuring behaviour that repairs a mispredicted maximum
     (paper Sec. IV-D) at the cost of classic-FA rescale ops on the rows where
     it triggers.
+
+    ``kernel`` selects the streaming kernel implementation from
+    :mod:`repro.kernels` (``"blocked"``, ``"reference"``, or a registered
+    custom name); the default ``"auto"`` defers to the ``SOFA_SUFA_KERNEL``
+    environment variable and then the registry default.  Every kernel is
+    bit-for-bit interchangeable, so this knob moves wall-clock time only.
     """
 
     descending: bool = True
     max_assurance: bool = True
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)

@@ -223,6 +223,7 @@ class SofaAttention:
             order=UpdateOrder.DESCENDING if cfg.sufa.descending else UpdateOrder.ASCENDING,
             max_assurance=cfg.sufa.max_assurance,
             tile_cols=cfg.tile_cols,
+            kernel=cfg.sufa.kernel,
         )
         formal_dram, formal_sram = formal_trace_bytes(
             cfg,

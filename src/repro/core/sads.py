@@ -116,7 +116,32 @@ class SadsSorter:
 
     # ------------------------------------------------------------------ row
     def select_row(self, row: np.ndarray, k: int) -> SadsRowResult:
-        """Select k indices from one row, distributed over n sub-segments."""
+        """Select k indices from one row, distributed over n sub-segments.
+
+        Routed through the vectorized :meth:`select_stack` core as a
+        one-row stack, so the single-row and stack paths share one
+        implementation; :meth:`select_row_reference` keeps the sequential
+        per-segment walk as the golden model, and ``test_core_sads``
+        asserts the two agree exactly (indices, comparator counts, clipped
+        tallies).
+        """
+        stack = self.select_stack(np.asarray(row, dtype=np.float64)[None, :], k)
+        ops = OpCounter()
+        ops.add_op("compare", float(stack.compare_rows[0]))
+        return SadsRowResult(
+            indices=stack.indices[0],
+            ops=ops,
+            clipped=int(stack.clipped_rows[0]),
+        )
+
+    def select_row_reference(self, row: np.ndarray, k: int) -> SadsRowResult:
+        """Sequential single-row selection (the golden model for tests).
+
+        Walks the segment grid one segment at a time with the scalar
+        clipping threshold, exactly as the hardware schedules one row; the
+        vectorized :meth:`select_stack` must reproduce its indices, op
+        counts and clipped tallies row for row.
+        """
         row = np.asarray(row, dtype=np.float64)
         s = row.size
         if not 1 <= k <= s:

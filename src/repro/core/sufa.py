@@ -19,12 +19,31 @@ engine falls back to one classic-FA rescale step (counted), keeping the
 result exact regardless of prediction quality.
 
 Implementation note: the streaming core (:func:`stream_selected`) is
-vectorized over an arbitrary stack of query rows - the key-position loop
-advances every row one selected key at a time, exactly like the hardware's
-row-parallel PE columns share one K/V stream.  Row results are bit-identical
-whether one row or ten thousand share the call, which is what lets the
-batched engine (``repro.engine``) reuse this core while matching the
-per-head operator exactly.
+vectorized over an arbitrary stack of query rows and dispatches to an
+interchangeable **kernel** from :mod:`repro.kernels`:
+
+* ``"blocked"`` (the default) advances the stack one ``tile_cols``-wide
+  block of keys per Python step - the software shape of the hardware's
+  Bc-wide SU-FA tiles, with the Max-Ensuring circuit falling back to the
+  per-key path only inside blocks where it actually fires;
+* ``"reference"`` (:func:`stream_selected_reference`, kept in this module)
+  advances one selected key per Python iteration - the original loop,
+  retained as the golden model for differential testing.
+
+The streaming semantics are **tile-synchronized**, mirroring the
+hardware's dataflow: per-key state (running max, Max-Ensuring violations,
+softmax weights, op/trigger accounting) evolves key by key, while the
+accumulated weight/value mass of each ``tile_cols``-wide tile merges into
+the carried normalizer/output at the tile boundary - the PE-column
+partials meeting the accumulator at tile sync, the same boundary the
+per-tile synchronization op has always charged.  Both kernels share one
+prologue (score gather, warmup max scan), one epilogue (tile-sync
+accounting, final normalization), and one batch-invariant tile-merge
+primitive (:func:`repro.numerics.linalg.det_pv_contract`), so every row's
+result is **bit-identical** across kernels and whether one row or ten
+thousand share the call - which is what lets the batched engine
+(``repro.engine``) and the cluster workers reuse this core while matching
+the per-head operator exactly.
 """
 
 from __future__ import annotations
@@ -35,7 +54,7 @@ from enum import Enum
 import numpy as np
 
 from repro.numerics.complexity import OpCounter
-from repro.numerics.linalg import det_rowdot
+from repro.numerics.linalg import det_pv_contract, det_stack_scores, det_tile_mass
 
 
 class UpdateOrder(Enum):
@@ -48,6 +67,13 @@ class UpdateOrder(Enum):
 #: Entries scanned in max-update mode before streaming begins (the hardware
 #: runs the AP module in mode 1 during the first phase of a tile).
 _WARMUP_SCAN = 4
+
+#: Raised (by every kernel) when a running-max violation is detected while
+#: the Max-Ensuring circuit is disabled.
+_ASSURANCE_ERROR = (
+    "running max violated but max assurance is disabled; "
+    "the predicted ordering was wrong"
+)
 
 
 @dataclass
@@ -92,28 +118,26 @@ class SufaStackResult:
         return ops
 
 
-def stream_selected(
+def _stream_prologue(
     q_rows: np.ndarray,
     k_sel: np.ndarray,
     v_sel: np.ndarray,
-    order: UpdateOrder = UpdateOrder.DESCENDING,
-    max_assurance: bool = True,
-    tile_cols: int = 64,
-) -> SufaStackResult:
-    """Stream pre-gathered (K, V) pairs through the sorted-updating engine.
+    order: UpdateOrder,
+) -> tuple[
+    np.ndarray,
+    np.ndarray,
+    dict[str, np.ndarray],
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+]:
+    """Kernel-shared entry work: score gather, op tallies, warmup max scan.
 
-    Parameters
-    ----------
-    q_rows:
-        ``(R, D)`` query rows (one per selected-key list).
-    k_sel / v_sel:
-        ``(R, kk, D)`` / ``(R, kk, Dv)`` keys and values already gathered in
-        SADS output order (descending estimated score).
-    order / max_assurance / tile_cols:
-        As in :func:`sorted_updating_attention`.
-
-    The whole stack advances one key position per step; state updates are
-    elementwise, so each row's result is bit-identical to streaming it alone.
+    Returns ``(scores, values, op_rows, m, l, o, triggers)`` with ``scores``
+    and ``values`` already flipped into processing order.  Every kernel must
+    start from this state so the per-row op accounting and the mode-1 warmup
+    semantics stay identical across implementations.
     """
     q_rows = np.asarray(q_rows, dtype=np.float64)
     k_sel = np.asarray(k_sel, dtype=np.float64)
@@ -123,10 +147,15 @@ def stream_selected(
     dv = v_sel.shape[2]
     scale = 1.0 / np.sqrt(d)
 
-    scores = det_rowdot(k_sel, q_rows[:, None, :]) * scale  # (R, kk)
+    # Scale folded into q before the gather: one (R, D) multiply instead of
+    # an extra full pass over the (R, kk) score matrix.
+    scores = det_stack_scores(k_sel, q_rows * scale)  # (R, kk)
     if order is UpdateOrder.ASCENDING:
-        scores = scores[:, ::-1]
-        values = v_sel[:, ::-1, :]
+        # Materialized (not viewed) reversals: downstream primitives must
+        # see one canonical layout, because BLAS-backed contractions take a
+        # different (bit-divergent) path for negative-stride operands.
+        scores = np.ascontiguousarray(scores[:, ::-1])
+        values = np.ascontiguousarray(v_sel[:, ::-1, :])
     else:
         values = v_sel
 
@@ -149,46 +178,144 @@ def stream_selected(
     l = np.zeros(r)
     o = np.zeros((r, dv))
     triggers = np.zeros(r, dtype=np.int64)
+    return scores, values, op_rows, m, l, o, triggers
 
-    for j in range(kk):
-        x = scores[:, j]
-        viol = x > m
-        if viol.any():
-            if not max_assurance:
-                raise RuntimeError(
-                    "running max violated but max assurance is disabled; "
-                    "the predicted ordering was wrong"
-                )
-            # Max-Ensuring circuit: one classic-FA rescale step on the
-            # violating rows only (corr == 1.0 elsewhere leaves state exact).
-            corr = np.exp(np.where(viol, m - x, 0.0))
-            l = l * corr
-            o = o * corr[:, None]
-            op_rows["exp"] += viol
-            op_rows["mul"] += viol * (1 + dv)
-            op_rows["compare"] += viol
-            m = np.where(viol, x, m)
-            triggers += viol
-        p = np.exp(x - m)
-        op_rows["exp"] += 1
-        if order is UpdateOrder.ASCENDING and j > 0:
-            # Eq. (1): ascending updates rescale l by exp(m_prev - m) even
-            # though the exponent simplification makes p == 1; that rescale
-            # is one extra mul per step relative to descending.
-            op_rows["mul"] += 1
-        l = l + p
-        op_rows["add"] += 1
-        o = o + p[:, None] * values[:, j, :]
-        op_rows["mul"] += dv
-        op_rows["add"] += dv
 
+def _stream_epilogue(
+    o: np.ndarray,
+    l: np.ndarray,
+    op_rows: dict[str, np.ndarray],
+    triggers: np.ndarray,
+    kk: int,
+    tile_cols: int,
+) -> SufaStackResult:
+    """Kernel-shared exit work: tile-sync accounting and final normalization."""
     # tile synchronization bookkeeping: one boundary op per tile
     n_tiles = -(-kk // tile_cols) if tile_cols >= 1 else 1
     op_rows["compare"] += n_tiles
+    out = o / l[:, None]
+    op_rows["div"] += o.shape[1]
+    return SufaStackResult(output=out, op_rows=op_rows, trigger_rows=triggers)
 
-    o = o / l[:, None]
-    op_rows["div"] += dv
-    return SufaStackResult(output=o, op_rows=op_rows, trigger_rows=triggers)
+
+def stream_selected_reference(
+    q_rows: np.ndarray,
+    k_sel: np.ndarray,
+    v_sel: np.ndarray,
+    order: UpdateOrder = UpdateOrder.DESCENDING,
+    max_assurance: bool = True,
+    tile_cols: int = 64,
+) -> SufaStackResult:
+    """The per-key streaming loop: one selected key per Python iteration.
+
+    This is the **golden model** of the tile-synchronized streaming
+    semantics: the whole stack advances one key position per step - the
+    running max, Max-Ensuring violations, softmax weights, trigger and op
+    accounting all evolve per key exactly as in the pre-kernel-layer loop -
+    and every state update is elementwise, so each row's result is
+    trivially independent of its batch-mates.  The accumulated weight/value
+    mass of a tile is merged into the carried ``(l, o)`` state at the tile
+    boundary through the shared batch-invariant
+    :func:`~repro.numerics.linalg.det_pv_contract` primitive (the
+    hardware's PE-column partials merging at tile sync - the same boundary
+    the per-tile synchronization op already models); a mid-tile
+    misprediction rescales the carried state *and* the tile's pending
+    weights, keeping the result exact.
+
+    The blocked kernel is differentially tested against this model bit for
+    bit (``tests/test_kernels_sufa.py``); serving paths reach it via
+    ``kernel="reference"``.
+    """
+    scores, values, op_rows, m, l, o, triggers = _stream_prologue(
+        q_rows, k_sel, v_sel, order
+    )
+    r = scores.shape[0]
+    kk = scores.shape[1]
+    dv = values.shape[2]
+    block = max(int(tile_cols), 1)
+
+    for lo in range(0, kk, block):
+        hi = min(lo + block, kk)
+        p_tile = np.zeros((r, hi - lo))
+        for t in range(hi - lo):
+            j = lo + t
+            x = scores[:, j]
+            viol = x > m
+            if viol.any():
+                if not max_assurance:
+                    raise RuntimeError(_ASSURANCE_ERROR)
+                # Max-Ensuring circuit: one classic-FA rescale step on the
+                # violating rows only (corr == 1.0 elsewhere leaves state
+                # exact): the carried normalizer/output and the tile's
+                # pending weights all rescale by exp(m_prev - m).
+                corr = np.exp(np.where(viol, m - x, 0.0))
+                l = l * corr
+                o = o * corr[:, None]
+                p_tile[:, :t] *= corr[:, None]
+                op_rows["exp"] += viol
+                op_rows["mul"] += viol * (1 + dv)
+                op_rows["compare"] += viol
+                m = np.where(viol, x, m)
+                triggers += viol
+            p_tile[:, t] = np.exp(x - m)
+            op_rows["exp"] += 1
+            if order is UpdateOrder.ASCENDING and j > 0:
+                # Eq. (1): ascending updates rescale l by exp(m_prev - m)
+                # even though the exponent simplification makes p == 1; that
+                # rescale is one extra mul per step relative to descending.
+                op_rows["mul"] += 1
+            op_rows["add"] += 1
+            op_rows["mul"] += dv
+            op_rows["add"] += dv
+        # Tile sync: fold this tile's weight/value mass into the carried
+        # state through the shared contraction primitives.
+        l = l + det_tile_mass(p_tile)
+        o = o + det_pv_contract(p_tile, values[:, lo:hi, :])
+
+    return _stream_epilogue(o, l, op_rows, triggers, kk, tile_cols)
+
+
+def stream_selected(
+    q_rows: np.ndarray,
+    k_sel: np.ndarray,
+    v_sel: np.ndarray,
+    order: UpdateOrder = UpdateOrder.DESCENDING,
+    max_assurance: bool = True,
+    tile_cols: int = 64,
+    kernel: str | None = None,
+) -> SufaStackResult:
+    """Stream pre-gathered (K, V) pairs through the sorted-updating engine.
+
+    Parameters
+    ----------
+    q_rows:
+        ``(R, D)`` query rows (one per selected-key list).
+    k_sel / v_sel:
+        ``(R, kk, D)`` / ``(R, kk, Dv)`` keys and values already gathered in
+        SADS output order (descending estimated score).
+    order / max_assurance / tile_cols:
+        As in :func:`sorted_updating_attention`.
+    kernel:
+        Which streaming kernel runs the stack (see :mod:`repro.kernels`):
+        ``"blocked"`` (tile-blocked, the default), ``"reference"`` (per-key
+        loop), or ``None``/``"auto"`` to take the ``SOFA_SUFA_KERNEL``
+        environment override / registry default.
+
+    Every kernel produces bit-identical outputs, Max-Ensuring trigger
+    counts, and per-row op tallies, so the choice only moves wall-clock
+    time; each row's result is also bit-identical to streaming it alone.
+    """
+    from repro.kernels import get_sufa_kernel
+
+    impl = get_sufa_kernel(kernel)
+    return impl(
+        q_rows,
+        k_sel,
+        v_sel,
+        order=order,
+        max_assurance=max_assurance,
+        tile_cols=tile_cols,
+    )
 
 
 def sorted_updating_attention(
@@ -199,6 +326,7 @@ def sorted_updating_attention(
     order: UpdateOrder = UpdateOrder.DESCENDING,
     max_assurance: bool = True,
     tile_cols: int = 64,
+    kernel: str | None = None,
 ) -> SufaResult:
     """Sparse attention over pre-sorted selected keys (the SU-FA engine).
 
@@ -216,7 +344,10 @@ def sorted_updating_attention(
         Model the Max-Ensuring circuit; disabling it raises on mispredicted
         orderings instead of silently producing overflow-prone results.
     tile_cols:
-        Bc, only affects synchronization op counts.
+        Bc: the streaming block width of the blocked kernel, and the tile
+        synchronization op count.
+    kernel:
+        Streaming kernel selection, as in :func:`stream_selected`.
     """
     q = np.asarray(q, dtype=np.float64)
     k = np.asarray(k, dtype=np.float64)
@@ -233,6 +364,7 @@ def sorted_updating_attention(
         order=order,
         max_assurance=max_assurance,
         tile_cols=tile_cols,
+        kernel=kernel,
     )
     ops = OpCounter()
     for op, counts in res.op_rows.items():

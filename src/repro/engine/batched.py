@@ -212,6 +212,7 @@ class BatchedSofaAttention:
             order=UpdateOrder.DESCENDING if cfg.sufa.descending else UpdateOrder.ASCENDING,
             max_assurance=cfg.sufa.max_assurance,
             tile_cols=cfg.tile_cols,
+            kernel=cfg.sufa.kernel,
         )
         outputs = stream.output.reshape(n, t, dv)
         sufa_ops_rows = {

@@ -7,10 +7,11 @@ multi-head pipeline calls.  This module decides how chunks run:
   dispatch order.  This is the default and the reference for determinism.
 * :class:`ThreadedExecutor` dispatches chunks onto a shared
   :class:`concurrent.futures.ThreadPoolExecutor`.  NumPy releases the GIL
-  inside the fused matmul/ufunc kernels, so chunks overlap there - but the
-  SU-FA streaming loop is Python-level and serializes on the GIL, so the
-  net effect is workload-dependent (``BENCH_engine_continuous.json``
-  records it honestly; matmul-heavy stacks win, stream-heavy ones do not).
+  inside the fused matmul/ufunc kernels, so chunks overlap there; with the
+  tile-blocked SU-FA kernel (:mod:`repro.kernels`) the streaming stage is
+  fused ops too, leaving only O(kk / tile_cols) GIL-holding dispatch
+  points per chunk.  The net effect remains workload- and host-dependent
+  (``BENCH_engine_continuous.json`` records it honestly).
   Because every chunk is a pure function of its own requests (the
   batch-invariant numerics guarantee bit-identical outputs regardless of
   scheduling), thread interleaving cannot change a single result bit - only

@@ -23,11 +23,13 @@ analogue of the accelerator's head-level scheduler:
 * **Pluggable execution backend** - ready chunks run through
   :mod:`repro.engine.executor`: ``backend="sync"`` executes inline,
   ``backend="threads"`` dispatches independent chunks onto a thread pool
-  (overlap is workload-dependent: NumPy releases the GIL in the fused
-  kernels, the SU-FA streaming loop holds it).  Outcomes are gathered in
-  dispatch order, so statistics, error reporting and - thanks to the
-  batch-invariant numerics - every result bit are identical across
-  backends.
+  (since the SU-FA core moved to the tile-blocked kernel
+  (:mod:`repro.kernels`), chunks spend most of their time in fused
+  NumPy/BLAS ops that release the GIL, so thread overlap applies to the
+  whole pipeline rather than stopping at the streaming stage).  Outcomes
+  are gathered in dispatch order, so statistics, error reporting and -
+  thanks to the batch-invariant numerics - every result bit are identical
+  across backends.
 * **Decode-step cache** - requests carrying a ``cache_key`` reuse their
   quantized ``K_hat``/DLZS prediction state across steps of a growing
   sequence (:mod:`repro.engine.cache`), skipping re-quantization of the
@@ -52,7 +54,7 @@ import math
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Hashable
 
 import numpy as np
@@ -62,6 +64,7 @@ from repro.core.pipeline import SofaAttentionResult
 from repro.engine.batched import BatchedSofaAttention
 from repro.engine.cache import CacheStats, DecodeStepCache
 from repro.engine.executor import make_executor
+from repro.kernels import resolve_sufa_kernel_name
 
 
 @dataclass
@@ -257,6 +260,14 @@ class SofaEngine:
         Starvation bound: a group executes after waiting this many
         scheduling rounds even if under-full.  ``None`` means groups wait
         for a full chunk, a deadline, or an explicit :meth:`flush`.
+    kernel:
+        SU-FA streaming kernel for this engine's default config
+        (``"blocked"``/``"reference"``/registered name; see
+        :mod:`repro.kernels`).  ``None`` keeps the config's own selection
+        (``"auto"`` = env var, then registry default).  Kernels are
+        bit-for-bit interchangeable, so this only moves wall-clock time;
+        requests carrying an explicit ``config`` keep their config's
+        kernel.
     cache / cache_entries / cache_ttl_s:
         Share a :class:`DecodeStepCache` between engines, or size the
         engine-owned one; ``cache_ttl_s`` bounds how long an *idle* entry
@@ -275,6 +286,7 @@ class SofaEngine:
         backend: str = "sync",
         max_workers: int | None = None,
         max_wait_batches: int | None = None,
+        kernel: str | None = None,
         cache: DecodeStepCache | None = None,
         cache_entries: int = 256,
         cache_ttl_s: float | None = None,
@@ -284,6 +296,13 @@ class SofaEngine:
         if max_wait_batches is not None and max_wait_batches < 0:
             raise ValueError("max_wait_batches must be >= 0 (or None)")
         self.config = config or SofaConfig()
+        if kernel is not None:
+            # Validate eagerly so a typo fails at construction, not inside
+            # the first batch; the registry also resolves env overrides.
+            resolve_sufa_kernel_name(kernel)
+            self.config = replace(
+                self.config, sufa=replace(self.config.sufa, kernel=kernel)
+            )
         self.max_batch_heads = max_batch_heads
         self.max_wait_batches = max_wait_batches
         self.executor = make_executor(backend, max_workers=max_workers)

@@ -1,0 +1,45 @@
+"""``repro.kernels``: interchangeable implementations of the hot streaming cores.
+
+The serving stack's hottest path is the SU-FA streaming core every tier
+bottoms out in (per-head pipeline, :class:`~repro.engine.batched.
+BatchedSofaAttention`, :class:`~repro.engine.serving.SofaEngine` backends,
+:mod:`repro.cluster` workers).  This package separates *what* that core
+computes (the contract of :func:`repro.core.sufa.stream_selected`, fixed
+bit for bit) from *how* it is executed:
+
+* :mod:`repro.kernels.registry` - named kernel registration and the
+  selection precedence (explicit name > ``SOFA_SUFA_KERNEL`` env var >
+  ``"blocked"`` default);
+* :mod:`repro.kernels.sufa_blocked` - the tile-blocked kernel
+  (``tile_cols`` keys per Python step, per-key fallback only inside
+  blocks where the Max-Ensuring circuit fires);
+* ``"reference"`` - the original per-key loop, living next to the
+  contract in :mod:`repro.core.sufa` as the golden model.
+
+Because every tier resolves its kernel through this one registry, the
+engine/cluster parity contract cannot drift: all paths share a single
+streaming implementation per selection, and any registered kernel must be
+differentially bit-equal to the reference.
+"""
+
+from repro.kernels.registry import (
+    DEFAULT_SUFA_KERNEL,
+    KERNEL_ENV_VAR,
+    SufaKernel,
+    available_sufa_kernels,
+    get_sufa_kernel,
+    register_sufa_kernel,
+    resolve_sufa_kernel_name,
+)
+from repro.kernels.sufa_blocked import stream_selected_blocked
+
+__all__ = [
+    "DEFAULT_SUFA_KERNEL",
+    "KERNEL_ENV_VAR",
+    "SufaKernel",
+    "available_sufa_kernels",
+    "get_sufa_kernel",
+    "register_sufa_kernel",
+    "resolve_sufa_kernel_name",
+    "stream_selected_blocked",
+]

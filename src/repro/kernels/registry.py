@@ -1,0 +1,122 @@
+"""Registry of interchangeable SU-FA streaming kernels.
+
+Every kernel implements one signature - the streaming contract of
+:func:`repro.core.sufa.stream_selected` minus the ``kernel`` argument::
+
+    kernel(q_rows, k_sel, v_sel, *, order, max_assurance, tile_cols)
+        -> SufaStackResult
+
+and every registered kernel must be **bit-for-bit interchangeable**: same
+output bits, same Max-Ensuring trigger counts, same per-row op tallies as
+the ``"reference"`` golden model on any input (the differential sweep in
+``tests/test_kernels_sufa.py`` is the enforcement).  Because all serving
+tiers (per-head pipeline, batched engine, thread backends, cluster workers)
+reach SU-FA through this registry, their mutual parity contract holds by
+construction - there is only one streaming implementation per process-wide
+selection, not one per tier.
+
+Selection precedence, first hit wins:
+
+1. an explicit kernel name passed by the caller (``stream_selected(...,
+   kernel="reference")`` or ``SufaConfig.sufa.kernel != "auto"``);
+2. the :data:`KERNEL_ENV_VAR` environment variable (``SOFA_SUFA_KERNEL``);
+3. :data:`DEFAULT_SUFA_KERNEL` (``"blocked"``).
+
+Adding a kernel takes one call (or decorator use)::
+
+    from repro.kernels import register_sufa_kernel
+
+    @register_sufa_kernel("mine")
+    def stream_selected_mine(q_rows, k_sel, v_sel, *, order, ...):
+        ...
+
+after which ``kernel="mine"`` (or ``SOFA_SUFA_KERNEL=mine``) routes every
+tier through it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.core.sufa import SufaStackResult
+
+#: A streaming kernel: the stream_selected contract minus ``kernel``.
+SufaKernel = Callable[..., "SufaStackResult"]
+
+#: Environment override consulted when no explicit kernel name is given.
+KERNEL_ENV_VAR = "SOFA_SUFA_KERNEL"
+
+#: Registry fallback when neither caller nor environment picks a kernel.
+DEFAULT_SUFA_KERNEL = "blocked"
+
+#: Names a caller may pass to mean "apply env/default precedence".
+_AUTO_NAMES = (None, "", "auto")
+
+_REGISTRY: dict[str, SufaKernel] = {}
+_builtins_loaded = False
+
+
+def _load_builtins() -> None:
+    """Register the in-tree kernels (lazily, to dodge import cycles).
+
+    ``repro.core.sufa`` must stay importable without this package and this
+    package needs the reference kernel from it, so the linkage happens on
+    first registry use instead of at import time.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    from repro.core.sufa import stream_selected_reference
+    from repro.kernels.sufa_blocked import stream_selected_blocked
+
+    _REGISTRY.setdefault("reference", stream_selected_reference)
+    _REGISTRY.setdefault("blocked", stream_selected_blocked)
+
+
+def register_sufa_kernel(
+    name: str, fn: SufaKernel | None = None, *, overwrite: bool = False
+):
+    """Register ``fn`` under ``name``; usable as a decorator when ``fn`` is None.
+
+    Names are case-sensitive identifiers; re-registering an existing name
+    raises unless ``overwrite=True`` (so a typo cannot silently shadow the
+    built-ins the parity contract stands on).
+    """
+    if not name or name in _AUTO_NAMES:
+        raise ValueError(f"kernel name {name!r} is reserved")
+
+    def _register(kernel: SufaKernel) -> SufaKernel:
+        _load_builtins()
+        if not overwrite and name in _REGISTRY and _REGISTRY[name] is not kernel:
+            raise ValueError(f"SU-FA kernel {name!r} is already registered")
+        _REGISTRY[name] = kernel
+        return kernel
+
+    return _register if fn is None else _register(fn)
+
+
+def available_sufa_kernels() -> tuple[str, ...]:
+    """Registered kernel names, sorted."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_sufa_kernel_name(name: str | None = None) -> str:
+    """Apply the selection precedence and validate the resulting name."""
+    _load_builtins()
+    if name in _AUTO_NAMES:
+        name = os.environ.get(KERNEL_ENV_VAR) or DEFAULT_SUFA_KERNEL
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown SU-FA kernel {name!r}; available: {available_sufa_kernels()}"
+        )
+    return name
+
+
+def get_sufa_kernel(name: str | None = None) -> SufaKernel:
+    """The kernel callable for ``name`` (``None``/``"auto"`` -> env/default)."""
+    _load_builtins()
+    return _REGISTRY[resolve_sufa_kernel_name(name)]

@@ -8,14 +8,23 @@ pick different blocking (and therefore different summation orders) depending
 on the operand shapes, so a row's result can change when unrelated rows are
 appended.
 
-These helpers implement matmul as an explicit broadcast-multiply followed by
-``np.sum`` over the contraction axis.  NumPy's pairwise reduction over a
-fixed-length axis of a freshly-allocated C-contiguous product is a pure
-function of that row's data, so every row's output is independent of how many
-other rows share the call and of the chunking used to bound memory.
+Two families of primitives restore the invariance:
 
-The cost is a materialized ``(rows, K, N)`` product per chunk; callers keep
-``chunk_rows`` small enough that the temporary stays cache-friendly.
+* the ``det_matmul`` / ``det_gathered_project`` / ``det_rowdot`` helpers
+  implement matmul as an explicit broadcast-multiply followed by ``np.sum``
+  over the contraction axis - NumPy's pairwise reduction over a fixed-length
+  axis of a freshly-allocated C-contiguous product is a pure function of
+  that row's data (the cost is a materialized ``(rows, K, N)`` product per
+  chunk; callers keep ``chunk_rows`` small enough to stay cache-friendly);
+* the SU-FA hot-path primitives (``det_stack_scores``, ``det_pv_contract``,
+  ``det_tile_mass``) are *stacked fixed-shape* contractions: each row is its
+  own ``(kk, D) @ (D, 1)``-style BLAS call whose operand shapes - and hence
+  whose internal reduction order - do not depend on the stack size, so rows
+  stay batch-invariant at full BLAS speed.  What IS forbidden remains one
+  fused gemm over the whole stack, whose blocking would couple rows.
+
+Either way, every row's output is independent of how many other rows share
+the call and of any chunking used to bound memory.
 """
 
 from __future__ import annotations
@@ -95,11 +104,77 @@ def det_gathered_project(
 def det_rowdot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Deterministic dot product over the last axis with broadcasting.
 
-    Used for the SU-FA score gather ``scores[r, j] = k_sel[r, j] . q[r]``:
-    the product is materialized C-contiguously and reduced over the final
-    axis, so each ``(r, j)`` entry depends only on its own ``D`` elements.
+    The product is materialized C-contiguously and reduced over the final
+    axis, so each entry depends only on its own ``D`` elements regardless of
+    what else shares the call.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     prod = np.ascontiguousarray(a * b)
     return prod.sum(axis=-1)
+
+
+def det_stack_scores(k_sel: np.ndarray, q_rows: np.ndarray) -> np.ndarray:
+    """Batch-invariant score gather ``scores[r, j] = k_sel[r, j] . q_rows[r]``.
+
+    ``k_sel`` is ``(R, kk, D)``, ``q_rows`` is ``(R, D)``; returns ``(R,
+    kk)``.  Implemented as a stacked matrix-vector product: every row ``r``
+    is its own ``(kk, D) @ (D,)`` BLAS call whose operand shapes - and
+    therefore whose reduction order - do not depend on how many rows share
+    the stack, so row results are bit-identical whether one row or ten
+    thousand are gathered together (the same guarantee the materialized
+    :func:`det_rowdot` gives, an order of magnitude faster on the SU-FA
+    hot path; ``tests/test_engine_batched.py``'s parity sweep and the
+    kernel differential suite enforce the invariance on real payloads).
+    """
+    k_sel = np.asarray(k_sel, dtype=np.float64)
+    q_rows = np.asarray(q_rows, dtype=np.float64)
+    if k_sel.ndim != 3 or q_rows.ndim != 2 or k_sel.shape[0::2] != q_rows.shape:
+        raise ValueError(f"incompatible shapes {k_sel.shape} x {q_rows.shape}")
+    return np.matmul(k_sel, q_rows[:, :, None])[:, :, 0]
+
+
+def det_pv_contract(p_tile: np.ndarray, v_tile: np.ndarray) -> np.ndarray:
+    """Batch-invariant tile contraction ``out[r] = sum_j p_tile[r, j] * v_tile[r, j]``.
+
+    ``p_tile`` is ``(R, B)`` softmax weights of one SU-FA tile, ``v_tile``
+    is ``(R, B, Dv)``; returns the ``(R, Dv)`` tile partial the streaming
+    core merges into its carried output at the tile boundary.  Like
+    :func:`det_stack_scores`, each row is its own fixed-shape
+    ``(1, B) @ (B, Dv)`` BLAS contraction, so a row's partial is
+    bit-identical whether one row or the whole engine stack shares the
+    call - and because **every** SU-FA kernel funnels its tile merges
+    through this one primitive, the blocked/reference bit-parity contract
+    holds no matter how the BLAS orders the ``B`` products internally.
+
+    Callers must pass the whole streaming stack with each row's ``(B,
+    Dv)`` value slice laid out contiguously (true for every tile slice of
+    a gathered ``(R, kk, Dv)`` stack); tiny-shape matmuls take
+    layout-dependent internal paths, so the kernel layer keeps every call
+    site on this one canonical layout rather than contracting row subsets.
+    """
+    p_tile = np.asarray(p_tile, dtype=np.float64)
+    v_tile = np.asarray(v_tile, dtype=np.float64)
+    if (
+        p_tile.ndim != 2
+        or v_tile.ndim != 3
+        or v_tile.shape[:2] != p_tile.shape
+    ):
+        raise ValueError(f"incompatible shapes {p_tile.shape} x {v_tile.shape}")
+    return np.matmul(p_tile[:, None, :], v_tile)[:, 0, :]
+
+
+def det_tile_mass(p_tile: np.ndarray) -> np.ndarray:
+    """Batch-invariant normalizer mass ``out[r] = sum_j p_tile[r, j]``.
+
+    The ``(R,)`` tile partial the streaming core adds to its carried
+    softmax normalizer at the tile boundary.  ``np.sum`` over the
+    contiguous last axis reduces each row's ``B`` weights with a pairwise
+    tree that depends only on ``B``, so - as with :func:`det_pv_contract`
+    - a row's mass is independent of its batch-mates, and all kernels
+    sharing this primitive stay bit-identical.
+    """
+    p_tile = np.ascontiguousarray(p_tile, dtype=np.float64)
+    if p_tile.ndim != 2:
+        raise ValueError(f"p_tile must be (R, B), got {p_tile.shape}")
+    return p_tile.sum(axis=1)

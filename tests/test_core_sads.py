@@ -143,3 +143,38 @@ def test_quota_distribution_covers_k():
     quotas = sorter._segment_quotas(10, 4)
     assert quotas.sum() == 10
     assert quotas.max() - quotas.min() <= 1
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(16, 200),
+               elements=st.floats(-40, 40, allow_nan=False)),
+    st.integers(1, 10),
+    st.integers(1, 24),
+    st.integers(0, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_select_row_routes_through_stack_core_exactly(row, n, k, rounds):
+    """select_row == the sequential reference: indices, op counts, clipping.
+
+    select_row now runs the vectorized select_stack core on a one-row
+    stack; select_row_reference keeps the sequential per-segment walk as
+    the golden model.  They must agree exactly for any row, segment count,
+    quota, and exchange budget.
+    """
+    k = min(k, row.size)
+    sorter = SadsSorter(SadsConfig(n_segments=n, adjust_rounds=rounds))
+    routed = sorter.select_row(row, k)
+    golden = sorter.select_row_reference(row, k)
+    assert np.array_equal(routed.indices, golden.indices)
+    assert routed.ops["compare"] == golden.ops["compare"]
+    assert routed.clipped == golden.clipped
+
+
+def test_select_row_clipping_matches_reference_on_clipped_rows():
+    """The sphere-clipping tallies agree on a row engineered to clip."""
+    row = np.concatenate([make_rng(45).normal(10, 1, 28), np.full(100, -50.0)])
+    sorter = SadsSorter(SadsConfig(n_segments=4, radius=2.0))
+    routed = sorter.select_row(row, 8)
+    golden = sorter.select_row_reference(row, 8)
+    assert routed.clipped == golden.clipped > 0
+    assert np.array_equal(routed.indices, golden.indices)

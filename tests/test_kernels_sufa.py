@@ -1,0 +1,296 @@
+"""Differential tests: every SU-FA kernel is bit-for-bit interchangeable.
+
+The kernel registry's contract (``repro.kernels``) is that the blocked
+kernel reproduces the reference per-key loop exactly - output bits,
+Max-Ensuring trigger counts, and per-row op tallies - on any input.  The
+sweep here drives both kernels over randomized and adversarial workloads:
+orderings that force violations in the first/middle/last block, selections
+shorter than the warmup scan, block-width remainders, and one-row stacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SofaConfig, SufaConfig
+from repro.core.pipeline import SofaAttention
+from repro.core.sufa import (
+    UpdateOrder,
+    sorted_updating_attention,
+    stream_selected,
+    stream_selected_reference,
+)
+from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
+from repro.kernels import (
+    DEFAULT_SUFA_KERNEL,
+    KERNEL_ENV_VAR,
+    available_sufa_kernels,
+    get_sufa_kernel,
+    register_sufa_kernel,
+    resolve_sufa_kernel_name,
+    stream_selected_blocked,
+)
+from repro.utils.rng import make_rng
+
+ORDERS = (UpdateOrder.DESCENDING, UpdateOrder.ASCENDING)
+
+
+def _gathered(rng, r, kk, d, dv, ordering="sorted"):
+    """A pre-gathered (q, k_sel, v_sel) stack in the SADS output convention.
+
+    ``ordering`` shapes where Max-Ensuring violations occur:
+
+    - ``sorted``: exact descending scores - no violations;
+    - ``reversed``: ascending scores fed as descending - violations on
+      nearly every key;
+    - ``shuffled``: random order - violations scattered through all blocks;
+    - ``first_block`` / ``middle_block`` / ``last_block``: exact order with
+      the true maximum displaced into that block, forcing a violation
+      exactly there.
+    """
+    q = rng.normal(size=(r, d))
+    k = rng.normal(size=(r, kk, d))
+    v = rng.normal(size=(r, kk, dv))
+    scores = (k * q[:, None, :]).sum(-1)
+    idx = np.argsort(-scores, axis=1)
+    if ordering == "reversed":
+        idx = idx[:, ::-1]
+    elif ordering == "shuffled":
+        idx = idx[:, rng.permutation(kk)]
+    elif ordering in ("first_block", "middle_block", "last_block"):
+        pos = {"first_block": min(5, kk - 1), "middle_block": kk // 2,
+               "last_block": kk - 1}[ordering]
+        idx = idx.copy()
+        idx[:, [0, pos]] = idx[:, [pos, 0]]
+    k = np.take_along_axis(k, idx[:, :, None], axis=1)
+    v = np.take_along_axis(v, idx[:, :, None], axis=1)
+    return q, k, v
+
+
+def _assert_kernels_agree(q, k, v, order, tile_cols, expect_triggers=None):
+    ref = stream_selected_reference(q, k, v, order=order, tile_cols=tile_cols)
+    blk = stream_selected_blocked(q, k, v, order=order, tile_cols=tile_cols)
+    assert ref.output.tobytes() == blk.output.tobytes()
+    assert np.array_equal(ref.trigger_rows, blk.trigger_rows)
+    assert set(ref.op_rows) == set(blk.op_rows)
+    for op in ref.op_rows:
+        assert np.array_equal(ref.op_rows[op], blk.op_rows[op]), op
+    if expect_triggers is not None:
+        assert (int(ref.trigger_rows.sum()) > 0) == expect_triggers
+    return ref
+
+
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize(
+    "ordering", ["sorted", "reversed", "shuffled", "first_block", "middle_block", "last_block"]
+)
+def test_differential_sweep_bit_exact(order, ordering):
+    """Randomized shapes x adversarial orderings: exact kernel agreement."""
+    rng = make_rng(hash((order.value, ordering)) % 2**31)
+    for r, kk, d, dv, tc in [
+        (3, 130, 8, 6, 64),   # block remainder (130 = 2*64 + 2)
+        (16, 64, 16, 16, 16),
+        (2, 257, 8, 4, 32),   # prime-ish kk, many tails
+        (9, 48, 4, 2, 5),     # tiny tiles, tiny value dim
+        (5, 96, 8, 1, 64),    # single-lane values
+    ]:
+        q, k, v = _gathered(rng, r, kk, d, dv, ordering)
+        # sorted order only violates when fed as 'descending' data but
+        # processed ascending (the reversal makes every key a new max)
+        expect = None
+        if ordering in ("first_block", "middle_block", "last_block"):
+            expect = order is UpdateOrder.DESCENDING or None
+        _assert_kernels_agree(q, k, v, order, tc, expect_triggers=expect)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_short_selections_and_single_rows(order):
+    """kk below the warmup scan, kk == 1, and one-row stacks."""
+    rng = make_rng(77)
+    for r, kk in [(1, 1), (1, 3), (4, 2), (1, 17), (6, 1)]:
+        for ordering in ("sorted", "shuffled"):
+            q, k, v = _gathered(rng, r, kk, 8, 5, ordering)
+            _assert_kernels_agree(q, k, v, order, tile_cols=4)
+
+
+def test_single_row_matches_stack_rows():
+    """A row streamed alone is bit-identical to the same row in a stack."""
+    rng = make_rng(91)
+    q, k, v = _gathered(rng, 12, 96, 8, 8, "shuffled")
+    whole = stream_selected_blocked(q, k, v, tile_cols=32)
+    for row in (0, 5, 11):
+        alone = stream_selected_blocked(
+            q[row : row + 1], k[row : row + 1], v[row : row + 1], tile_cols=32
+        )
+        assert alone.output.tobytes() == whole.output[row : row + 1].tobytes()
+        assert alone.trigger_rows[0] == whole.trigger_rows[row]
+
+
+@pytest.mark.parametrize("kernel", ["blocked", "reference"])
+def test_assurance_disabled_raises_in_every_kernel(kernel):
+    rng = make_rng(13)
+    q, k, v = _gathered(rng, 4, 64, 8, 4, "reversed")
+    with pytest.raises(RuntimeError, match="max assurance"):
+        stream_selected(q, k, v, max_assurance=False, kernel=kernel)
+
+
+def test_tile_cols_only_moves_work_not_triggers():
+    """Block width changes sync op counts, never triggers or selections."""
+    rng = make_rng(29)
+    q, k, v = _gathered(rng, 6, 120, 8, 6, "shuffled")
+    a = stream_selected_blocked(q, k, v, tile_cols=8)
+    b = stream_selected_blocked(q, k, v, tile_cols=64)
+    assert np.array_equal(a.trigger_rows, b.trigger_rows)
+    assert np.array_equal(a.op_rows["exp"], b.op_rows["exp"])
+    assert a.op_rows["compare"].sum() > b.op_rows["compare"].sum()
+    np.testing.assert_allclose(a.output, b.output, atol=1e-12)
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_lists_builtin_kernels():
+    names = available_sufa_kernels()
+    assert "blocked" in names and "reference" in names
+    assert get_sufa_kernel("reference") is stream_selected_reference
+    assert get_sufa_kernel("blocked") is stream_selected_blocked
+
+
+def test_registry_resolution_precedence(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    assert resolve_sufa_kernel_name(None) == DEFAULT_SUFA_KERNEL
+    assert resolve_sufa_kernel_name("auto") == DEFAULT_SUFA_KERNEL
+    monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+    assert resolve_sufa_kernel_name(None) == "reference"
+    # explicit name outranks the environment
+    assert resolve_sufa_kernel_name("blocked") == "blocked"
+
+
+def test_registry_rejects_unknown_and_reserved_names():
+    with pytest.raises(ValueError, match="unknown SU-FA kernel"):
+        get_sufa_kernel("no-such-kernel")
+    with pytest.raises(ValueError, match="reserved"):
+        register_sufa_kernel("auto", stream_selected_blocked)
+    with pytest.raises(ValueError, match="already registered"):
+        register_sufa_kernel("blocked", stream_selected_reference)
+
+
+def test_register_custom_kernel(monkeypatch):
+    calls = []
+
+    def probe(q_rows, k_sel, v_sel, **kwargs):
+        calls.append(kwargs)
+        return stream_selected_reference(q_rows, k_sel, v_sel, **kwargs)
+
+    register_sufa_kernel("probe-kernel", probe, overwrite=True)
+    try:
+        rng = make_rng(3)
+        q, k, v = _gathered(rng, 2, 16, 4, 4)
+        res = stream_selected(q, k, v, kernel="probe-kernel")
+        assert calls and res.output.shape == (2, 4)
+        monkeypatch.setenv(KERNEL_ENV_VAR, "probe-kernel")
+        stream_selected(q, k, v)
+        assert len(calls) == 2
+    finally:
+        from repro.kernels.registry import _REGISTRY
+
+        _REGISTRY.pop("probe-kernel", None)
+
+
+# ------------------------------------------------------- config threading
+def test_sorted_updating_attention_kernel_parity():
+    rng = make_rng(41)
+    q = rng.normal(size=(6, 16))
+    kmat = rng.normal(size=(64, 16))
+    v = rng.normal(size=(64, 16))
+    sel = np.argsort(-(q @ kmat.T), axis=1)[:, :12]
+    a = sorted_updating_attention(q, kmat, v, sel, kernel="blocked")
+    b = sorted_updating_attention(q, kmat, v, sel, kernel="reference")
+    assert a.output.tobytes() == b.output.tobytes()
+    assert a.assurance_triggers == b.assurance_triggers
+    assert a.ops.counts == b.ops.counts
+
+
+@pytest.mark.parametrize("kernel", ["blocked", "reference"])
+def test_per_head_and_batched_share_kernel_bits(kernel):
+    """Config-selected kernel: per-head vs batched stays bit-for-bit."""
+    rng = make_rng(59)
+    n, s, h, dk = 3, 48, 16, 8
+    cfg = SofaConfig(tile_cols=16, top_k=0.25, sufa=SufaConfig(kernel=kernel))
+    wk = rng.normal(size=(n, h, dk))
+    wv = rng.normal(size=(n, h, dk))
+    tokens = rng.integers(-50, 50, size=(n, s, h)).astype(np.float64)
+    q = rng.normal(size=(n, 4, dk))
+    batched = BatchedSofaAttention(wk, wv, cfg)(tokens, q)
+    for i in range(n):
+        single = SofaAttention(wk[i], wv[i], cfg)(tokens[i], q[i])
+        assert single.output.tobytes() == batched.per_head[i].output.tobytes()
+        assert np.array_equal(single.selected, batched.per_head[i].selected)
+        assert single.total_ops.counts == batched.per_head[i].total_ops.counts
+
+
+def test_kernel_choice_does_not_change_results():
+    """The registry knob moves wall-clock only: blocked == reference bits
+    through the full per-head pipeline."""
+    rng = make_rng(67)
+    s, h, dk = 64, 16, 8
+    wk = rng.normal(size=(h, dk))
+    wv = rng.normal(size=(h, dk))
+    tokens = rng.integers(-50, 50, size=(s, h)).astype(np.float64)
+    q = rng.normal(size=(5, dk))
+    results = {}
+    for kernel in ("blocked", "reference"):
+        cfg = SofaConfig(tile_cols=16, top_k=0.2, sufa=SufaConfig(kernel=kernel))
+        results[kernel] = SofaAttention(wk, wv, cfg)(tokens, q)
+    a, b = results["blocked"], results["reference"]
+    assert a.output.tobytes() == b.output.tobytes()
+    assert np.array_equal(a.selected, b.selected)
+    assert a.total_ops.counts == b.total_ops.counts
+    assert a.assurance_triggers == b.assurance_triggers
+
+
+# ------------------------------------------------------------ engine tier
+def _engine_requests(rng, n=6, s=48, h=16, dk=8):
+    return [
+        AttentionRequest(
+            tokens=rng.integers(-50, 50, size=(s, h)).astype(np.float64),
+            q=rng.normal(size=(4, dk)),
+            wk=rng.normal(size=(h, dk)),
+            wv=rng.normal(size=(h, dk)),
+        )
+        for _ in range(n)
+    ]
+
+
+def test_engine_kernel_parity_and_validation():
+    rng = make_rng(83)
+    requests = _engine_requests(rng)
+    with SofaEngine(max_batch_heads=4, kernel="blocked") as fast:
+        fast_results = fast.run(requests)
+    with SofaEngine(max_batch_heads=4, kernel="reference") as slow:
+        slow_results = slow.run(requests)
+    for a, b in zip(fast_results, slow_results):
+        assert a.output.tobytes() == b.output.tobytes()
+        assert np.array_equal(a.selected, b.selected)
+        assert a.total_ops.counts == b.total_ops.counts
+    with pytest.raises(ValueError, match="unknown SU-FA kernel"):
+        SofaEngine(kernel="typo")
+
+
+# ----------------------------------------------------------- cluster tier
+@pytest.mark.cluster
+def test_cluster_workers_share_the_kernel_registry():
+    """A cluster pinned to either kernel serves bit-identically to an
+    in-process engine: the registry threads through the worker processes."""
+    from repro.cluster import EngineCluster
+
+    rng = make_rng(97)
+    requests = _engine_requests(rng, n=8)
+    with SofaEngine(max_batch_heads=4) as engine:
+        ref = engine.run(requests)
+    for kernel in ("blocked", "reference"):
+        with EngineCluster(n_workers=2, kernel=kernel, max_batch_heads=4) as cluster:
+            got = cluster.run(requests)
+        for a, b in zip(ref, got):
+            assert a.output.tobytes() == b.output.tobytes()
+            assert np.array_equal(a.selected, b.selected)
+            assert a.total_ops.counts == b.total_ops.counts
+    with pytest.raises(ValueError, match="unknown SU-FA kernel"):
+        EngineCluster(n_workers=1, kernel="typo")

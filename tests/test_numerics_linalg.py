@@ -1,0 +1,80 @@
+"""Batch-invariance tests for the deterministic linalg primitives.
+
+Every primitive in ``repro.numerics.linalg`` promises that a row's result
+is a pure function of that row's data - independent of how many other rows
+share the call and of internal chunking.  The engine's bit-parity
+contract (per-head == batched == cluster) and the SU-FA kernel layer's
+differential contract both stand on these invariances, so they get their
+own direct tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.numerics.linalg import (
+    det_matmul,
+    det_pv_contract,
+    det_rowdot,
+    det_stack_scores,
+    det_tile_mass,
+)
+from repro.utils.rng import make_rng
+
+
+def test_det_matmul_rows_independent_of_batch_and_chunking():
+    rng = make_rng(1)
+    a = rng.normal(size=(37, 16))
+    b = rng.normal(size=(16, 9))
+    full = det_matmul(a, b)
+    assert det_matmul(a, b, chunk_rows=3).tobytes() == full.tobytes()
+    for sl in (slice(0, 1), slice(5, 20), slice(36, 37)):
+        assert det_matmul(a[sl], b).tobytes() == full[sl].tobytes()
+
+
+def test_det_stack_scores_matches_rowdot_values_and_is_batch_invariant():
+    rng = make_rng(2)
+    k_sel = rng.normal(size=(23, 70, 12))
+    q = rng.normal(size=(23, 12))
+    scores = det_stack_scores(k_sel, q)
+    np.testing.assert_allclose(
+        scores, det_rowdot(k_sel, q[:, None, :]), rtol=0, atol=1e-12
+    )
+    for rows in (slice(0, 1), slice(7, 19), np.array([0, 4, 22, 9])):
+        sub = det_stack_scores(
+            np.ascontiguousarray(k_sel[rows]), np.ascontiguousarray(q[rows])
+        )
+        assert sub.tobytes() == np.ascontiguousarray(scores[rows]).tobytes()
+    with pytest.raises(ValueError):
+        det_stack_scores(k_sel, q[:, :5])
+
+
+def test_det_pv_contract_batch_invariant_on_tile_slices():
+    """The SU-FA tile merge: slab slices of a gathered stack, any row set."""
+    rng = make_rng(3)
+    r, kk, dv = 19, 96, 7
+    p = np.exp(rng.normal(size=(r, 32)))
+    values = rng.normal(size=(r, kk, dv))
+    tile = values[:, 40:72, :]  # strided tile view, per-row slab contiguous
+    full = det_pv_contract(p, tile)
+    np.testing.assert_allclose(
+        full, (p[:, :, None] * tile).sum(axis=1), rtol=0, atol=1e-12
+    )
+    for rows in (slice(0, 1), slice(3, 11)):
+        # row subsets keep the canonical slab layout (see the docstring's
+        # layout note): a view-preserving slice, not a re-packed copy
+        sub = det_pv_contract(p[rows], tile[rows])
+        assert sub.tobytes() == np.ascontiguousarray(full[rows]).tobytes()
+    with pytest.raises(ValueError):
+        det_pv_contract(p, values)  # tile width mismatch
+
+
+def test_det_tile_mass_batch_invariant():
+    rng = make_rng(4)
+    p = np.exp(rng.normal(size=(31, 48)))
+    full = det_tile_mass(p)
+    for rows in (slice(0, 1), slice(10, 25), np.array([2, 30, 7])):
+        assert det_tile_mass(p[rows]).tobytes() == np.ascontiguousarray(
+            full[rows]
+        ).tobytes()
+    with pytest.raises(ValueError):
+        det_tile_mass(p[:, :, None])
