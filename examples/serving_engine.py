@@ -1,7 +1,7 @@
 """Serving demo: batching, backends, decode caching, and the cluster tier.
 
 Simulates production traffic against :class:`~repro.engine.serving.SofaEngine`
-in four acts:
+in five acts:
 
 1. **Continuous batching** - requests arrive in waves *between* scheduling
    rounds; new arrivals join not-yet-executed shape groups, under-full
@@ -17,6 +17,14 @@ in four acts:
    :class:`~repro.cluster.AsyncSofaClient`: sharded worker processes,
    cross-request dedup, a mid-stream worker crash survived by re-routing -
    and every awaited result still bit-identical to the sequential operator.
+5. **Socket transport + supervision** - the same cluster over
+   ``transport="socket"``: standalone worker processes behind TCP
+   listeners (the multi-host topology; here spawned on localhost),
+   length-prefixed checksummed frames carrying the same codec payloads,
+   and a :class:`~repro.cluster.SupervisorConfig`-driven supervisor that
+   heartbeats the workers, survives a hard kill mid-stream, auto-respawns
+   the dead worker, and serves post-respawn traffic - bit-identical
+   throughout.
 
 Run:  python examples/serving_engine.py
 """
@@ -36,6 +44,7 @@ from repro import (
     SofaConfig,
     SofaEngine,
 )
+from repro.cluster import SupervisorConfig
 from repro.utils.rng import make_rng
 
 
@@ -212,6 +221,50 @@ def act_cluster(rng: np.random.Generator) -> None:
     asyncio.run(serve())
 
 
+def act_socket_supervised(rng: np.random.Generator) -> None:
+    print("\n[5] socket transport: supervised standalone workers, kill + respawn")
+    print("-" * 60)
+    config = SofaConfig(tile_cols=32, top_k=0.15)
+    requests = make_wave(rng, 10, "socket")
+    sequential = [SofaAttention(r.wk, r.wv, config)(r.tokens, r.q) for r in requests]
+
+    supervisor = SupervisorConfig(
+        heartbeat_interval_s=0.05,  # demo pace; production defaults are 1s/10s
+        heartbeat_timeout_s=5.0,
+        backoff_initial_s=0.02,
+    )
+    with EngineCluster(
+        n_workers=2,
+        config=config,
+        routing="round_robin",
+        transport="socket",  # workers are standalone TCP-framed processes
+        supervisor=supervisor,
+    ) as cluster:
+        first = cluster.run(requests[:5])
+        cluster.crash_worker(0, hard=True)  # SIGKILL the worker process
+        second = cluster.run(requests[5:])  # survivor absorbs the stream
+        deadline = time.monotonic() + 20.0
+        while cluster.stats.n_respawns < 1 and time.monotonic() < deadline:
+            cluster.poll(0.05)  # supervision respawns the dead slot
+        third = cluster.run(requests)  # post-respawn traffic on both workers
+        stats = cluster.stats
+        exact = all(
+            a.output.tobytes() == b.output.tobytes()
+            and np.array_equal(a.selected, b.selected)
+            for a, b in zip(sequential + sequential, first + second + third)
+        )
+        print(f"  transport               : {stats.transport} "
+              f"(length-prefixed frames, crc32-checked)")
+        print(f"  requests served         : {stats.n_completed} "
+              f"(errors {stats.n_errors})")
+        print(f"  worker failures         : {stats.n_worker_failures} "
+              f"(respawns {stats.n_respawns}, "
+              f"heartbeat timeouts {stats.n_heartbeat_timeouts})")
+        print(f"  workers live            : {stats.live_workers}/2 "
+              f"after the kill-and-respawn drill")
+        print(f"  bit-identical vs seq    : {exact}")
+
+
 def main() -> None:
     rng = make_rng(11)
     print("SOFA serving engine demo")
@@ -220,6 +273,7 @@ def main() -> None:
     act_backends(rng)
     act_decode_cache(rng)
     act_cluster(rng)
+    act_socket_supervised(rng)
 
 
 if __name__ == "__main__":

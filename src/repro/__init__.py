@@ -27,9 +27,12 @@ contribution:
     to the per-head pipeline, and a serving frontend with a request queue,
     shape-batching scheduler and per-request futures.
 ``repro.cluster``
-    The sharded serving tier: an ``EngineCluster`` of engine worker
-    processes with pluggable routing, cross-request dedup and failure
-    re-routing, plus an ``AsyncSofaClient`` for asyncio serving loops.
+    The sharded serving tier: an ``EngineCluster`` of engine workers
+    behind pluggable transports (local processes or socket-framed
+    standalone workers across hosts) with pluggable routing,
+    cross-request dedup, failure re-routing and opt-in supervision
+    (heartbeats, auto-respawn/reconnect), plus an ``AsyncSofaClient``
+    for asyncio serving loops.
 ``repro.hw``
     A cycle-approximate model of the SOFA accelerator: engines, SRAM/DRAM,
     RASS scheduling and area/power accounting.
@@ -48,7 +51,7 @@ from repro.core.sufa import sorted_updating_attention
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
 from repro.kernels import available_sufa_kernels, get_sufa_kernel, register_sufa_kernel
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SofaConfig",

@@ -9,23 +9,33 @@ paper's parallel hardware lanes (RASS balancing heads across lanes, STAR
 tiling across spatial lanes, Occamy partitioning across chiplets):
 
 :class:`~repro.cluster.serving.EngineCluster`
-    N engine worker processes behind one frontend: pluggable routing
+    N engine workers behind one frontend: pluggable routing
     (``round_robin`` / ``shape_affinity`` / ``cache_affinity`` /
     ``least_loaded``), cross-request dedup of bit-identical requests,
-    aggregated :class:`~repro.cluster.serving.ClusterStats`, and graceful
-    worker-failure handling (in-flight requests re-route, never drop).
+    aggregated :class:`~repro.cluster.serving.ClusterStats`, graceful
+    worker-failure handling (in-flight requests re-route, never drop),
+    and opt-in supervision (heartbeats, auto-respawn/reconnect).
+:mod:`repro.cluster.transport`
+    The pluggable transports: ``local`` (``multiprocessing`` children)
+    and ``socket`` (length-prefixed TCP frames to standalone workers,
+    on this host or others - multi-host sharding).
+:class:`~repro.cluster.supervisor.WorkerSupervisor`
+    Heartbeat liveness plus bounded-exponential-backoff respawn (local
+    workers) / reconnect (remote workers), with in-flight replay.
 :class:`~repro.cluster.aio.AsyncSofaClient`
     ``async``/``await`` over the same futures, for asyncio serving loops.
 :mod:`repro.cluster.routing`
     The routing policies (rendezvous-hashed affinity, RASS lane
-    balancing).
+    balancing) over a dynamic worker-id set.
 :mod:`repro.cluster.worker`
-    The worker-process entrypoint and wire protocol.
+    The worker entrypoint (queue child or ``python -m
+    repro.cluster.worker --listen HOST:PORT``) and wire protocol.
 
 The engine's parity contract crosses the process boundary intact: every
 result is bit-identical - outputs, selections, op counts - to the same
-request served by a single sequential engine, regardless of which worker
-served it, how it was routed, or whether a worker died mid-stream.
+request served by a single sequential engine, regardless of transport,
+which worker served it, how it was routed, or whether a worker died
+mid-stream (and was respawned).
 """
 
 from repro.cluster.aio import AsyncSofaClient
@@ -38,16 +48,31 @@ from repro.cluster.serving import (
     WorkerStats,
     WorkerUnavailableError,
 )
+from repro.cluster.supervisor import SupervisorConfig, WorkerSupervisor
+from repro.cluster.transport import (
+    TRANSPORTS,
+    ClusterTransport,
+    LocalTransport,
+    SocketTransport,
+    make_transport,
+)
 
 __all__ = [
     "AsyncSofaClient",
     "ClusterError",
     "ClusterFuture",
     "ClusterStats",
+    "ClusterTransport",
     "EngineCluster",
+    "LocalTransport",
     "POLICIES",
     "RequestInfo",
+    "SocketTransport",
+    "SupervisorConfig",
+    "TRANSPORTS",
     "WorkerStats",
+    "WorkerSupervisor",
     "WorkerUnavailableError",
     "make_policy",
+    "make_transport",
 ]

@@ -19,7 +19,11 @@ The client is a thin cooperative pump over the underlying futures API:
 * while any coroutine waits, the client polls the backend between
   ``await asyncio.sleep(poll_interval)`` points, so concurrent
   submissions from many coroutines interleave naturally and batch/dedup
-  inside the backend exactly as a synchronous burst would.
+  inside the backend exactly as a synchronous burst would.  For a
+  cluster, each poll also advances its supervision (heartbeats,
+  respawn/reconnect attempts - :mod:`repro.cluster.supervisor`), so an
+  asyncio server keeps its workers healthy just by awaiting results -
+  over either transport (:mod:`repro.cluster.transport`).
 """
 
 from __future__ import annotations

@@ -27,8 +27,14 @@ worker processes.  Four policies are provided:
 Affinity policies use rendezvous (highest-random-weight) hashing over the
 *live* worker set: when a worker dies, only the keys it owned remap - the
 survivors keep their assignments, so a failure does not cold-start every
-cache in the cluster.  All policies are deterministic (hashes are content
-digests, not Python's salted ``hash``).
+cache in the cluster.  The same property covers supervision's recovery
+path: a reconnected remote worker registers under a **fresh** worker id
+(its engine state did not survive the session), and rendezvous hashing
+guarantees the new id only takes keys from the dead one plus a fair
+share - every key a survivor owned stays put.  Worker ids are therefore
+*dynamic*: policies accept any live id set, not a fixed ``range(n)``.
+All policies are deterministic (hashes are content digests, not Python's
+salted ``hash``).
 """
 
 from __future__ import annotations
@@ -70,24 +76,30 @@ def _rendezvous(key: bytes, live: list[int]) -> int:
 
 
 class RoundRobinPolicy:
+    """Cycle over the live ids in ascending order.
+
+    The cursor remembers the last id handed out, so the cycle is stable
+    under membership churn (deaths, respawns, fresh ids from reconnects):
+    the next pick is always the smallest live id above the cursor,
+    wrapping to the smallest overall.
+    """
+
     name = "round_robin"
 
     def __init__(self, n_workers: int):
-        self._next = 0
         self.n_workers = n_workers
+        self._last = -1
 
     def route(self, info: RequestInfo, live: list[int]) -> int:
         if not live:
             raise ValueError("no live worker to route to")
-        live_set = set(live)
-        # Advance the cursor over the full id space so the cycle stays
-        # stable when a dead worker later matters for determinism.
-        for _ in range(self.n_workers):
-            worker = self._next % self.n_workers
-            self._next += 1
-            if worker in live_set:
+        ordered = sorted(live)
+        for worker in ordered:
+            if worker > self._last:
+                self._last = worker
                 return worker
-        return live[0]
+        self._last = ordered[0]
+        return ordered[0]
 
     def retire(self, worker: int, cost: float) -> None:
         """Round-robin tracks no outstanding load."""
@@ -135,9 +147,15 @@ class LeastLoadedPolicy:
         self.balancer = LaneLoadBalancer(n_lanes=n_workers)
 
     def route(self, info: RequestInfo, live: list[int]) -> int:
+        # Reconnected workers join under fresh ids past the original
+        # range; grow the lane accounting to cover them (new lanes start
+        # at zero outstanding load, which is exactly true of a fresh
+        # worker).
+        self.balancer.ensure_lanes(max(live) + 1)
         return self.balancer.pick(info.cost, eligible=live)
 
     def retire(self, worker: int, cost: float) -> None:
+        self.balancer.ensure_lanes(worker + 1)
         self.balancer.retire(worker, cost)
 
 

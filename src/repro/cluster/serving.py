@@ -4,11 +4,20 @@ One :class:`~repro.engine.serving.SofaEngine` is continuously batched,
 and since the kernel layer (:mod:`repro.kernels`) its SU-FA streaming
 core is tile-blocked rather than per-key Python-bound - but a single
 process still caps at one core's compute and one cache budget.  The
-cluster shards the request stream across ``n_workers`` child processes -
-each running its own engine (own fused operators, own decode-step cache,
-own kernel selection from the shared registry) behind the message loop of
+cluster shards the request stream across ``n_workers`` workers - each
+running its own engine (own fused operators, own decode-step cache, own
+kernel selection from the shared registry) behind the message loop of
 :mod:`repro.cluster.worker` - the software shape of the paper's parallel
 hardware lanes.
+
+Workers are reached through a pluggable **transport**
+(:mod:`repro.cluster.transport`): ``transport="local"`` keeps the
+original ``multiprocessing`` children on this host, ``transport="socket"``
+speaks length-prefixed checksummed frames (:mod:`repro.engine.codec`) to
+standalone worker processes - spawned on localhost or listening on other
+hosts (``worker_addresses=[...]``, multi-host sharding).  The frontend
+logic is transport-blind, which is what lets the parity sweep assert
+bit-identical serving across transports.
 
 Responsibilities of this frontend:
 
@@ -28,7 +37,21 @@ Responsibilities of this frontend:
   is detected during the pump; results it already shipped still count,
   and every request still in flight on it is **re-routed** to a live
   worker (affinity policies use rendezvous hashing, so survivors keep
-  their keys).  Requests are only failed when no worker is left.
+  their keys).  Requests are only failed when no worker is left - and
+  with supervision enabled, not even then (see below).
+* **Supervision** (opt-in: ``supervisor=SupervisorConfig(...)`` or
+  ``supervisor=True``) - a :class:`~repro.cluster.supervisor.
+  WorkerSupervisor` heartbeats every worker over its transport link
+  (pings answered between scheduling rounds; any message counts as proof
+  of life), declares silent workers dead after a timeout, **auto-respawns**
+  dead local workers and **reconnects** remote ones with bounded
+  exponential backoff, and replays re-routed in-flight requests.  When no
+  live worker remains but recovery is still possible, requests *park*
+  instead of failing and replay once a worker comes back.  Reconnected
+  remote workers register under a fresh worker id (their engine state
+  did not survive); rendezvous-hashed affinity keeps every surviving
+  worker's keys in place.  ``respawns`` / ``reconnects`` /
+  ``heartbeat_timeouts`` surface in :class:`ClusterStats`.
 * **Aggregated statistics** - every result piggybacks the worker's
   engine counters; :attr:`EngineCluster.stats` merges them with the
   frontend's own (submitted/deduped/rerouted/failures) into a
@@ -36,9 +59,10 @@ Responsibilities of this frontend:
 
 The parity contract of the engine extends across the process boundary:
 each worker's engine is bit-identical to the sequential operator, the
-codec round-trips tensors bit-exactly, and routing only chooses *where* a
-request runs - so every result is bit-identical to single-engine serving
-regardless of policy, worker count, dedup, or mid-stream failures.
+codec round-trips tensors bit-exactly over queues and frames alike, and
+routing/supervision only choose *where and when* a request runs - so
+every result is bit-identical to single-engine serving regardless of
+transport, policy, worker count, dedup, or mid-stream failures.
 
 The cluster is a drop-in engine for the call surface
 ``submit / submit_many / flush / run_until_drained / run /
@@ -52,9 +76,7 @@ AsyncSofaClient` layers ``async``/``await`` on top for asyncio servers.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import pickle
-import queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -72,7 +94,17 @@ from repro.engine.codec import (
 from repro.engine.serving import AttentionRequest, validate_request
 from repro.kernels import resolve_sufa_kernel_name
 from repro.cluster.routing import POLICIES, RequestInfo, make_policy
-from repro.cluster.worker import worker_main
+from repro.cluster.supervisor import (
+    SupervisionStats,
+    SupervisorConfig,
+    WorkerSupervisor,
+)
+from repro.cluster.transport import (
+    TRANSPORTS,
+    ClusterTransport,
+    WorkerLink,
+    make_transport,
+)
 
 
 class ClusterError(RuntimeError):
@@ -130,13 +162,18 @@ class ClusterStats:
     """Point-in-time aggregate of the cluster (see :attr:`EngineCluster.stats`).
 
     Frontend counters (``n_submitted``/``n_deduped``/``n_rerouted``/
-    ``n_worker_failures``) are exact; per-worker engine counters are the
-    latest piggybacked snapshots, so they are exact whenever the cluster
-    is drained (every result has been received).
+    ``n_worker_failures`` and the supervision tallies ``n_respawns``/
+    ``n_reconnects``/``n_heartbeat_timeouts``) are exact; per-worker
+    engine counters are the latest piggybacked snapshots, so they are
+    exact whenever the cluster is drained (every result has been
+    received).  ``workers`` lists every worker identity the cluster ever
+    ran, dead incarnations included (a reconnected remote worker appears
+    as a fresh id).
     """
 
     n_workers: int
     routing: str
+    transport: str = "local"
     n_submitted: int = 0
     n_deduped: int = 0
     n_rerouted: int = 0
@@ -144,6 +181,9 @@ class ClusterStats:
     n_completed: int = 0
     n_errors: int = 0
     pending: int = 0
+    n_respawns: int = 0
+    n_reconnects: int = 0
+    n_heartbeat_timeouts: int = 0
     workers: list[WorkerStats] = field(default_factory=list)
 
     @property
@@ -178,24 +218,37 @@ class _InFlight:
 
     The encoded payload is retained so the request can be re-routed if its
     worker dies; ``futures`` holds the primary plus any deduped followers.
+    ``worker is None`` means *parked*: no live worker existed but
+    supervision can still recover one - the request replays on recovery.
     """
 
     payload: dict[str, Any]
     info: RequestInfo
     fingerprint: str
-    worker: int
+    worker: int | None
     futures: list[ClusterFuture] = field(default_factory=list)
     rerouted: int = 0
 
 
 class _WorkerHandle:
-    """One child process plus its inbox and last stats snapshot."""
+    """One worker incarnation: its transport link plus frontend-side state.
 
-    def __init__(self, worker_id: int, process, inbox):
+    ``slot`` is the stable position (supervision retries per slot);
+    ``worker_id`` the routing identity of this incarnation - equal to the
+    slot for the initial workers, fresh for reconnected remote ones.
+    """
+
+    def __init__(self, slot: int, worker_id: int, link: WorkerLink,
+                 recovered: str | None = None):
+        self.slot = slot
         self.worker_id = worker_id
-        self.process = process
-        self.inbox = inbox
+        self.link = link
         self.alive = True
+        self.ready = False
+        #: None for initial workers; "respawn"/"reconnect" when this
+        #: incarnation was brought up by supervision (counted on ready).
+        self.recovered = recovered
+        self.started_at = time.monotonic()
         self.snapshot: dict[str, Any] | None = None
 
     def stats(self) -> WorkerStats:
@@ -216,16 +269,31 @@ class EngineCluster:
     Parameters
     ----------
     n_workers:
-        Engine worker processes to spawn.
+        Engine worker slots (ignored when ``worker_addresses`` pins them).
     config:
         Default :class:`SofaConfig` for every worker engine.
     routing:
         One of :data:`~repro.cluster.routing.POLICIES`.
     dedup:
         Share one execution among bit-identical in-flight requests.
+    transport:
+        ``"local"`` (``multiprocessing`` children), ``"socket"``
+        (standalone workers over length-prefixed TCP frames), or a
+        :class:`~repro.cluster.transport.ClusterTransport` instance.
+    worker_addresses:
+        Socket transport only: one ``"host:port"`` per slot attaches to an
+        externally started worker (``python -m repro.cluster.worker
+        --listen host:port``); ``None`` entries (or omitting the list)
+        spawn localhost workers.  Overrides ``n_workers`` with its length.
+    supervisor:
+        ``None``/``False`` disables supervision (a dead worker's requests
+        re-route once, then fail when no worker is left - the pre-existing
+        behaviour).  ``True`` enables it with default
+        :class:`~repro.cluster.supervisor.SupervisorConfig`; pass an
+        instance to tune heartbeat cadence and respawn backoff.
     start_method:
-        ``multiprocessing`` start method (default: ``fork`` where
-        available, else ``spawn``).
+        ``multiprocessing`` start method for the local transport (default:
+        ``fork`` where available, else ``spawn``).
     max_batch_heads / max_wait_batches / backend / kernel /
     cache_entries / cache_ttl_s:
         Forwarded to every worker's :class:`SofaEngine` (``kernel``
@@ -236,7 +304,8 @@ class EngineCluster:
         custom-registered kernel reaches the workers only when they
         inherit the parent's registry (``fork`` start method, the Linux
         default) or register it at import time of a module the worker
-        imports - under ``spawn``, a parent-only registration will fail
+        imports - under ``spawn`` (and for socket workers, which are
+        independent processes), a parent-only registration will fail
         worker engine construction at startup.
     startup_timeout_s:
         How long to wait for all workers to report ready.
@@ -249,6 +318,9 @@ class EngineCluster:
         routing: str = "shape_affinity",
         dedup: bool = True,
         start_method: str | None = None,
+        transport: str | ClusterTransport = "local",
+        worker_addresses: list[str | None] | None = None,
+        supervisor: SupervisorConfig | bool | None = None,
         max_batch_heads: int = 64,
         max_wait_batches: int | None = None,
         backend: str = "sync",
@@ -257,6 +329,24 @@ class EngineCluster:
         cache_ttl_s: float | None = None,
         startup_timeout_s: float = 60.0,
     ):
+        if worker_addresses is not None:
+            if isinstance(transport, ClusterTransport):
+                raise ValueError(
+                    "worker_addresses cannot combine with a transport "
+                    "instance - construct SocketTransport(addresses) instead"
+                )
+            if transport != "socket":
+                raise ValueError(
+                    "worker_addresses requires transport='socket'"
+                )
+            n_workers = len(worker_addresses)
+        if isinstance(transport, ClusterTransport):
+            slots = getattr(transport, "n_slots", None)
+            if slots is not None and slots != n_workers:
+                raise ValueError(
+                    f"transport instance has {slots} worker slot(s) but "
+                    f"n_workers={n_workers}"
+                )
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if routing not in POLICIES:
@@ -269,12 +359,27 @@ class EngineCluster:
         self.routing = routing
         self.dedup = dedup
         self._policy = make_policy(routing, n_workers)
-        if start_method is None:
-            start_method = (
-                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        if isinstance(transport, ClusterTransport):
+            self._transport = transport
+        elif transport in TRANSPORTS:
+            self._transport = make_transport(
+                transport,
+                n_workers,
+                start_method=start_method,
+                worker_addresses=worker_addresses,
             )
-        self._ctx = mp.get_context(start_method)
-        self._outbox = self._ctx.Queue()
+        else:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if supervisor is True:
+            supervisor = SupervisorConfig()
+        elif supervisor is False:
+            supervisor = None
+        self._supervisor: WorkerSupervisor | None = None
+        self._supervisor_config = supervisor
+        self._sup_stats = SupervisionStats()
+
         self._lock = threading.RLock()
         self._inflight: dict[int, _InFlight] = {}
         self._dedup_window: dict[str, int] = {}
@@ -290,7 +395,7 @@ class EngineCluster:
         self._n_errors = 0
         self._shut_down = False
 
-        engine_kwargs = {
+        self._engine_kwargs = {
             "config": encode_config(self.config),
             "max_batch_heads": max_batch_heads,
             "max_wait_batches": max_wait_batches,
@@ -303,19 +408,27 @@ class EngineCluster:
             "cache_entries": cache_entries,
             "cache_ttl_s": cache_ttl_s,
         }
-        self._workers: list[_WorkerHandle] = []
-        for worker_id in range(n_workers):
-            inbox = self._ctx.Queue()
-            process = self._ctx.Process(
-                target=worker_main,
-                args=(worker_id, inbox, self._outbox, engine_kwargs),
-                name=f"sofa-cluster-worker-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            self._workers.append(_WorkerHandle(worker_id, process, inbox))
-
+        self._slots: list[_WorkerHandle] = []
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._next_worker_id = n_workers
         self._ready: set[int] = set()
+        try:
+            for slot in range(n_workers):
+                link = self._transport.start_worker(
+                    slot, slot, self._engine_kwargs
+                )
+                handle = _WorkerHandle(slot, slot, link)
+                self._slots.append(handle)
+                self._workers[slot] = handle
+        except Exception:
+            self.shutdown()
+            raise
+
+        if supervisor is not None:
+            self._supervisor = WorkerSupervisor(
+                supervisor, n_workers, time.monotonic()
+            )
+
         try:
             self._drain_until(
                 lambda: len(self._ready) + self._dead_count() >= n_workers,
@@ -330,14 +443,19 @@ class EngineCluster:
 
     # ---------------------------------------------------------------- topology
     def _dead_count(self) -> int:
-        return sum(1 for w in self._workers if not w.alive)
+        return sum(1 for w in self._slots if not w.alive)
 
     def _live_ids(self) -> list[int]:
-        return [w.worker_id for w in self._workers if w.alive]
+        """Workers that can take routed traffic: link up *and* engine ready."""
+        return [w.worker_id for w in self._slots if w.alive and w.ready]
 
     @property
     def n_workers(self) -> int:
-        return len(self._workers)
+        return len(self._slots)
+
+    @property
+    def transport(self) -> str:
+        return self._transport.name
 
     @property
     def live_workers(self) -> list[int]:
@@ -373,24 +491,34 @@ class EngineCluster:
 
             info = self._request_info(payload, fingerprint)
             self._reap_dead_workers()
+            self._supervise()
             live = self._live_ids()
-            if not live:
+            if not live and not self._can_park():
                 raise WorkerUnavailableError("no live worker to route to")
-            worker = self._policy.route(info, live)
             req_id = self._next_req_id
             self._next_req_id += 1
             record = _InFlight(
-                payload=payload, info=info, fingerprint=fingerprint, worker=worker
+                payload=payload, info=info, fingerprint=fingerprint, worker=None
             )
             record.futures.append(future)
             self._inflight[req_id] = record
             if self.dedup:
                 self._dedup_window[fingerprint] = req_id
-            self._workers[worker].inbox.put(("req", req_id, payload))
+            if live:
+                record.worker = self._policy.route(info, live)
+                self._workers[record.worker].link.send(("req", req_id, payload))
+            # else: parked - replayed when supervision recovers a worker
             return future
 
     def submit_many(self, requests: list[AttentionRequest]) -> list[ClusterFuture]:
         return [self.submit(r) for r in requests]
+
+    def _can_park(self) -> bool:
+        """May a request wait for supervision instead of failing?"""
+        return (
+            self._supervisor is not None
+            and self._supervisor.can_recover()
+        )
 
     def _request_info(self, payload: dict[str, Any], fingerprint: str) -> RequestInfo:
         """Build the routing view: shape key, cache key, S*T cost."""
@@ -414,28 +542,29 @@ class EngineCluster:
 
         Non-blocking with ``timeout=0`` - the asyncio client calls this
         between ``await`` points so the event loop never blocks on IPC.
+        Supervision (heartbeats, respawn/reconnect attempts) also advances
+        here, so any pumping caller keeps the cluster healthy.
         """
         with self._lock:
             n = self._drain_available()
             if n == 0 and timeout > 0:
                 n += self._drain_some(timeout)
             self._reap_dead_workers()
+            self._supervise()
             return n
 
     def _drain_available(self) -> int:
         n = 0
         while True:
-            try:
-                message = self._outbox.get_nowait()
-            except queue.Empty:
+            message = self._transport.recv_nowait()
+            if message is None:
                 return n
             self._handle_message(message)
             n += 1
 
     def _drain_some(self, timeout: float) -> int:
-        try:
-            message = self._outbox.get(timeout=timeout)
-        except queue.Empty:
+        message = self._transport.recv(timeout)
+        if message is None:
             return 0
         self._handle_message(message)
         return 1 + self._drain_available()
@@ -449,12 +578,12 @@ class EngineCluster:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while not predicate():
-                try:
-                    message = self._outbox.get(timeout=0.05)
-                except queue.Empty:
+                message = self._transport.recv(0.05)
+                if message is None:
                     reap_error = self._reap_dead_workers()
                     if reap_error is not None and first_error is None:
                         first_error = reap_error
+                    self._supervise()
                     if deadline is not None and time.monotonic() > deadline:
                         raise TimeoutError(
                             "cluster drain timed out with "
@@ -468,97 +597,265 @@ class EngineCluster:
 
     def _handle_message(self, message: tuple) -> Exception | None:
         kind = message[0]
+        worker_id = message[1]
+        handle = self._workers.get(worker_id)
+        if (
+            self._supervisor is not None
+            and handle is not None
+            and self._slots[handle.slot] is handle
+        ):
+            # Any traffic from the current incarnation is proof of life.
+            self._supervisor.note_seen(handle.slot, time.monotonic())
         if kind == "ready":
-            self._ready.add(message[1])
+            if handle is not None:
+                handle.ready = True
+                if handle.recovered == "respawn":
+                    self._sup_stats.respawns += 1
+                elif handle.recovered == "reconnect":
+                    self._sup_stats.reconnects += 1
+                handle.recovered = None
+                if self._supervisor is not None:
+                    self._supervisor.note_ready(handle.slot, time.monotonic())
+            self._ready.add(worker_id)
+            self._dispatch_parked()
             return None
+        if kind == "pong":
+            return None  # note_seen above is the whole point
         if kind == "result":
-            _, worker_id, req_id, result_payload, snapshot = message
-            self._workers[worker_id].snapshot = snapshot
+            _, _, req_id, result_payload, snapshot = message
+            if handle is not None:
+                handle.snapshot = snapshot
             record = self._inflight.pop(req_id, None)
             if record is None:  # resolved by a re-route race; stats still count
                 return None
             self._dedup_window.pop(record.fingerprint, None)
-            self._policy.retire(record.worker, record.info.cost)
+            if record.worker is not None:
+                self._policy.retire(record.worker, record.info.cost)
+            first_decode_error: Exception | None = None
             for future in record.futures:
                 # Each future decodes its own tensors so callers never
                 # share (and can never cross-mutate) result arrays.
-                future.set_result(decode_result(result_payload))
-                self._n_completed += 1
-            return None
+                try:
+                    future.set_result(decode_result(result_payload))
+                except Exception as error:  # noqa: BLE001 - codec failure
+                    # A result payload this frontend cannot decode (codec
+                    # skew, corruption) fails the future instead of
+                    # crashing the pump or hanging the request.
+                    future.set_error(error)
+                    self._n_errors += 1
+                    if first_decode_error is None:
+                        first_decode_error = error
+                else:
+                    self._n_completed += 1
+            return first_decode_error
         if kind == "error":
-            _, worker_id, req_id, error_bytes = message
+            _, _, req_id, error_bytes = message
             record = self._inflight.pop(req_id, None)
             if record is None:
                 return None
             self._dedup_window.pop(record.fingerprint, None)
-            self._policy.retire(record.worker, record.info.cost)
+            if record.worker is not None:
+                self._policy.retire(record.worker, record.info.cost)
             error = pickle.loads(error_bytes)
             for future in record.futures:
                 future.set_error(error)
                 self._n_errors += 1
             return error
         if kind == "invalidated":
-            _, worker_id, ctl_id, dropped = message
+            _, _, ctl_id, dropped = message
             if ctl_id in self._pending_ctl:  # late replies of a finished
                 self._ctl_replies[ctl_id] = dropped  # round are dropped,
             return None  # never accumulated
         if kind == "stopped":
-            self._workers[message[1]].alive = False
+            if handle is not None:
+                handle.alive = False
+                handle.ready = False
+            self._ready.discard(worker_id)
             return None
         raise ClusterError(f"unknown worker message {kind!r}")
 
+    # ----------------------------------------------------------------- failure
     def _reap_dead_workers(self) -> Exception | None:
-        """Detect dead workers and re-route their in-flight requests.
-
-        Results a dying worker managed to ship are drained *first* (the
-        caller pumps the outbox before reaping), so only genuinely
-        unresolved requests move.  Affinity policies re-route via
-        rendezvous hashing over the survivors; a request is failed only
-        when no live worker remains - the first such failure is returned
-        so a surrounding drain can re-raise it.
-        """
+        """Detect dead workers and re-route (or park) their requests."""
         first_error: Exception | None = None
-        for handle in self._workers:
-            if not handle.alive or handle.process.is_alive():
+        for handle in list(self._slots):
+            if not handle.alive or handle.link.is_alive():
                 continue
-            handle.alive = False
-            if self._shut_down:
-                continue  # a stopping worker's exit is not a failure
-            self._n_failures += 1
-            orphans = [
-                (req_id, rec)
-                for req_id, rec in self._inflight.items()
-                if rec.worker == handle.worker_id
-            ]
-            if not orphans:
-                continue
-            self._drain_available()  # late results beat re-execution
-            live = self._live_ids()
-            for req_id, record in orphans:
-                if req_id not in self._inflight:
-                    continue  # its result arrived in the drain above
-                self._policy.retire(record.worker, record.info.cost)
-                if not live:
-                    self._inflight.pop(req_id)
-                    self._dedup_window.pop(record.fingerprint, None)
-                    error = WorkerUnavailableError(
-                        f"worker {handle.worker_id} died and no live worker "
-                        "is left to re-route to"
-                    )
-                    if first_error is None:
-                        first_error = error
-                    for future in record.futures:
-                        future.set_error(error)
-                        self._n_errors += 1
-                    continue
-                new_worker = self._policy.route(record.info, live)
-                record.worker = new_worker
+            error = self._on_worker_down(handle)
+            if error is not None and first_error is None:
+                first_error = error
+        return first_error
+
+    def _on_worker_down(self, handle: _WorkerHandle) -> Exception | None:
+        """One worker is gone: account it and recover its in-flight work.
+
+        Results a dying worker managed to ship are drained *first*, so
+        only genuinely unresolved requests move.  Affinity policies
+        re-route via rendezvous hashing over the survivors; with
+        supervision able to recover, stranded requests park instead of
+        failing; otherwise a request fails only when no live worker
+        remains - the first such failure is returned so a surrounding
+        drain can re-raise it.
+        """
+        handle.alive = False
+        handle.ready = False
+        self._ready.discard(handle.worker_id)
+        if self._shut_down:
+            return None  # a stopping worker's exit is not a failure
+        self._n_failures += 1
+        if self._supervisor is not None:
+            self._supervisor.note_down(handle.slot, time.monotonic())
+        orphans = [
+            (req_id, rec)
+            for req_id, rec in self._inflight.items()
+            if rec.worker == handle.worker_id
+        ]
+        if not orphans:
+            return None
+        self._drain_available()  # late results beat re-execution
+        live = self._live_ids()
+        first_error: Exception | None = None
+        for req_id, record in orphans:
+            if req_id not in self._inflight:
+                continue  # its result arrived in the drain above
+            assert record.worker is not None
+            self._policy.retire(record.worker, record.info.cost)
+            if live:
+                record.worker = self._policy.route(record.info, live)
                 record.rerouted += 1
                 self._n_rerouted += 1
-                self._workers[new_worker].inbox.put(
+                self._workers[record.worker].link.send(
                     ("req", req_id, record.payload)
                 )
+            elif self._can_park():
+                record.worker = None  # parked: replayed on recovery
+            else:
+                self._inflight.pop(req_id)
+                self._dedup_window.pop(record.fingerprint, None)
+                error = WorkerUnavailableError(
+                    f"worker {handle.worker_id} died and no live worker "
+                    "is left to re-route to"
+                )
+                if handle.link.error is not None:
+                    error.__cause__ = handle.link.error
+                if first_error is None:
+                    first_error = error
+                for future in record.futures:
+                    future.set_error(error)
+                    self._n_errors += 1
         return first_error
+
+    def _dispatch_parked(self) -> None:
+        """Replay parked requests onto the (newly) live worker set."""
+        live = self._live_ids()
+        if not live:
+            return
+        for req_id, record in self._inflight.items():
+            if record.worker is not None:
+                continue
+            record.worker = self._policy.route(record.info, live)
+            record.rerouted += 1
+            self._n_rerouted += 1
+            self._workers[record.worker].link.send(
+                ("req", req_id, record.payload)
+            )
+
+    def _fail_parked(self) -> None:
+        """Supervision gave up with no worker left: fail parked requests."""
+        parked = [
+            (req_id, rec)
+            for req_id, rec in self._inflight.items()
+            if rec.worker is None
+        ]
+        for req_id, record in parked:
+            self._inflight.pop(req_id)
+            self._dedup_window.pop(record.fingerprint, None)
+            error = WorkerUnavailableError(
+                "supervision exhausted its recovery attempts with no live "
+                "worker left"
+            )
+            for future in record.futures:
+                future.set_error(error)
+                self._n_errors += 1
+
+    # ------------------------------------------------------------- supervision
+    def _supervise(self) -> None:
+        """One supervision pass: heartbeats, timeouts, due recoveries.
+
+        Runs inside every pump (poll / drains / submit), so supervision
+        advances exactly when the caller is interacting with the cluster -
+        no background thread, no cross-thread locking subtleties.
+        """
+        sup = self._supervisor
+        if sup is None or self._shut_down:
+            return
+        now = time.monotonic()
+        for handle in list(self._slots):
+            if not handle.alive:
+                continue
+            if (
+                not handle.ready
+                and handle.recovered is not None
+                and now - handle.started_at > sup.config.ready_timeout_s
+            ):
+                # A recovery incarnation holding its link open without ever
+                # reporting ready (wedged engine build, hung remote worker)
+                # would otherwise block its slot's retries forever: fail the
+                # attempt so the bounded backoff keeps making progress.
+                handle.link.kill()
+                self._on_worker_down(handle)
+                continue
+            if handle.ready and sup.ping_due(handle.slot, now):
+                # Liveness is proved by ANY message from the worker (the
+                # pong included), so the probe needs no correlation token.
+                sup.note_ping(handle.slot, now)
+                handle.link.send(("ping", 0))
+            if sup.timed_out(handle.slot, now):
+                # Scoop anything the silent worker already shipped - a
+                # result racing the timeout must count, and also proves
+                # the worker alive (cancelling the verdict).
+                self._drain_available()
+                if handle.alive and sup.timed_out(handle.slot, now):
+                    self._sup_stats.heartbeat_timeouts += 1
+                    handle.link.kill()
+                    self._on_worker_down(handle)
+        for slot, handle in enumerate(list(self._slots)):
+            if not handle.alive and sup.retry_due(slot, now):
+                self._attempt_recovery(slot, now)
+        if not self._live_ids() and not sup.can_recover() and not any(
+            h.alive for h in self._slots
+        ):
+            self._fail_parked()
+
+    def _attempt_recovery(self, slot: int, now: float) -> None:
+        """Respawn (local) or reconnect (remote) one dead worker slot."""
+        sup = self._supervisor
+        assert sup is not None
+        kind = "respawn" if self._transport.owns_process(slot) else "reconnect"
+        worker_id = (
+            self._slots[slot].worker_id
+            if self._transport.reuses_worker_ids
+            else self._alloc_worker_id()
+        )
+        sup.note_recovery_started(slot, now)
+        try:
+            link = self._transport.start_worker(
+                slot, worker_id, self._engine_kwargs
+            )
+        except Exception:  # noqa: BLE001 - any start failure just backs off
+            sup.note_start_failed(slot, now)
+            return
+        self._slots[slot].link.close()  # old incarnation's parent-side end
+        handle = _WorkerHandle(slot, worker_id, link, recovered=kind)
+        self._slots[slot] = handle
+        self._workers[worker_id] = handle
+        # Not ready yet: it joins the live set when its "ready" arrives
+        # (or is reaped as a died-during-respawn if the link drops first).
+
+    def _alloc_worker_id(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        return worker_id
 
     # ------------------------------------------------------------------ drains
     def flush(self) -> None:
@@ -597,7 +894,7 @@ class EngineCluster:
                 self._next_ctl_id += 1
                 ctl_targets[ctl_id] = worker_id
                 self._pending_ctl.add(ctl_id)
-                self._workers[worker_id].inbox.put(("invalidate", ctl_id, key_bytes))
+                self._workers[worker_id].link.send(("invalidate", ctl_id, key_bytes))
 
             def all_replied() -> bool:
                 # A worker that died before replying contributes nothing;
@@ -623,6 +920,7 @@ class EngineCluster:
             return ClusterStats(
                 n_workers=self.n_workers,
                 routing=self.routing,
+                transport=self._transport.name,
                 n_submitted=self._n_submitted,
                 n_deduped=self._n_deduped,
                 n_rerouted=self._n_rerouted,
@@ -630,7 +928,13 @@ class EngineCluster:
                 n_completed=self._n_completed,
                 n_errors=self._n_errors,
                 pending=sum(len(r.futures) for r in self._inflight.values()),
-                workers=[handle.stats() for handle in self._workers],
+                n_respawns=self._sup_stats.respawns,
+                n_reconnects=self._sup_stats.reconnects,
+                n_heartbeat_timeouts=self._sup_stats.heartbeat_timeouts,
+                workers=[
+                    handle.stats()
+                    for _, handle in sorted(self._workers.items())
+                ],
             )
 
     # ---------------------------------------------------------------- lifetime
@@ -643,30 +947,34 @@ class EngineCluster:
         """
         handle = self._workers[worker_id]
         if handle.alive:
-            handle.inbox.put(("sleep", seconds))
+            handle.link.send(("sleep", seconds))
 
     def crash_worker(self, worker_id: int, hard: bool = True, wait: bool = True) -> None:
         """Fault-injection hook (tests, failure drills): kill one worker.
 
-        ``hard=True`` SIGKILLs the process; ``hard=False`` asks it to
-        ``os._exit`` at its next message read (a clean crash point, so
-        queues are never corrupted mid-write).  Either way the cluster
-        treats it as a real failure: in-flight requests are re-routed on
-        detection.  ``wait=False`` returns without joining (the crash
-        lands whenever the worker reaches it).
+        ``hard=True`` kills the worker's process where this side owns it
+        (local children, spawned socket workers); for a purely remote
+        worker it severs the link instead (the standalone process loops
+        back to ``accept``, which is what reconnection drills want).
+        ``hard=False`` asks the worker to ``os._exit`` at its next message
+        read (a clean crash point, so queues are never corrupted
+        mid-write).  Either way the cluster treats it as a real failure:
+        in-flight requests are re-routed on detection.  ``wait=False``
+        returns without joining (the crash lands whenever the worker
+        reaches it).
         """
         handle = self._workers[worker_id]
         if not handle.alive:
             return
         if hard:
-            handle.process.kill()
+            handle.link.kill()
         else:
-            handle.inbox.put(("exit", 1))
+            handle.link.send(("exit", 1))
         if wait:
-            handle.process.join(timeout=30.0)
+            handle.link.join(timeout=30.0)
 
     def shutdown(self, timeout_s: float = 10.0) -> None:
-        """Stop every worker and release IPC resources.
+        """Stop every worker and release transport resources.
 
         In-flight requests that never resolved fail with
         :class:`ClusterError` (their futures stop blocking).  Safe to call
@@ -676,17 +984,17 @@ class EngineCluster:
             if self._shut_down:
                 return
             self._shut_down = True
-            for handle in self._workers:
-                if handle.alive and handle.process.is_alive():
-                    try:
-                        handle.inbox.put(("stop",))
-                    except (OSError, ValueError):  # queue already broken
+            for handle in self._slots:
+                if handle.alive and handle.link.is_alive():
+                    if not handle.link.send(("stop",)):
+                        # Undeliverable stop (torn-down queue/socket): don't
+                        # spin the drain timeout waiting for its "stopped".
                         handle.alive = False
             try:
                 self._drain_until(
                     lambda: all(
-                        not w.alive or not w.process.is_alive()
-                        for w in self._workers
+                        not w.alive or not w.link.is_alive()
+                        for w in self._slots
                     ),
                     timeout=timeout_s,
                 )
@@ -699,16 +1007,15 @@ class EngineCluster:
                         future.set_error(error)
             self._inflight.clear()
             self._dedup_window.clear()
-            for handle in self._workers:
-                handle.process.join(timeout=timeout_s)
-                if handle.process.is_alive():
-                    handle.process.kill()
-                    handle.process.join(timeout=timeout_s)
+            for handle in self._workers.values():
+                handle.link.join(timeout=timeout_s)
+                if handle.link.is_alive():
+                    handle.link.kill()
+                    handle.link.join(timeout=timeout_s)
                 handle.alive = False
-                handle.inbox.close()
-                handle.inbox.cancel_join_thread()
-            self._outbox.close()
-            self._outbox.cancel_join_thread()
+                handle.ready = False
+                handle.link.close()
+            self._transport.close()
 
     def __enter__(self) -> "EngineCluster":
         return self

@@ -1,0 +1,235 @@
+"""Worker supervision: heartbeats, bounded-backoff respawn/reconnect.
+
+The cluster frontend detects a worker that *exits* for free (dead process,
+socket EOF); what it cannot see without help is a worker that is alive but
+wedged, or a slot that should be brought back after a failure.  This
+module owns both decisions as a pure state machine - the frontend
+(:class:`~repro.cluster.serving.EngineCluster`) performs the actual IO
+(pings over the worker's transport link, respawns via the transport) and
+feeds observations back in, which keeps every policy here unit-testable
+with a fake clock:
+
+* **Heartbeats** - each ready worker is pinged every
+  ``heartbeat_interval_s``; *any* message from the worker (pong, result,
+  control reply) counts as proof of life.  A worker that stays silent for
+  ``heartbeat_timeout_s`` after a ping went unanswered is declared
+  unresponsive; the frontend then drains already-delivered results first
+  (a result racing the timeout still counts), kills the link, and
+  re-routes the remainder.
+* **Respawn/reconnect with bounded exponential backoff** - a dead slot is
+  retried after ``backoff_initial_s``, doubling per consecutive failure up
+  to ``backoff_max_s``, at most ``max_attempts`` times before the slot is
+  abandoned.  A successful recovery (the new worker reports ready) resets
+  the slot's budget.  Local slots are *respawned* (new child process);
+  remote socket slots are *reconnected* (the standalone worker survives
+  the session and accepts again); both count separately in
+  :class:`~repro.cluster.serving.ClusterStats`.
+
+While a slot is down and recoverable, in-flight requests that cannot be
+re-routed (no other live worker) are *parked* by the frontend instead of
+failed, then replayed once a recovery succeeds - requests fail only when
+every slot has been abandoned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for :class:`WorkerSupervisor` (see module docstring).
+
+    ``heartbeat_timeout_s`` must cover the longest *serving* stall a
+    healthy worker can hit: a worker answers pings between scheduling
+    rounds, not mid-batch, so set it above the slowest expected batch.
+    ``heartbeat_interval_s <= 0`` disables heartbeats (respawn-only
+    supervision); ``max_attempts = 0`` disables respawn (heartbeat-only).
+    ``ready_timeout_s`` bounds how long a respawned/reconnected worker may
+    hold its link open without reporting ready before the attempt is
+    declared failed (a wedged engine construction, or a reachable host
+    whose worker process hangs) - without it such a slot would block its
+    own retries forever.
+    """
+
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 10.0
+    max_attempts: int = 5
+    backoff_initial_s: float = 0.05
+    backoff_max_s: float = 2.0
+    ready_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s > 0 and self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be > 0")
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.max_attempts and self.backoff_initial_s <= 0:
+            raise ValueError("backoff_initial_s must be > 0")
+        if self.backoff_max_s < self.backoff_initial_s:
+            raise ValueError("backoff_max_s must be >= backoff_initial_s")
+        if self.ready_timeout_s <= 0:
+            raise ValueError("ready_timeout_s must be > 0")
+
+
+@dataclass
+class _SlotState:
+    """Supervision state of one worker slot (stable across incarnations)."""
+
+    # -- heartbeat bookkeeping (current incarnation)
+    last_seen: float = 0.0  # any message from the worker
+    last_ping: float = float("-inf")
+    ping_outstanding: bool = False
+    # -- recovery bookkeeping
+    down: bool = False
+    attempts: int = 0  # consecutive failed recoveries
+    next_retry_at: float = 0.0
+    recovering: bool = False  # a respawn/reconnect awaits its "ready"
+    abandoned: bool = False
+
+
+class WorkerSupervisor:
+    """Pure supervision state over worker slots (IO stays in the cluster)."""
+
+    def __init__(self, config: SupervisorConfig, n_slots: int, now: float):
+        self.config = config
+        # last_ping starts at "now": a fresh worker owes its first pong one
+        # interval after start, not immediately.
+        self._slots = [
+            _SlotState(last_seen=now, last_ping=now) for _ in range(n_slots)
+        ]
+
+    # ------------------------------------------------------------ heartbeats
+    def note_seen(self, slot: int, now: float) -> None:
+        """Any message from the slot's worker proves it alive."""
+        state = self._slots[slot]
+        state.last_seen = now
+        state.ping_outstanding = False
+
+    def ping_due(self, slot: int, now: float) -> bool:
+        """One probe at a time: no new ping while one is unanswered.
+
+        (Re-pinging while outstanding would keep advancing ``last_ping``,
+        and the timeout - anchored to the outstanding ping - could then
+        never fire for intervals shorter than the timeout.)
+        """
+        if self.config.heartbeat_interval_s <= 0:
+            return False
+        state = self._slots[slot]
+        return (
+            not state.down
+            and not state.ping_outstanding
+            and now - state.last_ping >= self.config.heartbeat_interval_s
+        )
+
+    def note_ping(self, slot: int, now: float) -> None:
+        state = self._slots[slot]
+        state.last_ping = now
+        state.ping_outstanding = True
+
+    def timed_out(self, slot: int, now: float) -> bool:
+        """True when a ping has gone unanswered beyond the timeout.
+
+        The clock runs from when the *outstanding ping was sent* (not from
+        the last message seen): a worker that sat idle through a long pump
+        gap owes nothing until a probe reaches it, so stale ``last_seen``
+        alone must never kill a healthy worker.
+        """
+        if self.config.heartbeat_interval_s <= 0:
+            return False
+        state = self._slots[slot]
+        return (
+            not state.down
+            and state.ping_outstanding
+            and now - state.last_ping > self.config.heartbeat_timeout_s
+        )
+
+    # -------------------------------------------------------------- recovery
+    def note_down(self, slot: int, now: float) -> None:
+        """The slot's worker died (process exit, EOF, heartbeat timeout).
+
+        A death while a recovery was pending (the respawned worker died
+        before reporting ready) consumes one attempt and doubles the
+        backoff - the "dies during respawn" path.
+        """
+        state = self._slots[slot]
+        if state.down and state.recovering:
+            self._attempt_failed(state, now)
+            return
+        if state.down:
+            return  # already accounted
+        state.down = True
+        state.recovering = False
+        state.next_retry_at = now + self._backoff(state.attempts)
+        if state.attempts >= self.config.max_attempts:
+            state.abandoned = True
+
+    def _backoff(self, attempts: int) -> float:
+        return min(
+            self.config.backoff_initial_s * (2.0 ** attempts),
+            self.config.backoff_max_s,
+        )
+
+    def _attempt_failed(self, state: _SlotState, now: float) -> None:
+        state.attempts += 1
+        state.recovering = False
+        if state.attempts >= self.config.max_attempts:
+            state.abandoned = True
+            return
+        state.next_retry_at = now + self._backoff(state.attempts)
+
+    def note_start_failed(self, slot: int, now: float) -> None:
+        """A respawn/reconnect attempt itself failed (spawn error, refused
+        connection): consume an attempt, back off further."""
+        self._attempt_failed(self._slots[slot], now)
+
+    def retry_due(self, slot: int, now: float) -> bool:
+        state = self._slots[slot]
+        return (
+            state.down
+            and not state.recovering
+            and not state.abandoned
+            and self.config.max_attempts > 0
+            and now >= state.next_retry_at
+        )
+
+    def note_recovery_started(self, slot: int, now: float) -> None:
+        state = self._slots[slot]
+        state.recovering = True
+        # Heartbeat clock restarts with the incarnation: the new worker is
+        # only on the hook for pings sent after it reported ready.
+        state.last_seen = now
+        state.last_ping = now
+        state.ping_outstanding = False
+
+    def note_ready(self, slot: int, now: float) -> None:
+        """The recovered worker reported ready: the slot is healthy again."""
+        state = self._slots[slot]
+        state.down = False
+        state.recovering = False
+        state.attempts = 0
+        state.abandoned = False
+        state.last_seen = now
+        state.last_ping = now
+        state.ping_outstanding = False
+
+    # ------------------------------------------------------------- aggregate
+    def can_recover(self) -> bool:
+        """True while any down slot still has recovery attempts left."""
+        if self.config.max_attempts == 0:
+            return False
+        return any(
+            s.down and not s.abandoned for s in self._slots
+        )
+
+    def abandoned_slots(self) -> list[int]:
+        return [i for i, s in enumerate(self._slots) if s.abandoned]
+
+
+@dataclass
+class SupervisionStats:
+    """Counters the frontend surfaces in ``ClusterStats``."""
+
+    respawns: int = 0
+    reconnects: int = 0
+    heartbeat_timeouts: int = 0

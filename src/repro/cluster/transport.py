@@ -1,0 +1,506 @@
+"""Pluggable transports: how the cluster frontend reaches its workers.
+
+:class:`~repro.cluster.serving.EngineCluster` speaks one wire protocol
+(:mod:`repro.cluster.worker`) over an abstract transport:
+
+``local``  (:class:`LocalTransport`)
+    The original topology: ``multiprocessing`` child processes on this
+    host, one inbox queue per worker plus one shared outbox - zero-copy
+    of nothing, but zero setup and automatic teardown.
+``socket`` (:class:`SocketTransport`)
+    Workers are standalone processes behind a TCP listener
+    (``python -m repro.cluster.worker --listen HOST:PORT``), on this host
+    or any other.  Messages travel as length-prefixed, checksummed frames
+    (:func:`repro.engine.codec.encode_frame`) carrying the same versioned
+    codec payloads the queues carry, so the hop is bit-exact either way
+    and the frontend cannot tell the transports apart - which is exactly
+    what the cross-transport parity sweep asserts.  When no address is
+    supplied for a slot the transport spawns the worker itself on
+    ``127.0.0.1`` (tests, CI, single-host dev); addressed slots attach to
+    externally managed workers (multi-host sharding).
+
+Both present the same two surfaces:
+
+* :meth:`ClusterTransport.start_worker` - (re)establish one worker and
+  return its :class:`WorkerLink` (send messages, probe liveness, kill);
+* :meth:`ClusterTransport.recv` - the merged stream of worker->frontend
+  messages, whichever link they arrived on.
+
+A link that dies - process exit, socket EOF, or a framing error
+(:class:`~repro.engine.codec.FrameError`: truncation, checksum or version
+mismatch) - simply stops being alive; the frontend's reaping/supervision
+logic (:mod:`repro.cluster.supervisor`) decides whether to re-route,
+respawn, or reconnect.  Framing errors are preserved on
+:attr:`WorkerLink.error` so the failure surfaces in the requests' futures
+instead of hanging them.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import select
+import subprocess
+import sys
+import threading
+import time
+from typing import Any
+
+import multiprocessing as mp
+
+from repro.engine.codec import FrameDecoder, FrameError, encode_frame
+
+
+class TransportError(RuntimeError):
+    """A transport could not establish or operate a worker link."""
+
+
+#: Worker subprocesses spawned by any SocketTransport in this process -
+#: the test suite's leak guard sweeps this after every test.
+_SPAWNED_WORKERS: list[subprocess.Popen] = []
+
+
+def reap_spawned_workers(timeout_s: float = 5.0) -> list[subprocess.Popen]:
+    """Kill and return any spawned socket workers still running.
+
+    The returned list is the *leak evidence*: a clean shutdown leaves it
+    empty.  Exited processes are pruned from the registry either way.
+    """
+    leaked = []
+    for proc in list(_SPAWNED_WORKERS):
+        if proc.poll() is None:
+            proc.kill()
+            try:
+                proc.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:  # pragma: no cover - kill failed
+                pass
+            leaked.append(proc)
+        _SPAWNED_WORKERS.remove(proc)
+    return leaked
+
+
+class WorkerLink:
+    """Parent-side handle to one worker incarnation (one link session)."""
+
+    worker_id: int
+    slot: int
+
+    def send(self, message: tuple) -> bool:
+        """Ship one protocol message; False (not an exception) if the link
+        is already down - the caller's reaping logic owns the recovery."""
+        raise NotImplementedError
+
+    def is_alive(self) -> bool:
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Hard-stop the session (and the process, where this side owns it)."""
+        raise NotImplementedError
+
+    def join(self, timeout: float | None = None) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release parent-side resources of this link."""
+        raise NotImplementedError
+
+    @property
+    def error(self) -> Exception | None:
+        """The framing/IO error that killed the link, when one did."""
+        return None
+
+
+class ClusterTransport:
+    """Factory for worker links plus the merged worker->frontend stream."""
+
+    name: str
+    #: True when a respawned slot keeps its worker id (local processes);
+    #: False when a reconnected slot registers as a fresh identity
+    #: (remote workers - their engine state did not survive anyway).
+    reuses_worker_ids: bool
+
+    def start_worker(
+        self, slot: int, worker_id: int, engine_kwargs: dict[str, Any]
+    ) -> WorkerLink:
+        raise NotImplementedError
+
+    def owns_process(self, slot: int) -> bool:
+        """True when this side can (re)spawn the slot's worker process."""
+        raise NotImplementedError
+
+    def recv(self, timeout: float) -> tuple | None:
+        """Next worker->frontend message from any link, or None on timeout."""
+        raise NotImplementedError
+
+    def recv_nowait(self) -> tuple | None:
+        return self.recv(0.0)
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# ------------------------------------------------------------------- local
+def _crash_before_ready(worker_id, inbox, outbox, engine_kwargs) -> None:
+    """Fault-injection worker body: die before reporting ready.
+
+    Stands in for a worker whose host/process fails *during* a respawn -
+    the supervisor must observe the death and back off, not hang.
+    """
+    os._exit(1)
+
+
+class _LocalWorkerLink(WorkerLink):
+    def __init__(self, slot: int, worker_id: int, process, inbox):
+        self.slot = slot
+        self.worker_id = worker_id
+        self.process = process
+        self.inbox = inbox
+
+    def send(self, message: tuple) -> bool:
+        if not self.process.is_alive():
+            return False
+        try:
+            self.inbox.put(message)
+        except (OSError, ValueError):  # queue torn down under us
+            return False
+        return True
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+
+    def join(self, timeout: float | None = None) -> None:
+        self.process.join(timeout=timeout)
+
+    def close(self) -> None:
+        self.inbox.close()
+        self.inbox.cancel_join_thread()
+
+
+class LocalTransport(ClusterTransport):
+    """The in-host topology: ``multiprocessing`` children and queues."""
+
+    name = "local"
+    reuses_worker_ids = True
+
+    def __init__(self, start_method: str | None = None):
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self._outbox = self._ctx.Queue()
+        #: test hook - the next N spawns produce a worker that dies before
+        #: reporting ready (a failure *during* respawn).
+        self.spawn_fault_budget = 0
+
+    def start_worker(
+        self, slot: int, worker_id: int, engine_kwargs: dict[str, Any]
+    ) -> WorkerLink:
+        # Imported lazily so ``python -m repro.cluster.worker`` can execute
+        # the worker module as __main__ without runpy's re-import warning.
+        from repro.cluster.worker import worker_main
+
+        inbox = self._ctx.Queue()
+        target = worker_main
+        if self.spawn_fault_budget > 0:
+            self.spawn_fault_budget -= 1
+            target = _crash_before_ready
+        process = self._ctx.Process(
+            target=target,
+            args=(worker_id, inbox, self._outbox, engine_kwargs),
+            name=f"sofa-cluster-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return _LocalWorkerLink(slot, worker_id, process, inbox)
+
+    def owns_process(self, slot: int) -> bool:
+        return True
+
+    def recv(self, timeout: float) -> tuple | None:
+        try:
+            if timeout <= 0:
+                return self._outbox.get_nowait()
+            return self._outbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        self._outbox.close()
+        self._outbox.cancel_join_thread()
+
+
+# ------------------------------------------------------------------ socket
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` with loud failure modes."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address {address!r} is not host:port")
+    try:
+        return host, int(port)
+    except ValueError as error:
+        raise ValueError(f"worker address {address!r} has a non-integer port") from error
+
+
+#: Announce line a listening worker prints (port resolved after binding, so
+#: ``--listen 127.0.0.1:0`` still tells the spawner where to connect).
+ANNOUNCE_PREFIX = "SOFA-WORKER-LISTENING "
+
+
+class _SocketWorkerLink(WorkerLink):
+    def __init__(
+        self,
+        slot: int,
+        worker_id: int,
+        sock,
+        deliveries: "queue.Queue[tuple]",
+        process: subprocess.Popen | None,
+    ):
+        self.slot = slot
+        self.worker_id = worker_id
+        self.process = process
+        self._sock = sock
+        self._deliveries = deliveries
+        self._send_lock = threading.Lock()
+        self._alive = True
+        self._error: Exception | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"sofa-link-reader-{worker_id}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    @property
+    def error(self) -> Exception | None:
+        return self._error
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        while True:
+            try:
+                data = self._sock.recv(1 << 16)
+            except OSError:
+                break  # link closed under the reader - a plain death
+            if not data:
+                try:
+                    decoder.close()
+                except FrameError as error:
+                    self._error = error
+                break
+            try:
+                messages = decoder.feed(data)
+            except FrameError as error:
+                self._error = error
+                break
+            for message in messages:
+                self._deliveries.put(message)
+        self._alive = False
+
+    def send(self, message: tuple) -> bool:
+        if not self.is_alive():
+            return False
+        frame = encode_frame(message)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError:
+            self._alive = False
+            return False
+        return True
+
+    def is_alive(self) -> bool:
+        if self.process is not None and self.process.poll() is not None:
+            return False
+        return self._alive
+
+    def kill(self) -> None:
+        # Owning the process means a real hard kill; a purely remote worker
+        # only loses its session (it loops back to accept, by design - that
+        # is what reconnection attaches to).
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+        self._alive = False
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close on a dead socket
+            pass
+
+    def join(self, timeout: float | None = None) -> None:
+        if self.process is not None:
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                return
+        else:
+            self._reader.join(timeout=timeout)
+
+    def close(self) -> None:
+        self._alive = False
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class SocketTransport(ClusterTransport):
+    """Length-prefixed TCP frames to standalone worker processes.
+
+    Parameters
+    ----------
+    addresses:
+        One entry per worker slot: ``"host:port"`` attaches to an already
+        listening worker (started via ``python -m repro.cluster.worker
+        --listen host:port``); ``None`` spawns a localhost worker
+        subprocess for that slot (and respawns it on supervision).  A
+        plain integer worker count may be passed instead of a list.
+    connect_timeout_s:
+        Bound on one TCP connect plus the spawned worker's announce.
+    """
+
+    name = "socket"
+    reuses_worker_ids = False
+
+    def __init__(
+        self,
+        addresses: list[str | None] | int,
+        connect_timeout_s: float = 30.0,
+    ):
+        import socket as _socket  # local alias keeps module-level deps light
+
+        self._socket = _socket
+        if isinstance(addresses, int):
+            addresses = [None] * addresses
+        if not addresses:
+            raise ValueError("socket transport needs at least one worker slot")
+        self._slot_addresses: list[tuple[str, int] | None] = [
+            None if addr is None else parse_address(addr) for addr in addresses
+        ]
+        self._external = [addr is not None for addr in self._slot_addresses]
+        self._procs: dict[int, subprocess.Popen] = {}
+        self.connect_timeout_s = connect_timeout_s
+        self._deliveries: queue.Queue[tuple] = queue.Queue()
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._slot_addresses)
+
+    def owns_process(self, slot: int) -> bool:
+        return not self._external[slot]
+
+    # ------------------------------------------------------------- spawning
+    def _spawn_slot(self, slot: int) -> tuple[str, int]:
+        """Launch a localhost worker for ``slot``; returns its address."""
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cluster.worker",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            # stderr inherits: a dying worker's traceback should reach the
+            # operator's terminal/CI log, not vanish into a closed pipe.
+        )
+        _SPAWNED_WORKERS.append(proc)
+        self._procs[slot] = proc
+        deadline = time.monotonic() + self.connect_timeout_s
+        line = b""
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([proc.stdout], [], [], 0.1)
+            if ready:
+                line = proc.stdout.readline()
+                break
+            if proc.poll() is not None:
+                break
+        text = line.decode(errors="replace").strip()
+        if not text.startswith(ANNOUNCE_PREFIX):
+            proc.kill()
+            raise TransportError(
+                f"spawned worker for slot {slot} never announced its port "
+                f"(got {text!r}, returncode {proc.poll()})"
+            )
+        return parse_address(text[len(ANNOUNCE_PREFIX):])
+
+    def _slot_target(self, slot: int) -> tuple[str, int]:
+        address = self._slot_addresses[slot]
+        if self._external[slot]:
+            assert address is not None
+            return address
+        proc = self._procs.get(slot)
+        if address is not None and proc is not None and proc.poll() is None:
+            return address  # still-running spawned worker: reconnect to it
+        address = self._spawn_slot(slot)
+        self._slot_addresses[slot] = address
+        return address
+
+    # ------------------------------------------------------------- lifecycle
+    def start_worker(
+        self, slot: int, worker_id: int, engine_kwargs: dict[str, Any]
+    ) -> WorkerLink:
+        host, port = self._slot_target(slot)
+        try:
+            sock = self._socket.create_connection(
+                (host, port), timeout=self.connect_timeout_s
+            )
+        except OSError as error:
+            raise TransportError(
+                f"could not reach worker slot {slot} at {host}:{port}: {error}"
+            ) from error
+        sock.settimeout(None)
+        link = _SocketWorkerLink(
+            slot, worker_id, sock, self._deliveries, self._procs.get(slot)
+        )
+        if not link.send(("init", worker_id, engine_kwargs)):
+            link.kill()
+            raise TransportError(
+                f"worker slot {slot} at {host}:{port} dropped the init frame"
+            )
+        return link
+
+    def recv(self, timeout: float) -> tuple | None:
+        try:
+            if timeout <= 0:
+                return self._deliveries.get_nowait()
+            return self._deliveries.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        for slot, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                proc.kill()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+            if proc in _SPAWNED_WORKERS:
+                _SPAWNED_WORKERS.remove(proc)
+            self._procs.pop(slot, None)
+
+
+#: Transport names accepted by ``EngineCluster(transport=...)``.
+TRANSPORTS = ("local", "socket")
+
+
+def make_transport(
+    name: str,
+    n_workers: int,
+    start_method: str | None = None,
+    worker_addresses: list[str | None] | None = None,
+) -> ClusterTransport:
+    """Build the named transport for an ``n_workers``-slot cluster."""
+    if name == "local":
+        if worker_addresses is not None:
+            raise ValueError("worker_addresses only applies to transport='socket'")
+        return LocalTransport(start_method=start_method)
+    if name == "socket":
+        if start_method is not None:
+            raise ValueError("start_method only applies to transport='local'")
+        if worker_addresses is None:
+            return SocketTransport(n_workers)
+        if len(worker_addresses) != n_workers:
+            raise ValueError(
+                f"worker_addresses has {len(worker_addresses)} entries "
+                f"for n_workers={n_workers}"
+            )
+        return SocketTransport(list(worker_addresses))
+    raise ValueError(f"unknown transport {name!r}; expected one of {TRANSPORTS}")

@@ -1,19 +1,37 @@
-"""Engine worker process: one :class:`SofaEngine` behind a message loop.
+"""Engine worker: one :class:`SofaEngine` behind a message loop.
 
-Each cluster worker is a child process running :func:`worker_main`: it
-builds its own engine (own operators, own decode-step cache), pulls encoded
-requests off its inbox queue, serves them, and ships encoded results back
-on the shared outbox.  The loop drains its inbox *greedily* before
-executing, so requests that arrive together join the engine's shape groups
-together and batch into fused calls - per-worker continuous batching, the
-same behaviour a single in-process engine gives.
+A cluster worker runs the same serving core over either transport
+(:mod:`repro.cluster.transport`):
+
+* **local** - a ``multiprocessing`` child executing :func:`worker_main`
+  (inbox queue in, shared outbox queue out);
+* **socket** - a standalone process (``python -m repro.cluster.worker
+  --listen HOST:PORT``, this module's CLI) accepting one frontend
+  connection at a time and speaking length-prefixed frames
+  (:func:`repro.engine.codec.encode_frame`).  When the connection drops
+  without a ``stop`` the worker loops back to ``accept`` - that is the
+  hook reconnection (and multi-host supervision) attaches to.  A
+  reconnected session builds a **fresh engine** (the previous session's
+  decode-cache state is gone with its frontend), which is why the
+  frontend registers reconnected workers under a fresh worker id.
+
+Either way the loop drains its input *greedily* before executing, so
+requests that arrive together join the engine's shape groups together and
+batch into fused calls - per-worker continuous batching, the same
+behaviour a single in-process engine gives.
 
 Wire protocol (plain tuples of built-ins, payloads via
 :mod:`repro.engine.codec`):
 
-parent -> worker (inbox)
+frontend -> worker
+    ``("init", worker_id, engine_kwargs)``  socket only: identity + engine
+                                            parameterization for this
+                                            session (queues pass these to
+                                            :func:`worker_main` directly)
     ``("req", req_id, payload)``    serve one request
     ``("invalidate", ctl_id, key)`` drop decode-cache state for a key
+    ``("ping", token)``             health probe; answered with a pong
+                                    before any queued compute executes
     ``("stop",)``                   acknowledge and exit cleanly
     ``("exit", code)``              die *without* acknowledging - a fault
                                     hook for tests/drills simulating a
@@ -24,23 +42,29 @@ parent -> worker (inbox)
                                     a fault hook that lets tests queue work
                                     behind a crash point deterministically
 
-worker -> parent (outbox)
+worker -> frontend
     ``("ready", worker_id)``
     ``("result", worker_id, req_id, result_payload, stats)``
     ``("error", worker_id, req_id, pickled_exception)``
     ``("invalidated", worker_id, ctl_id, n_dropped)``
+    ``("pong", worker_id, token)``
     ``("stopped", worker_id)``
 
+A request payload that fails to decode (truncated tensor bytes, codec
+version skew - :class:`~repro.engine.codec.CodecError`) is answered with
+an ``error`` message like any other per-request failure, so the frontend
+fails that future instead of hanging it or losing the worker.
+
 Every result message piggybacks a tiny engine-stats snapshot (plain dict),
-so the parent's :class:`~repro.cluster.serving.ClusterStats` stays current
-without a separate control round-trip.
+so the frontend's :class:`~repro.cluster.serving.ClusterStats` stays
+current without a separate control round-trip.
 """
 
 from __future__ import annotations
 
 import pickle
 import queue
-from typing import Any
+from typing import Any, Callable
 
 from repro.engine.codec import decode_config, decode_request, encode_result
 from repro.engine.serving import SofaEngine
@@ -73,18 +97,103 @@ def _pickle_exception(error: Exception) -> bytes:
         return pickle.dumps(RuntimeError(repr(error)), protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def worker_main(worker_id: int, inbox, outbox, engine_kwargs: dict[str, Any]) -> None:
-    """The worker process body (top-level so every start method can spawn it).
+class EngineMessageServer:
+    """Transport-agnostic serving core: protocol messages -> one engine.
 
-    ``engine_kwargs`` is the plain-built-ins engine parameterization
-    assembled by the parent (``config`` travels as a codec payload).
+    The surrounding loop feeds one greedy batch of messages through
+    :meth:`handle`, then calls :meth:`finish_round` to execute everything
+    the batch submitted and ship results.  ``send`` is the only
+    transport-facing dependency.
     """
+
+    def __init__(
+        self, worker_id: int, engine: SofaEngine, send: Callable[[tuple], Any]
+    ):
+        self.worker_id = worker_id
+        self.engine = engine
+        self.send = send
+        self.running = True
+        self._served: list[tuple[int, Any]] = []
+
+    def handle(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "req":
+            _, req_id, payload = message
+            try:
+                # decode_request raises CodecError on truncated/skewed
+                # payloads - reported per request, never loop-fatal.
+                future = self.engine.submit(decode_request(payload))
+            except Exception as error:  # noqa: BLE001 - reported per request
+                self.send(
+                    ("error", self.worker_id, req_id, _pickle_exception(error))
+                )
+                return
+            self._served.append((req_id, future))
+        elif kind == "invalidate":
+            _, ctl_id, key_bytes = message
+            dropped = self.engine.invalidate_cache(pickle.loads(key_bytes))
+            self.send(("invalidated", self.worker_id, ctl_id, dropped))
+        elif kind == "ping":
+            # Answered at message-scan time, before this round's compute -
+            # a ping behind queued requests does not wait out the batch.
+            self.send(("pong", self.worker_id, message[1]))
+        elif kind == "stop":
+            self.running = False
+        elif kind == "exit":
+            import os
+
+            os._exit(message[1])
+        elif kind == "sleep":
+            import time
+
+            time.sleep(message[1])
+        else:  # pragma: no cover - protocol bug guard
+            raise RuntimeError(f"worker {self.worker_id}: unknown message {kind!r}")
+
+    def finish_round(self) -> None:
+        """Execute everything this round submitted; ship results/errors."""
+        served, self._served = self._served, []
+        if not served:
+            return
+        try:
+            self.engine.run_until_drained()
+        except Exception:  # noqa: BLE001 - per-future errors carry it
+            # run_until_drained re-raises the first batch error after the
+            # drain; each failed future already holds its own.
+            pass
+        for req_id, future in served:
+            try:
+                result = future.result()
+            except Exception as error:  # noqa: BLE001 - reported per request
+                self.send(
+                    ("error", self.worker_id, req_id, _pickle_exception(error))
+                )
+            else:
+                self.send(
+                    (
+                        "result",
+                        self.worker_id,
+                        req_id,
+                        encode_result(result),
+                        stats_snapshot(self.engine),
+                    )
+                )
+
+
+def _build_engine(engine_kwargs: dict[str, Any]) -> SofaEngine:
+    """Engine from the plain-built-ins parameterization the frontend ships."""
     kwargs = dict(engine_kwargs)
     kwargs["config"] = decode_config(kwargs.get("config"))
-    engine = SofaEngine(**kwargs)
+    return SofaEngine(**kwargs)
+
+
+def worker_main(worker_id: int, inbox, outbox, engine_kwargs: dict[str, Any]) -> None:
+    """The local (queue) worker body (top-level so every start method can
+    spawn it)."""
+    engine = _build_engine(engine_kwargs)
+    server = EngineMessageServer(worker_id, engine, outbox.put)
     outbox.put(("ready", worker_id))
-    running = True
-    while running:
+    while server.running:
         batch = [inbox.get()]
         # Greedy drain: everything already queued joins this round's shape
         # groups, so co-arriving requests batch exactly as they would in a
@@ -94,56 +203,125 @@ def worker_main(worker_id: int, inbox, outbox, engine_kwargs: dict[str, Any]) ->
                 batch.append(inbox.get_nowait())
             except queue.Empty:
                 break
-
-        served: list[tuple[int, Any]] = []
         for message in batch:
-            kind = message[0]
-            if kind == "req":
-                _, req_id, payload = message
-                try:
-                    future = engine.submit(decode_request(payload))
-                except Exception as error:  # noqa: BLE001 - reported per request
-                    outbox.put(("error", worker_id, req_id, _pickle_exception(error)))
-                    continue
-                served.append((req_id, future))
-            elif kind == "invalidate":
-                _, ctl_id, key_bytes = message
-                dropped = engine.invalidate_cache(pickle.loads(key_bytes))
-                outbox.put(("invalidated", worker_id, ctl_id, dropped))
-            elif kind == "stop":
-                running = False
-            elif kind == "exit":
-                import os
-
-                os._exit(message[1])
-            elif kind == "sleep":
-                import time
-
-                time.sleep(message[1])
-            else:  # pragma: no cover - protocol bug guard
-                raise RuntimeError(f"worker {worker_id}: unknown message {kind!r}")
-
-        if served:
-            try:
-                engine.run_until_drained()
-            except Exception:  # noqa: BLE001 - per-future errors carry it
-                # run_until_drained re-raises the first batch error after
-                # the drain; each failed future already holds its own.
-                pass
-            for req_id, future in served:
-                try:
-                    result = future.result()
-                except Exception as error:  # noqa: BLE001 - reported per request
-                    outbox.put(("error", worker_id, req_id, _pickle_exception(error)))
-                else:
-                    outbox.put(
-                        (
-                            "result",
-                            worker_id,
-                            req_id,
-                            encode_result(result),
-                            stats_snapshot(engine),
-                        )
-                    )
+            server.handle(message)
+        server.finish_round()
     outbox.put(("stopped", worker_id))
     engine.shutdown()
+
+
+# ----------------------------------------------------------- socket serving
+def _recv_greedy(conn, decoder) -> list[tuple] | None:
+    """Block for at least one message, then drain whatever is buffered.
+
+    Returns ``None`` on EOF (frontend gone).  Framing errors propagate -
+    the session is unrecoverable once stream sync is lost, and the caller
+    drops the connection (the frontend sees a dead link and re-routes).
+    """
+    import select as _select
+
+    messages: list[tuple] = []
+    while not messages:
+        data = conn.recv(1 << 16)
+        if not data:
+            decoder.close()  # raises TruncatedFrameError on a partial frame
+            return None
+        messages.extend(decoder.feed(data))
+    # Greedy tail: pull everything already queued on the socket so
+    # co-arriving requests join one scheduling round (continuous batching
+    # across the network hop too).
+    while True:
+        ready, _, _ = _select.select([conn], [], [], 0)
+        if not ready:
+            return messages
+        data = conn.recv(1 << 16)
+        if not data:
+            return messages  # EOF after real messages: serve them first
+        messages.extend(decoder.feed(data))
+
+
+def _serve_connection(conn) -> bool:
+    """One frontend session over ``conn``; True = loop back to accept.
+
+    The first frame must be ``("init", worker_id, engine_kwargs)``; the
+    engine lives exactly as long as the session (a reconnecting frontend
+    re-inits, so worker-side state never outlives the frontend that
+    routed for it).
+    """
+    from repro.engine.codec import FrameDecoder, FrameError, encode_frame
+
+    decoder = FrameDecoder()
+
+    def send(message: tuple) -> None:
+        conn.sendall(encode_frame(message))
+
+    try:
+        first = _recv_greedy(conn, decoder)
+        if not first:
+            return True
+        init, rest = first[0], first[1:]
+        if init[0] != "init":
+            return True  # not a SOFA frontend; drop the session
+        _, worker_id, engine_kwargs = init
+        engine = _build_engine(engine_kwargs)
+        try:
+            server = EngineMessageServer(worker_id, engine, send)
+            send(("ready", worker_id))
+            messages: list[tuple] | None = list(rest)
+            while server.running:
+                if messages:
+                    for message in messages:
+                        server.handle(message)
+                        if not server.running:
+                            break
+                    server.finish_round()
+                if not server.running:
+                    break
+                messages = _recv_greedy(conn, decoder)
+                if messages is None:
+                    return True  # frontend vanished: await a reconnect
+            send(("stopped", worker_id))
+            return False
+        finally:
+            engine.shutdown()
+    except (FrameError, OSError):
+        # Corrupt stream or dropped pipe: abandon this session; the
+        # frontend side observes a dead link and re-routes/reconnects.
+        return True
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Standalone socket worker: ``python -m repro.cluster.worker --listen
+    HOST:PORT`` (port 0 picks a free one; the bound address is announced
+    on stdout for spawners)."""
+    import argparse
+    import socket as _socket
+
+    from repro.cluster.transport import ANNOUNCE_PREFIX, parse_address
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to bind (port 0 = pick a free port)",
+    )
+    args = parser.parse_args(argv)
+    host, port = parse_address(args.listen)
+    listener = _socket.create_server((host, port))
+    bound_host, bound_port = listener.getsockname()[:2]
+    print(f"{ANNOUNCE_PREFIX}{bound_host}:{bound_port}", flush=True)
+    while True:
+        conn, _peer = listener.accept()
+        if not _serve_connection(conn):
+            break
+    listener.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,21 @@ instead:
 * every payload carries :data:`CODEC_VERSION`; decoding a mismatched
   version fails loudly instead of misinterpreting fields.
 
+Malformed payloads never crash or hang a serving tier: every decoder
+failure is a :class:`CodecError` subclass (:class:`CodecVersionError`,
+:class:`TruncatedPayloadError`), which the worker loop and the cluster
+frontend both convert into a *failed future* for the offending request.
+
+The module also owns the **byte-stream framing** used by the socket
+transport (:mod:`repro.cluster.transport`): :func:`encode_frame` prefixes
+each message with a fixed header carrying a magic tag, the frame-format
+version, the payload length and a CRC32 checksum, and
+:class:`FrameDecoder` incrementally splits a TCP stream back into
+messages.  A corrupted, truncated, or version-skewed stream raises the
+matching :class:`FrameError` subclass instead of silently desyncing -
+the transport converts that into a dead-link signal so the affected
+requests re-route rather than hang.
+
 The deduplication fingerprint also lives here: two requests are duplicates
 exactly when their canonical encodings agree byte for byte (metadata that
 cannot change the result - the ``tag`` - is excluded).
@@ -25,6 +40,8 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import struct
+import zlib
 from dataclasses import asdict
 from typing import Any
 
@@ -39,6 +56,148 @@ from repro.numerics.complexity import OpCounter
 CODEC_VERSION = 1
 
 
+class CodecError(ValueError):
+    """A payload (or frame) could not be decoded.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handling keeps working; serving tiers route it to the offending
+    request's future instead of letting it abort a batch or a worker.
+    """
+
+
+class CodecVersionError(CodecError):
+    """Payload was produced by a different codec version."""
+
+
+class TruncatedPayloadError(CodecError):
+    """An encoded tensor's byte buffer does not match its dtype/shape."""
+
+
+class FrameError(CodecError):
+    """The byte stream does not parse as SOFA frames."""
+
+
+class FrameVersionError(FrameError):
+    """Frame header carries an unsupported frame-format version."""
+
+
+class FrameChecksumError(FrameError):
+    """Frame payload bytes do not match the header checksum."""
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended (or a buffer was handed over) mid-frame."""
+
+
+# ----------------------------------------------------------------- framing
+#: Bump on any change to the frame header layout below.
+FRAME_VERSION = 1
+
+_FRAME_MAGIC = b"SOFA"
+#: magic(4) | frame version u16 | flags u16 (reserved) | payload length u32
+#: | payload crc32 u32 - big-endian, 16 bytes total.
+_FRAME_HEADER = struct.Struct(">4sHHII")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+#: Upper bound accepted for one frame payload (guards a desynced or hostile
+#: stream from forcing a huge allocation off four garbage length bytes).
+MAX_FRAME_PAYLOAD = 1 << 31
+
+
+def encode_frame(message: Any) -> bytes:
+    """One wire-protocol message as a length-prefixed, checksummed frame.
+
+    ``message`` is a plain-built-ins protocol tuple (request/result
+    payloads already encoded via this module), pickled for transit - the
+    tensor bytes inside the payload are untouched, so the socket hop is as
+    bit-exact as the ``multiprocessing`` queue hop.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _FRAME_HEADER.pack(
+        _FRAME_MAGIC, FRAME_VERSION, 0, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+class FrameDecoder:
+    """Incrementally split a byte stream back into protocol messages.
+
+    Feed arbitrary chunks (as a socket delivers them) with :meth:`feed`;
+    complete messages come back in order.  Errors are loud and permanent:
+    a bad magic, version, checksum or oversized length poisons the decoder
+    (the stream position is unrecoverable once framing is lost).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._error: FrameError | None = None
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def _fail(self, error: FrameError) -> FrameError:
+        self._error = error
+        return error
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Consume ``data``; return every message completed by it."""
+        if self._error is not None:
+            raise self._error
+        self._buffer.extend(data)
+        messages: list[Any] = []
+        while True:
+            if len(self._buffer) < FRAME_HEADER_SIZE:
+                return messages
+            magic, version, _flags, length, crc = _FRAME_HEADER.unpack_from(
+                self._buffer
+            )
+            if magic != _FRAME_MAGIC:
+                raise self._fail(
+                    FrameError(
+                        f"bad frame magic {bytes(magic)!r}; stream desynced"
+                    )
+                )
+            if version != FRAME_VERSION:
+                raise self._fail(
+                    FrameVersionError(
+                        f"frame version {version} != supported {FRAME_VERSION}"
+                    )
+                )
+            if length > MAX_FRAME_PAYLOAD:
+                raise self._fail(
+                    FrameError(f"frame length {length} exceeds maximum")
+                )
+            if len(self._buffer) < FRAME_HEADER_SIZE + length:
+                return messages
+            payload = bytes(
+                self._buffer[FRAME_HEADER_SIZE : FRAME_HEADER_SIZE + length]
+            )
+            del self._buffer[: FRAME_HEADER_SIZE + length]
+            if zlib.crc32(payload) != crc:
+                raise self._fail(
+                    FrameChecksumError(
+                        "frame checksum mismatch (corrupted payload)"
+                    )
+                )
+            try:
+                messages.append(pickle.loads(payload))
+            except Exception as error:  # noqa: BLE001 - reported, not crashed
+                raise self._fail(
+                    FrameError(f"frame payload failed to unpickle: {error!r}")
+                ) from error
+
+    def close(self) -> None:
+        """Declare end-of-stream; raises if a partial frame is buffered."""
+        if self._error is None and self._buffer:
+            raise self._fail(
+                TruncatedFrameError(
+                    f"stream ended with {len(self._buffer)} byte(s) of an "
+                    "incomplete frame"
+                )
+            )
+
+
 def _encode_array(a: np.ndarray | None) -> tuple[bytes, str, tuple[int, ...]] | None:
     if a is None:
         return None
@@ -49,8 +208,18 @@ def _encode_array(a: np.ndarray | None) -> tuple[bytes, str, tuple[int, ...]] | 
 def _decode_array(payload: tuple[bytes, str, tuple[int, ...]] | None) -> np.ndarray | None:
     if payload is None:
         return None
-    raw, dtype, shape = payload
-    return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+    try:
+        raw, dtype, shape = payload
+        np_dtype = np.dtype(dtype)
+        expected = int(np.prod(shape, dtype=np.int64)) * np_dtype.itemsize
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"malformed array payload: {error!r}") from error
+    if len(raw) != expected:
+        raise TruncatedPayloadError(
+            f"array payload carries {len(raw)} byte(s) but dtype {dtype} "
+            f"with shape {tuple(shape)} needs {expected}"
+        )
+    return np.frombuffer(raw, dtype=np_dtype).reshape(shape).copy()
 
 
 def encode_config(cfg: SofaConfig | None) -> dict[str, Any] | None:
@@ -99,7 +268,7 @@ def encode_request(request: AttentionRequest) -> dict[str, Any]:
 
 def decode_request(payload: dict[str, Any]) -> AttentionRequest:
     if payload.get("v") != CODEC_VERSION:
-        raise ValueError(
+        raise CodecVersionError(
             f"request payload version {payload.get('v')!r} != codec {CODEC_VERSION}"
         )
     cache_key = payload["cache_key"]
@@ -164,7 +333,7 @@ def encode_result(result: SofaAttentionResult) -> dict[str, Any]:
 
 def decode_result(payload: dict[str, Any]) -> SofaAttentionResult:
     if payload.get("v") != CODEC_VERSION:
-        raise ValueError(
+        raise CodecVersionError(
             f"result payload version {payload.get('v')!r} != codec {CODEC_VERSION}"
         )
     stages = []

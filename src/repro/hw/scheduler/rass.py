@@ -270,6 +270,18 @@ class LaneLoadBalancer:
             # Guard against drift from mismatched assign/retire costs.
             self.loads[lane] = 0.0
 
+    def ensure_lanes(self, n_lanes: int) -> None:
+        """Grow the lane set to at least ``n_lanes`` (new lanes start idle).
+
+        Software consumers with dynamic membership (the cluster's
+        ``least_loaded`` routing registers reconnected workers under fresh
+        ids) grow the accounting instead of rebuilding it, so surviving
+        lanes keep their outstanding-load history.
+        """
+        if n_lanes > self.n_lanes:
+            self.loads.extend([0.0] * (n_lanes - self.n_lanes))
+            self.n_lanes = n_lanes
+
     @property
     def imbalance(self) -> float:
         """Max minus min outstanding load (0 = perfectly balanced)."""

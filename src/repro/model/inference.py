@@ -22,6 +22,16 @@ serves every head's attention through the engine's **decode-step cache**
 (``cache_key=(session, layer, head)``), so the DLZS phase-1.1 state of the
 unchanged context prefix is reused instead of re-quantized - with results
 bit-identical to uncached serving.
+
+Both consumers accept an :class:`~repro.cluster.serving.EngineCluster` as
+a drop-in ``engine`` - including one running over the **socket transport**
+with workers on other hosts (``EngineCluster(transport="socket",
+worker_addresses=[...], supervisor=...)``).  Nothing here changes for
+that: the cluster serves the same submit/flush/futures surface, the codec
+round-trips every tensor bit-exactly over frames, and supervision
+(heartbeats, auto-respawn/reconnect) keeps the worker fleet healthy while
+this module just awaits its futures - so a multi-host deployment is a
+constructor argument, not a code path.
 """
 
 from __future__ import annotations
@@ -90,8 +100,10 @@ class SparseInferenceRunner:
     engine:
         Optional shared :class:`SofaEngine` - or an
         :class:`~repro.cluster.serving.EngineCluster`, which serves the
-        same submit/flush/futures surface from sharded worker processes -
-        by default the runner owns a single engine, so callers can inspect
+        same submit/flush/futures surface from sharded worker processes
+        (local children or, via ``transport="socket"``, supervised
+        standalone workers on this or other hosts) - by default the
+        runner owns a single engine, so callers can inspect
         ``runner.engine.stats`` for batching behavior.
     """
 

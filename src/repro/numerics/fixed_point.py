@@ -71,12 +71,17 @@ def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
     """Symmetrically quantize ``x`` to a signed ``bits``-wide integer tensor.
 
     The scale is chosen so the max-magnitude element saturates the integer
-    range; an all-zero tensor gets scale 1.0.
+    range; an all-zero tensor gets scale 1.0.  A tensor whose maximum is so
+    small that ``max_abs / hi`` underflows to zero (subnormal inputs) falls
+    back to scale 1.0 the same way - every element then rounds to 0, which
+    is the closest representable code, instead of dividing by zero.
     """
     x = np.asarray(x, dtype=np.float64)
     _, hi = int_range(bits)
     max_abs = float(np.max(np.abs(x))) if x.size else 0.0
-    scale = (max_abs / hi) if max_abs > 0 else 1.0
+    scale = max_abs / hi
+    if scale <= 0.0:
+        scale = 1.0
     q = quantize_with_scale(x, scale, bits)
     return QuantizedTensor(values=q, scale=scale, bits=bits)
 
@@ -116,7 +121,10 @@ def quantize_stack(x: np.ndarray, bits: int) -> StackQuantizedTensor:
     _, hi = int_range(bits)
     reduce_axes = tuple(range(1, x.ndim))
     max_abs = np.max(np.abs(x), axis=reduce_axes)
-    scales = np.where(max_abs > 0, max_abs / hi, 1.0)
+    # Same fallback rule as quantize() - including for slices whose scale
+    # underflows to zero - so per-slice bits stay identical to it.
+    raw_scales = max_abs / hi
+    scales = np.where(raw_scales > 0, raw_scales, 1.0)
     bshape = (-1,) + (1,) * (x.ndim - 1)
     q = quantize_with_scale(x, scales.reshape(bshape), bits)
     return StackQuantizedTensor(values=q, scales=scales, bits=bits)

@@ -15,16 +15,28 @@ from repro.utils.rng import make_rng
 def _no_stray_worker_processes():
     """Process-leak guard: no test may leave child processes behind.
 
-    Cluster tests spawn real engine worker processes; a leaked worker
-    would outlive the suite (and block CI runners).  Leftovers are killed
-    so the rest of the suite stays usable, then the test is failed.
+    Cluster tests spawn real engine worker processes (``multiprocessing``
+    children for the local transport, standalone listening subprocesses
+    for the socket transport); a leaked worker would outlive the suite,
+    and a leaked *listener* would additionally hold a bound port.
+    Leftovers are killed so the rest of the suite stays usable, then the
+    test is failed.  (CI adds an out-of-process sweep per job for leaks
+    this in-suite guard cannot see, e.g. workers orphaned by a killed
+    pytest.)
     """
     yield
+    from repro.cluster.transport import reap_spawned_workers
+
     leftover = multiprocessing.active_children()
     for process in leftover:
         process.kill()
         process.join(timeout=5.0)
+    leaked_listeners = reap_spawned_workers()
     assert not leftover, f"test leaked child processes: {leftover}"
+    assert not leaked_listeners, (
+        f"test leaked socket worker subprocesses (bound listeners): "
+        f"{[p.pid for p in leaked_listeners]}"
+    )
 
 
 @pytest.fixture

@@ -1,10 +1,20 @@
-"""Wire-codec tests: bit-exact round-trips and stable dedup fingerprints.
+"""Wire-codec tests: bit-exact round-trips, stable dedup fingerprints,
+frame integrity, and loud (never hanging) failure modes.
 
 The cluster's cross-process parity contract stands on this codec: a
 request must decode to exactly the tensors that were encoded (bit for
 bit, dtype and shape included), and a result must round-trip outputs,
-selections, stage traces and op counts without loss.
+selections, stage traces and op counts without loss - over queues and
+over the socket transport's length-prefixed frames alike.  A payload the
+codec cannot trust (truncated bytes, version skew, checksum mismatch)
+must raise a typed :class:`CodecError`, and a worker receiving one must
+answer with an ``error`` message so the request's future *fails* instead
+of hanging.
 """
+
+import pickle
+import queue
+import struct
 
 import numpy as np
 import pytest
@@ -13,10 +23,20 @@ from repro.core.config import DlzsConfig, SofaConfig
 from repro.core.pipeline import SofaAttention
 from repro.engine.codec import (
     CODEC_VERSION,
+    FRAME_HEADER_SIZE,
+    CodecError,
+    CodecVersionError,
+    FrameChecksumError,
+    FrameDecoder,
+    FrameError,
+    FrameVersionError,
+    TruncatedFrameError,
+    TruncatedPayloadError,
     decode_config,
     decode_request,
     decode_result,
     encode_config,
+    encode_frame,
     encode_request,
     encode_result,
     request_fingerprint,
@@ -103,14 +123,154 @@ def test_version_mismatch_rejected():
     rng = make_rng(6)
     payload = encode_request(_request(rng))
     payload["v"] = CODEC_VERSION + 1
-    with pytest.raises(ValueError, match="version"):
+    with pytest.raises(CodecVersionError, match="version"):
         decode_request(payload)
     res = encode_result(SofaAttention(
         _request(rng).wk, _request(rng).wv, CFG
     )(_request(rng).tokens, _request(rng).q))
     res["v"] = 0
-    with pytest.raises(ValueError, match="version"):
+    with pytest.raises(CodecVersionError, match="version"):
         decode_result(res)
+    # CodecError subclasses ValueError, so pre-existing handlers still fire
+    assert issubclass(CodecVersionError, ValueError)
+
+
+def test_truncated_tensor_payload_rejected_with_byte_counts():
+    rng = make_rng(61)
+    payload = encode_request(_request(rng))
+    raw, dtype, shape = payload["tokens"]
+    payload["tokens"] = (raw[:-8], dtype, shape)
+    with pytest.raises(TruncatedPayloadError, match="byte"):
+        decode_request(payload)
+
+
+def test_shape_bytes_mismatch_rejected_even_when_longer():
+    rng = make_rng(62)
+    payload = encode_request(_request(rng))
+    raw, dtype, shape = payload["q"]
+    payload["q"] = (raw + b"\0" * 16, dtype, shape)
+    with pytest.raises(TruncatedPayloadError):
+        decode_request(payload)
+
+
+def test_malformed_array_payload_rejected():
+    rng = make_rng(63)
+    payload = encode_request(_request(rng))
+    payload["wk"] = (b"\x01\x02", "not-a-dtype", (1, 2))
+    with pytest.raises(CodecError):
+        decode_request(payload)
+
+
+# ------------------------------------------------------------------ frames
+def test_frame_round_trip_across_arbitrary_chunking():
+    rng = make_rng(64)
+    messages = [
+        ("req", 1, encode_request(_request(rng))),
+        ("ping", 7),
+        ("result", 0, 1, {"v": CODEC_VERSION}, {"n_requests": 1}),
+    ]
+    stream = b"".join(encode_frame(m) for m in messages)
+    for chunk in (1, 3, len(stream)):  # byte-by-byte up to one-shot
+        decoder = FrameDecoder()
+        got = []
+        for at in range(0, len(stream), chunk):
+            got.extend(decoder.feed(stream[at : at + chunk]))
+        decoder.close()
+        assert len(got) == len(messages)
+        assert got[1] == ("ping", 7)
+        assert got[0][2]["tokens"] == messages[0][2]["tokens"]
+
+
+def test_frame_checksum_mismatch_detected():
+    frame = bytearray(encode_frame(("ping", 1)))
+    frame[-1] ^= 0xFF  # flip a payload bit; header checksum now disagrees
+    decoder = FrameDecoder()
+    with pytest.raises(FrameChecksumError):
+        decoder.feed(bytes(frame))
+    # the decoder stays poisoned: framing sync is unrecoverable
+    with pytest.raises(FrameChecksumError):
+        decoder.feed(b"")
+
+
+def test_frame_version_skew_detected():
+    frame = bytearray(encode_frame(("ping", 2)))
+    magic, version, flags, length, crc = struct.unpack(">4sHHII", frame[:FRAME_HEADER_SIZE])
+    frame[:FRAME_HEADER_SIZE] = struct.pack(">4sHHII", magic, version + 1, flags, length, crc)
+    with pytest.raises(FrameVersionError, match="version"):
+        FrameDecoder().feed(bytes(frame))
+
+
+def test_frame_bad_magic_detected():
+    frame = b"XXXX" + encode_frame(("ping", 3))[4:]
+    with pytest.raises(FrameError, match="magic"):
+        FrameDecoder().feed(frame)
+
+
+def test_truncated_stream_detected_at_close():
+    frame = encode_frame(("ping", 4))
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:-3]) == []  # incomplete: waits for more
+    with pytest.raises(TruncatedFrameError, match="incomplete"):
+        decoder.close()
+
+
+def test_clean_stream_closes_silently():
+    decoder = FrameDecoder()
+    assert decoder.feed(encode_frame(("ping", 5))) == [("ping", 5)]
+    decoder.close()  # nothing buffered: no error
+
+
+def test_frame_payload_bytes_are_bit_exact():
+    rng = make_rng(65)
+    req = _request(rng, k_scale=0.5, cache_key=("s", 1))
+    payload = encode_request(req)
+    [(kind, req_id, back)] = FrameDecoder().feed(encode_frame(("req", 9, payload)))
+    assert (kind, req_id) == ("req", 9)
+    decoded = decode_request(back)
+    assert decoded.tokens.tobytes() == np.asarray(req.tokens).tobytes()
+    assert request_fingerprint(back) == request_fingerprint(payload)
+
+
+# ----------------------------------------- failed futures, never hung ones
+def _drain(q_):
+    messages = []
+    while True:
+        try:
+            messages.append(q_.get_nowait())
+        except queue.Empty:
+            return messages
+
+
+def test_worker_answers_undecodable_request_with_error_message():
+    """A corrupt/version-skewed payload reaches the worker loop: the reply
+    must be a per-request ``error`` (a failed future at the frontend), not
+    a crashed worker or a silently dropped (hung) request."""
+    from repro.cluster.worker import worker_main
+
+    rng = make_rng(66)
+    truncated = encode_request(_request(rng))
+    raw, dtype, shape = truncated["tokens"]
+    truncated["tokens"] = (raw[:-8], dtype, shape)
+    skewed = encode_request(_request(rng))
+    skewed["v"] = CODEC_VERSION + 3
+    good = encode_request(_request(rng))
+
+    inbox, outbox = queue.Queue(), queue.Queue()
+    inbox.put(("req", 1, truncated))
+    inbox.put(("req", 2, skewed))
+    inbox.put(("req", 3, good))
+    inbox.put(("stop",))
+    worker_main(4, inbox, outbox, {"config": encode_config(CFG)})
+
+    messages = _drain(outbox)
+    assert messages[0] == ("ready", 4)
+    by_req = {m[2]: m for m in messages if m[0] in ("error", "result")}
+    assert by_req[1][0] == "error"
+    assert isinstance(pickle.loads(by_req[1][3]), TruncatedPayloadError)
+    assert by_req[2][0] == "error"
+    assert isinstance(pickle.loads(by_req[2][3]), CodecVersionError)
+    assert by_req[3][0] == "result"  # neighbours untouched by the bad ones
+    assert messages[-1] == ("stopped", 4)
 
 
 def test_fingerprint_ignores_tag_and_deadline_only():

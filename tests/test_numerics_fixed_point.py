@@ -11,6 +11,7 @@ from repro.numerics.fixed_point import (
     dequantize,
     int_range,
     quantize,
+    quantize_stack,
     requantize,
     saturating_add,
 )
@@ -79,6 +80,20 @@ def test_quantize_respects_bit_range(x, bits):
     q = quantize(x, bits)
     lo, hi = int_range(bits)
     assert q.values.min() >= lo and q.values.max() <= hi
+
+
+def test_quantize_subnormal_scale_underflow_falls_back_to_unit_scale():
+    """max|x| = 5e-324 makes max_abs/hi underflow to 0.0: the old code then
+    divided by a zero scale.  Such tensors take the all-zero rule instead:
+    scale 1.0, every code 0 (the nearest representable value)."""
+    for x in (np.array([5e-324]), np.array([[5e-324, -5e-324], [0.0, 0.0]])):
+        q = quantize(x, 4)
+        assert q.scale == 1.0
+        assert np.all(q.values == 0)
+    stacked = quantize_stack(np.array([[5e-324, 0.0], [3.0, -6.0]]), 4)
+    assert stacked.scales[0] == 1.0  # underflowed slice: fallback
+    assert stacked.scales[1] == pytest.approx(6.0 / 7.0)  # normal slice
+    assert np.all(stacked.values[0] == 0)
 
 
 def test_quantized_tensor_shape_property():
