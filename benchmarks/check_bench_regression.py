@@ -26,6 +26,19 @@ file                                  metric
 ``BENCH_sufa_quick``                  ``engine.blocked_requests_per_sec`` -
                                       end-to-end engine rate on the blocked
                                       kernel.
+``BENCH_cache_quick``                 ``paged.steady_hit_rate`` - the paged
+                                      store's hit rate on the shared-prefix
+                                      stream under byte pressure (the flat
+                                      LRU scores ~0 there; a drop means
+                                      sharing or spill broke).
+``BENCH_cache_quick``                 ``paged_vs_flat_requests_per_sec`` -
+                                      the paged store's serving-rate win
+                                      over the flat LRU on that stream.
+                                      Nominally a ratio, but the two
+                                      stores are timed in *separate*
+                                      phases, so runner contention can
+                                      skew it asymmetrically - gated with
+                                      the wider rate knob.
 ====================================  =======================================
 
 Tolerances: a metric regresses when ``fresh < (1 - tolerance) * baseline``.
@@ -86,6 +99,14 @@ def _sufa_engine_rps(record: dict[str, Any]) -> float:
     return float(record["engine"]["blocked_requests_per_sec"])
 
 
+def _cache_paged_hit_rate(record: dict[str, Any]) -> float:
+    return float(record["paged"]["steady_hit_rate"])
+
+
+def _cache_paged_vs_flat_rps(record: dict[str, Any]) -> float:
+    return float(record["paged_vs_flat_requests_per_sec"])
+
+
 #: (file name, human metric name, extractor, kind).  All metrics are
 #: higher-is-better; "ratio" metrics are intra-run speedups (hardware-class
 #: independent, tight tolerance), "rate" metrics are raw requests/sec
@@ -114,6 +135,19 @@ METRICS: list[tuple[str, str, Callable[[dict[str, Any]], float], str]] = [
         "BENCH_sufa_quick.json",
         "engine.blocked_requests_per_sec",
         _sufa_engine_rps,
+        "rate",
+    ),
+    (
+        "BENCH_cache_quick.json",
+        "paged.steady_hit_rate",
+        _cache_paged_hit_rate,
+        "ratio",
+    ),
+    # Separate-phase timing: contention skews it like a raw rate does.
+    (
+        "BENCH_cache_quick.json",
+        "paged_vs_flat_requests_per_sec",
+        _cache_paged_vs_flat_rps,
         "rate",
     ),
 ]

@@ -208,6 +208,18 @@ class ClusterStats:
         return merged
 
     @property
+    def cache_expirations(self) -> int:
+        """Cluster-wide decode-cache TTL drops (idle/abandoned sequences).
+
+        Workers sweep their engine cache between scheduling rounds *and*
+        from their idle loop, so this advances on wall-clock time even on
+        a quiet cluster - the snapshot still rides on result traffic, so
+        an idle cluster reports the update with its next completed
+        request.
+        """
+        return self.cache.expirations
+
+    @property
     def live_workers(self) -> int:
         return sum(1 for w in self.workers if w.alive)
 
@@ -295,8 +307,14 @@ class EngineCluster:
         ``multiprocessing`` start method for the local transport (default:
         ``fork`` where available, else ``spawn``).
     max_batch_heads / max_wait_batches / backend / kernel /
-    cache_entries / cache_ttl_s:
-        Forwarded to every worker's :class:`SofaEngine` (``kernel``
+    cache_kind / cache_entries / cache_ttl_s / cache_bytes /
+    cache_block_tokens / cache_spill_dir:
+        Forwarded to every worker's :class:`SofaEngine` - including the
+        decode-cache parameterization (``cache_kind="paged"`` block pool
+        with prefix sharing and disk spill by default; ``cache_bytes``
+        is each worker's RAM budget).  ``cache_spill_dir`` is namespaced
+        per worker id on the worker side, so co-hosted workers never
+        share spill files.  (``kernel``
         selects the SU-FA streaming kernel from the
         :mod:`repro.kernels` registry; kernels are bit-for-bit
         interchangeable, so it only moves wall-clock time).  The registry
@@ -325,8 +343,12 @@ class EngineCluster:
         max_wait_batches: int | None = None,
         backend: str = "sync",
         kernel: str | None = None,
+        cache_kind: str = "paged",
         cache_entries: int = 256,
         cache_ttl_s: float | None = None,
+        cache_bytes: int | None = None,
+        cache_block_tokens: int = 32,
+        cache_spill_dir: str | None = None,
         startup_timeout_s: float = 60.0,
     ):
         if worker_addresses is not None:
@@ -405,8 +427,12 @@ class EngineCluster:
             # serving, so the cross-process parity contract shares one
             # streaming implementation too.
             "kernel": kernel,
+            "cache_kind": cache_kind,
             "cache_entries": cache_entries,
             "cache_ttl_s": cache_ttl_s,
+            "cache_bytes": cache_bytes,
+            "cache_block_tokens": cache_block_tokens,
+            "cache_spill_dir": cache_spill_dir,
         }
         self._slots: list[_WorkerHandle] = []
         self._workers: dict[int, _WorkerHandle] = {}

@@ -86,6 +86,11 @@ def stats_snapshot(engine: SofaEngine) -> dict[str, Any]:
             "rows_reused": cache.rows_reused,
             "rows_appended": cache.rows_appended,
             "resident_bytes": cache.resident_bytes,
+            "resident_blocks": cache.resident_blocks,
+            "shared_blocks": cache.shared_blocks,
+            "spilled_blocks": cache.spilled_blocks,
+            "spilled_bytes": cache.spilled_bytes,
+            "spill_loads": cache.spill_loads,
         },
     }
 
@@ -180,21 +185,45 @@ class EngineMessageServer:
                 )
 
 
-def _build_engine(engine_kwargs: dict[str, Any]) -> SofaEngine:
-    """Engine from the plain-built-ins parameterization the frontend ships."""
+#: seconds an idle worker waits for traffic before sweeping its cache's
+#: idle TTL (satisfying the TTL on wall-clock time, not on the next
+#: request - lazy-only expiry would pin abandoned context payloads on a
+#: quiet worker indefinitely).
+IDLE_SWEEP_INTERVAL_S = 0.5
+
+
+def _build_engine(engine_kwargs: dict[str, Any], worker_id: int | None = None) -> SofaEngine:
+    """Engine from the plain-built-ins parameterization the frontend ships.
+
+    A frontend-supplied ``cache_spill_dir`` is namespaced per worker id:
+    co-hosted workers each get their own spill/persistence subdirectory
+    instead of clobbering one another's manifests.
+    """
     kwargs = dict(engine_kwargs)
     kwargs["config"] = decode_config(kwargs.get("config"))
+    if worker_id is not None and kwargs.get("cache_spill_dir"):
+        import os
+
+        kwargs["cache_spill_dir"] = os.path.join(
+            kwargs["cache_spill_dir"], f"worker-{worker_id}"
+        )
     return SofaEngine(**kwargs)
 
 
 def worker_main(worker_id: int, inbox, outbox, engine_kwargs: dict[str, Any]) -> None:
     """The local (queue) worker body (top-level so every start method can
     spawn it)."""
-    engine = _build_engine(engine_kwargs)
+    engine = _build_engine(engine_kwargs, worker_id)
     server = EngineMessageServer(worker_id, engine, outbox.put)
     outbox.put(("ready", worker_id))
     while server.running:
-        batch = [inbox.get()]
+        try:
+            batch = [inbox.get(timeout=IDLE_SWEEP_INTERVAL_S)]
+        except queue.Empty:
+            # Idle tick: nothing to serve, so expire idle decode-cache
+            # entries on wall-clock time (no request will sweep lazily).
+            engine.sweep_cache()
+            continue
         # Greedy drain: everything already queued joins this round's shape
         # groups, so co-arriving requests batch exactly as they would in a
         # single in-process engine.
@@ -211,17 +240,26 @@ def worker_main(worker_id: int, inbox, outbox, engine_kwargs: dict[str, Any]) ->
 
 
 # ----------------------------------------------------------- socket serving
-def _recv_greedy(conn, decoder) -> list[tuple] | None:
+def _recv_greedy(conn, decoder, on_idle: Callable[[], Any] | None = None
+                 ) -> list[tuple] | None:
     """Block for at least one message, then drain whatever is buffered.
 
     Returns ``None`` on EOF (frontend gone).  Framing errors propagate -
     the session is unrecoverable once stream sync is lost, and the caller
     drops the connection (the frontend sees a dead link and re-routes).
+    ``on_idle`` is invoked whenever no traffic arrives for
+    :data:`IDLE_SWEEP_INTERVAL_S` - the socket worker's idle-loop hook
+    (TTL sweeping on a quiet connection).
     """
     import select as _select
 
     messages: list[tuple] = []
     while not messages:
+        if on_idle is not None:
+            ready, _, _ = _select.select([conn], [], [], IDLE_SWEEP_INTERVAL_S)
+            if not ready:
+                on_idle()
+                continue
         data = conn.recv(1 << 16)
         if not data:
             decoder.close()  # raises TruncatedFrameError on a partial frame
@@ -263,7 +301,7 @@ def _serve_connection(conn) -> bool:
         if init[0] != "init":
             return True  # not a SOFA frontend; drop the session
         _, worker_id, engine_kwargs = init
-        engine = _build_engine(engine_kwargs)
+        engine = _build_engine(engine_kwargs, worker_id)
         try:
             server = EngineMessageServer(worker_id, engine, send)
             send(("ready", worker_id))
@@ -277,7 +315,7 @@ def _serve_connection(conn) -> bool:
                     server.finish_round()
                 if not server.running:
                     break
-                messages = _recv_greedy(conn, decoder)
+                messages = _recv_greedy(conn, decoder, on_idle=engine.sweep_cache)
                 if messages is None:
                     return True  # frontend vanished: await a reconnect
             send(("stopped", worker_id))

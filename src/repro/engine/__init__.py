@@ -13,10 +13,16 @@ scales the functional model along that axis:
     (``max_wait_batches``/deadline admission), per-request futures, and a
     ``backend="sync"|"threads"`` execution switch - the software analogue
     of the accelerator's head scheduler.
-:class:`~repro.engine.cache.DecodeStepCache`
+:class:`~repro.engine.cache.DecodeStepCache` /
+:class:`~repro.engine.paged.PagedDecodeCache`
     Keyed reuse of quantized ``K_hat``/DLZS prediction state across decode
     steps of a growing sequence, with explicit invalidation and exact
-    hit/miss accounting.
+    hit/miss accounting.  The flat store is a per-sequence LRU; the paged
+    store (the serving default, built via
+    :func:`~repro.engine.cache.make_decode_cache`) decomposes entries
+    into a refcounted content-addressed block pool with cross-sequence
+    prefix sharing, a hard RAM budget enforced by disk spill, and
+    restart survival through ``persist()``.
 :mod:`repro.engine.executor`
     The execution backends behind the engine's futures API.
 :mod:`repro.engine.codec`
@@ -26,7 +32,13 @@ scales the functional model along that axis:
 """
 
 from repro.engine.batched import BatchedSofaAttention, BatchedSofaResult
-from repro.engine.cache import CacheStats, DecodeCacheEntry, DecodeStepCache
+from repro.engine.cache import (
+    CacheStats,
+    DecodeCacheEntry,
+    DecodeStepCache,
+    make_decode_cache,
+    prefix_matches,
+)
 from repro.engine.codec import (
     decode_request,
     decode_result,
@@ -35,6 +47,7 @@ from repro.engine.codec import (
     request_fingerprint,
 )
 from repro.engine.executor import SyncExecutor, ThreadedExecutor, make_executor
+from repro.engine.paged import PagedDecodeCache
 from repro.engine.serving import (
     AttentionFuture,
     AttentionRequest,
@@ -54,6 +67,7 @@ __all__ = [
     "DecodeCacheEntry",
     "DecodeStepCache",
     "EngineStats",
+    "PagedDecodeCache",
     "SofaEngine",
     "SyncExecutor",
     "ThreadedExecutor",
@@ -61,7 +75,9 @@ __all__ = [
     "decode_result",
     "encode_request",
     "encode_result",
+    "make_decode_cache",
     "make_executor",
+    "prefix_matches",
     "request_fingerprint",
     "validate_request",
 ]

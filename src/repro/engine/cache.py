@@ -7,11 +7,35 @@ identical to the previous step's.  The accelerator analogue is keeping the
 predicted-key SRAM resident between steps instead of re-running the
 pre-compute stage over the whole context.
 
-:class:`DecodeStepCache` is a keyed LRU store of per-sequence DLZS state
-(:class:`DecodeCacheEntry`).  :class:`~repro.core.dlzs.StackedDlzsPredictor`
-consults it inside the batched pipeline: on a **hit** only the newly appended
-token rows are quantized and projected; on a **miss** (unknown key, prefix
-changed, sequence shrank) the full phase-1.1 runs and the entry is replaced.
+Two stores implement one surface (``get``/``put``/``invalidate``/
+``invalidate_prefix``/``sweep_expired``/``clear`` plus the
+``record_hit``/``record_miss`` counter hooks), selected through
+:func:`make_decode_cache`:
+
+:class:`DecodeStepCache` (``kind="flat"``)
+    The original per-sequence LRU: one monolithic
+    :class:`DecodeCacheEntry` per key, whole-entry eviction, no
+    cross-sequence reuse.  Kept as the reference store (and for callers
+    that want its strictly simpler residency model).
+:class:`~repro.engine.paged.PagedDecodeCache` (``kind="paged"``, the
+    serving default)
+    A refcounted fixed-size **block pool**: entries are decomposed into
+    ``block_tokens``-row blocks keyed by content hash, so sequences that
+    share a token prefix (system prompts under real traffic) share the
+    prefix's blocks; divergence is copy-on-write (blocks are immutable -
+    a grown or diverged tail becomes new blocks, never a mutation of a
+    shared one); cold blocks **spill to disk** under the ``max_bytes``
+    RAM budget instead of being dropped, so an entry larger than the
+    whole budget is still servable (satisfying lookups from the spill
+    tier) rather than silently overshooting residency; a
+    ``spill_dir`` + :meth:`~repro.engine.paged.PagedDecodeCache.persist`
+    pair lets long-lived sessions survive a process restart.
+
+Consumers are store-blind: :class:`~repro.core.dlzs.StackedDlzsPredictor`
+consults the cache inside the batched pipeline - on a **hit** only the
+newly appended token rows are quantized and projected; on a **miss**
+(unknown key, prefix changed, sequence shrank) the full phase-1.1 runs and
+the entry is replaced.
 
 Bit-for-bit parity is preserved because reuse is only attempted when it is
 *provably* equal to the uncached computation:
@@ -26,6 +50,11 @@ Bit-for-bit parity is preserved because reuse is only attempted when it is
 * the intermediate-width truncation of ``K_hat`` (whose scale also depends
   on a global maximum) is recomputed from the full raw rows every call - it
   is cheap elementwise work, not the matmul the cache exists to skip.
+* the paged store shares blocks **only by content hash over the exact
+  bytes** (tokens, quantized codes and ``K_hat`` rows together), so two
+  sequences share storage exactly when their per-row state is already
+  bit-identical - sharing can never substitute different bits - and the
+  spill codec (``.npz``) round-trips arrays bit-exactly.
 
 Entries are immutable after insertion (updates replace the entry), so the
 store is safe to share with the threaded executor backend: a stale read can
@@ -83,6 +112,16 @@ class CacheStats:
     whose sequence went quiet (abandoned decode sessions that never called
     :meth:`DecodeStepCache.invalidate`).  ``rows_reused``/``rows_appended``
     tally how many phase-1.1 rows hits skipped vs incrementally computed.
+
+    The block-pool gauges describe the paged store
+    (:class:`~repro.engine.paged.PagedDecodeCache`; all zero on the flat
+    LRU): ``resident_blocks``/``spilled_blocks`` partition the pool by
+    tier (RAM vs disk), ``shared_blocks`` counts blocks referenced by more
+    than one entry (the prefix-sharing win), ``spilled_bytes`` is the
+    payload currently parked on disk, and ``spill_loads`` counts block
+    reloads from the spill tier.  ``resident_bytes`` is the *RAM* payload
+    for both stores - on the paged store a shared block is counted once
+    (that is the honest residency figure sharing buys).
     """
 
     hits: int = 0
@@ -93,6 +132,11 @@ class CacheStats:
     rows_reused: int = 0
     rows_appended: int = 0
     resident_bytes: int = 0
+    resident_blocks: int = 0
+    shared_blocks: int = 0
+    spilled_blocks: int = 0
+    spilled_bytes: int = 0
+    spill_loads: int = 0
 
     @property
     def lookups(self) -> int:
@@ -112,6 +156,11 @@ class CacheStats:
             rows_reused=self.rows_reused,
             rows_appended=self.rows_appended,
             resident_bytes=self.resident_bytes,
+            resident_blocks=self.resident_blocks,
+            shared_blocks=self.shared_blocks,
+            spilled_blocks=self.spilled_blocks,
+            spilled_bytes=self.spilled_bytes,
+            spill_loads=self.spill_loads,
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -125,7 +174,81 @@ class CacheStats:
             rows_reused=self.rows_reused + other.rows_reused,
             rows_appended=self.rows_appended + other.rows_appended,
             resident_bytes=self.resident_bytes + other.resident_bytes,
+            resident_blocks=self.resident_blocks + other.resident_blocks,
+            shared_blocks=self.shared_blocks + other.shared_blocks,
+            spilled_blocks=self.spilled_blocks + other.spilled_blocks,
+            spilled_bytes=self.spilled_bytes + other.spilled_bytes,
+            spill_loads=self.spill_loads + other.spill_loads,
         )
+
+
+def prefix_matches(store_key: Hashable, prefix: Hashable) -> bool:
+    """Does a stored cache key fall under a caller's invalidation prefix?
+
+    The documented key shapes are:
+
+    * ``(user_key, config, weight_digest)`` tuples as composed by
+      :class:`~repro.core.dlzs.StackedDlzsPredictor`, where ``user_key``
+      is either a scalar session id or a ``(session_id, ...)`` tuple;
+    * scalar (non-tuple) keys written by callers driving the store
+      directly - these match when equal to ``prefix``.
+
+    Shared by both cache implementations so ``invalidate_prefix`` agrees
+    on what a session id reaches regardless of the store kind.
+    """
+    if not isinstance(store_key, tuple):
+        # Plain-string (or other scalar) session ids used as raw store
+        # keys used to fall through the tuple-only matcher and silently
+        # invalidate nothing; they are a documented key shape and match
+        # on equality.
+        return store_key == prefix
+    if not store_key:
+        return False
+    user_key = store_key[0]
+    if user_key == prefix:
+        return True
+    return isinstance(user_key, tuple) and bool(user_key) and user_key[0] == prefix
+
+
+#: Store kinds accepted by :func:`make_decode_cache`.
+CACHE_KINDS = ("paged", "flat")
+
+
+def make_decode_cache(
+    kind: str = "paged",
+    max_entries: int = 256,
+    max_bytes: int | None = None,
+    ttl_s: float | None = None,
+    block_tokens: int = 32,
+    spill_dir: str | None = None,
+    clock: Callable[[], float] = time.monotonic,
+):
+    """Build a decode-step cache of the requested ``kind``.
+
+    ``"paged"`` (the serving default) returns a
+    :class:`~repro.engine.paged.PagedDecodeCache` (block pool, prefix
+    sharing, disk spill); ``"flat"`` the original whole-entry
+    :class:`DecodeStepCache` LRU.  ``block_tokens``/``spill_dir`` only
+    apply to the paged store; the rest of the knobs are shared.
+    """
+    if kind == "flat":
+        return DecodeStepCache(
+            max_entries=max_entries, max_bytes=max_bytes, ttl_s=ttl_s, clock=clock
+        )
+    if kind == "paged":
+        # Local on purpose: repro.engine.paged imports this module for the
+        # entry/stats types, so a module-level import would be a cycle.
+        from repro.engine.paged import PagedDecodeCache
+
+        return PagedDecodeCache(
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            ttl_s=ttl_s,
+            block_tokens=block_tokens,
+            spill_dir=spill_dir,
+            clock=clock,
+        )
+    raise ValueError(f"unknown cache kind {kind!r}; expected one of {CACHE_KINDS}")
 
 
 class DecodeStepCache:
@@ -256,22 +379,14 @@ class DecodeStepCache:
     def invalidate_prefix(self, prefix: Hashable) -> int:
         """Drop every entry namespaced under ``prefix``.
 
-        Store keys are ``(user_key, config, weight_digest)`` tuples; the
-        user key is matched directly, and - because sessions compose user
-        keys as ``(session_id, layer, head)`` - a bare session id matches
-        every entry of that session.  Returns the number dropped.
+        Key matching is :func:`prefix_matches`: ``(user_key, config,
+        weight_digest)`` store keys match on the user key directly or - for
+        ``(session_id, layer, head)`` user keys - on the bare session id,
+        and scalar store keys match on equality.  Returns the number
+        dropped.
         """
-
-        def matches(store_key: Hashable) -> bool:
-            if not (isinstance(store_key, tuple) and store_key):
-                return False
-            user_key = store_key[0]
-            if user_key == prefix:
-                return True
-            return isinstance(user_key, tuple) and bool(user_key) and user_key[0] == prefix
-
         with self._lock:
-            doomed = [k for k in self._entries if matches(k)]
+            doomed = [k for k in self._entries if prefix_matches(k, prefix)]
             for k in doomed:
                 self.stats.resident_bytes -= self._entries[k].nbytes
                 del self._entries[k]
@@ -283,6 +398,12 @@ class DecodeStepCache:
             self._entries.clear()
             self._last_used.clear()
             self.stats.resident_bytes = 0
+
+    def close(self) -> None:
+        """Release held resources (no-op here; the paged store drops its
+        spill tier).  Part of the shared store surface so owners can close
+        whichever kind :func:`make_decode_cache` handed them."""
+        self.clear()
 
     # ------------------------------------------------------- counter helpers
     def record_hit(self, reused_rows: int, appended_rows: int) -> None:

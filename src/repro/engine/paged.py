@@ -1,0 +1,551 @@
+"""Paged decode-step cache: refcounted block pool, prefix sharing, spill.
+
+The flat :class:`~repro.engine.cache.DecodeStepCache` stores one monolithic
+:class:`~repro.engine.cache.DecodeCacheEntry` per sequence, so two sessions
+decoding from the same system prompt each pin a full copy of the prompt's
+quantized tokens and ``K_hat`` rows, and byte pressure can only drop whole
+entries.  This module is the block-pool analogue of a paged KV cache:
+
+* Entries are decomposed into fixed-size **blocks** of ``block_tokens``
+  consecutive rows (tokens, quantized codes and raw ``K_hat`` rows
+  together).  Blocks live in one pool keyed by a SHA-1 **content hash**
+  over their exact bytes, dtypes and shapes - two entries reference the
+  same block exactly when their per-row state is bit-identical, so
+  prefix sharing can never substitute different bits.  (The quantized
+  codes depend on the sequence's global max-magnitude token; sharing
+  therefore engages when that maximum lives in the shared prefix - the
+  common case for a shared system prompt - and safely degrades to
+  private blocks otherwise.)
+* Blocks are **immutable** and refcounted: growth or divergence of a
+  sequence produces new tail blocks and drops references to replaced
+  ones (copy-on-write by construction - a shared block is never written
+  through).  A block whose refcount reaches zero leaves the pool.
+* Under a ``max_bytes`` RAM budget, cold blocks **spill to disk** as
+  content-addressed ``.npz`` files instead of being dropped.  The budget
+  is a hard invariant: after every operation the resident payload is at
+  most ``max_bytes`` - an entry larger than the whole budget ends fully
+  spilled (and still servable) rather than silently overshooting.
+  Lookups that need spilled blocks reload them (``spill_loads``) and
+  rebuild the entry bit-exactly (the ``.npy`` codec round-trips arrays
+  exactly).
+* :meth:`PagedDecodeCache.persist` writes every block plus a manifest to
+  ``spill_dir`` so a long-lived session's cache survives a process
+  restart: a new cache constructed over the same directory restores the
+  entries with all blocks in the spill tier and faults them back in on
+  first use.
+
+The public surface is the :class:`~repro.engine.cache.DecodeStepCache`
+surface (``get``/``put``/``invalidate``/``invalidate_prefix``/``clear``/
+``sweep_expired``/``close`` plus the counter hooks), so the predictor,
+engine, and cluster wire protocol are store-blind; construction normally
+goes through :func:`~repro.engine.cache.make_decode_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.engine.cache import CacheStats, DecodeCacheEntry, prefix_matches
+
+#: order of the per-row arrays inside a block / spill file.
+_FIELDS = ("tokens", "tok_values", "key_values")
+
+#: name of the restart-survival index written by :meth:`PagedDecodeCache.persist`.
+MANIFEST_NAME = "manifest.pkl"
+
+
+def block_content_hash(rows: tuple[np.ndarray, ...]) -> str:
+    """Content address of one block: SHA-1 over bytes, dtypes and shapes.
+
+    Hashing the exact bytes (not a float canonicalization) is what makes
+    sharing safe: equal hashes imply the pooled rows are bit-identical to
+    the rows an entry would have stored privately.
+    """
+    digest = hashlib.sha1()
+    for array in rows:
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class _Block:
+    """One immutable pooled slice of ``block_tokens`` rows.
+
+    ``arrays`` holds the (tokens, tok_values, key_values) row slices while
+    the block is RAM-resident and is ``None`` once spilled; ``on_disk``
+    records whether the content-addressed ``.npz`` file exists (a block can
+    be both resident and on disk after a reload or :meth:`persist`).
+    """
+
+    __slots__ = ("content_hash", "n_rows", "nbytes", "refcount", "arrays", "on_disk")
+
+    def __init__(
+        self, content_hash: str, arrays: tuple[np.ndarray, ...] | None, n_rows: int,
+        nbytes: int,
+    ):
+        self.content_hash = content_hash
+        self.arrays = arrays
+        self.n_rows = n_rows
+        self.nbytes = nbytes
+        self.refcount = 0
+        self.on_disk = arrays is None
+
+    @property
+    def resident(self) -> bool:
+        return self.arrays is not None
+
+
+@dataclass(frozen=True)
+class _PagedEntry:
+    """Per-sequence metadata: the block chain plus scalar entry state.
+
+    ``specs`` records each array's dtype and trailing shape so zero-row
+    entries (and the manifest) can rebuild exact array types without any
+    block to consult.
+    """
+
+    block_hashes: tuple[str, ...]
+    seq_len: int
+    tok_scale: float
+    tok_max_abs: float
+    quantized: bool
+    specs: tuple[tuple[str, tuple[int, ...]], ...]
+
+
+class PagedDecodeCache:
+    """Paged drop-in for :class:`~repro.engine.cache.DecodeStepCache`.
+
+    Parameters
+    ----------
+    block_tokens:
+        Rows per block.  Smaller blocks share prefixes at finer grain but
+        cost more hash/bookkeeping per entry; the last block of an entry is
+        partial.
+    max_entries / ttl_s / clock:
+        Same semantics as the flat store: whole-entry LRU eviction bound,
+        idle TTL (swept lazily on every operation and explicitly via
+        :meth:`sweep_expired`), injectable clock.
+    max_bytes:
+        RAM budget over unique resident block payload (shared blocks count
+        once).  Enforced by spilling the coldest blocks to disk - never by
+        overshooting and never by dropping data.
+    spill_dir:
+        Directory for spill files and the :meth:`persist` manifest.  When
+        ``None`` a temporary directory is created on first spill and
+        removed by :meth:`close`.  A directory already holding a manifest
+        restores its entries (all blocks spilled) at construction.
+    """
+
+    def __init__(
+        self,
+        block_tokens: int = 32,
+        max_entries: int = 256,
+        max_bytes: int | None = None,
+        ttl_s: float | None = None,
+        spill_dir: str | Path | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be > 0 (or None)")
+        self.block_tokens = block_tokens
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, _PagedEntry] = OrderedDict()
+        self._last_used: dict[Hashable, float] = {}
+        #: pool in touch order - iteration order is coldest-first spill order.
+        self._blocks: OrderedDict[str, _Block] = OrderedDict()
+        self._lock = threading.RLock()
+        self._tmp_dir: tempfile.TemporaryDirectory | None = None
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self._spill_dir is not None:
+            self._restore()
+
+    # ----------------------------------------------------------- spill tier
+    def _spill_root(self) -> Path:
+        if self._spill_dir is None:
+            self._tmp_dir = tempfile.TemporaryDirectory(prefix="repro-decode-spill-")
+            self._spill_dir = Path(self._tmp_dir.name)
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill_dir
+
+    def _block_path(self, content_hash: str) -> Path:
+        return self._spill_root() / f"{content_hash}.npz"
+
+    def _write_block(self, block: _Block) -> None:
+        """Ensure the block's content-addressed spill file exists."""
+        if block.on_disk:
+            return
+        assert block.arrays is not None
+        np.savez(self._block_path(block.content_hash),
+                 **dict(zip(_FIELDS, block.arrays)))
+        block.on_disk = True
+
+    def _spill_block(self, block: _Block) -> None:
+        """Move a block out of RAM (writing it to disk first if needed)."""
+        if not block.resident:
+            return
+        self._write_block(block)
+        block.arrays = None
+
+    def _load_block(self, block: _Block) -> bool:
+        """Fault a spilled block back into RAM; False if unreadable."""
+        if block.resident:
+            return True
+        try:
+            with np.load(self._block_path(block.content_hash)) as archive:
+                block.arrays = tuple(archive[name] for name in _FIELDS)
+        except Exception:
+            return False
+        self.stats.spill_loads += 1
+        return True
+
+    def _unlink_block_file(self, block: _Block) -> None:
+        if block.on_disk and self._spill_dir is not None:
+            self._block_path(block.content_hash).unlink(missing_ok=True)
+        block.on_disk = False
+
+    # ---------------------------------------------------------- pool helpers
+    def _decref(self, content_hash: str) -> None:
+        block = self._blocks[content_hash]
+        block.refcount -= 1
+        assert block.refcount >= 0, "block refcount went negative"
+        if block.refcount == 0:
+            del self._blocks[content_hash]
+            self._unlink_block_file(block)
+
+    def _drop_entry(self, key: Hashable) -> _PagedEntry:
+        entry = self._entries.pop(key)
+        del self._last_used[key]
+        for content_hash in entry.block_hashes:
+            self._decref(content_hash)
+        return entry
+
+    def _drop_block_and_owners(self, content_hash: str) -> None:
+        """Evict a corrupt block: every entry referencing it becomes a miss."""
+        doomed = [
+            key for key, entry in self._entries.items()
+            if content_hash in entry.block_hashes
+        ]
+        for key in doomed:
+            self._drop_entry(key)
+        # _drop_entry decrefs to zero and removes it unless a restore left a
+        # stale refcount; drop defensively either way.
+        block = self._blocks.pop(content_hash, None)
+        if block is not None:
+            self._unlink_block_file(block)
+
+    def _resident_bytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks.values() if b.resident)
+
+    def _enforce_budget(self) -> None:
+        """Whole-entry LRU count bound, then spill down to ``max_bytes``."""
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            self._drop_entry(oldest)
+            self.stats.evictions += 1
+        if self.max_bytes is None:
+            return
+        resident = self._resident_bytes()
+        if resident <= self.max_bytes:
+            return
+        for block in list(self._blocks.values()):  # coldest first
+            if not block.resident:
+                continue
+            self._spill_block(block)
+            resident -= block.nbytes
+            if resident <= self.max_bytes:
+                break
+
+    def _refresh_gauges(self) -> None:
+        resident_bytes = resident_blocks = shared = spilled = spilled_bytes = 0
+        for block in self._blocks.values():
+            if block.resident:
+                resident_blocks += 1
+                resident_bytes += block.nbytes
+            else:
+                spilled += 1
+                spilled_bytes += block.nbytes
+            if block.refcount > 1:
+                shared += 1
+        self.stats.resident_bytes = resident_bytes
+        self.stats.resident_blocks = resident_blocks
+        self.stats.shared_blocks = shared
+        self.stats.spilled_blocks = spilled
+        self.stats.spilled_bytes = spilled_bytes
+
+    def _sweep_expired_locked(self, now: float) -> int:
+        if self.ttl_s is None:
+            return 0
+        dropped = 0
+        while self._entries:
+            key = next(iter(self._entries))
+            if now - self._last_used[key] <= self.ttl_s:
+                break
+            self._drop_entry(key)
+            self.stats.expirations += 1
+            dropped += 1
+        return dropped
+
+    # -------------------------------------------------------- public surface
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def n_blocks(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def sweep_expired(self) -> int:
+        """Explicitly drop idle-past-TTL entries; returns how many."""
+        with self._lock:
+            dropped = self._sweep_expired_locked(self._clock())
+            if dropped:
+                self._refresh_gauges()
+            return dropped
+
+    def get(self, key: Hashable) -> DecodeCacheEntry | None:
+        """Rebuild the live entry for ``key`` from its blocks.
+
+        Spilled blocks are faulted back in (counted as ``spill_loads``);
+        the returned :class:`DecodeCacheEntry` owns fresh arrays, so
+        callers can never write through to pooled blocks.  An unreadable
+        spill file demotes every entry referencing that block to a miss.
+        """
+        with self._lock:
+            now = self._clock()
+            self._sweep_expired_locked(now)
+            entry = self._entries.get(key)
+            if entry is None:
+                self._refresh_gauges()
+                return None
+            per_field: tuple[list[np.ndarray], ...] = ([], [], [])
+            for content_hash in entry.block_hashes:
+                block = self._blocks[content_hash]
+                if not self._load_block(block):
+                    self._drop_block_and_owners(content_hash)
+                    self._refresh_gauges()
+                    return None
+                self._blocks.move_to_end(content_hash)
+                for rows, array in zip(per_field, block.arrays):
+                    rows.append(array)
+            arrays = []
+            for (dtype, trailing), rows in zip(entry.specs, per_field):
+                if rows:
+                    arrays.append(np.concatenate(rows, axis=0))
+                else:
+                    arrays.append(np.empty((0, *trailing), dtype=np.dtype(dtype)))
+            self._entries.move_to_end(key)
+            self._last_used[key] = now
+            self._enforce_budget()
+            self._refresh_gauges()
+            return DecodeCacheEntry(
+                tokens=arrays[0],
+                tok_values=arrays[1],
+                tok_scale=entry.tok_scale,
+                tok_max_abs=entry.tok_max_abs,
+                key_values=arrays[2],
+                quantized=entry.quantized,
+            )
+
+    def put(self, key: Hashable, entry: DecodeCacheEntry) -> None:
+        """Decompose ``entry`` into pooled blocks and store its chain.
+
+        Row slices whose content hash is already pooled are shared (their
+        refcount grows); new content gets fresh immutable copies.  The old
+        chain for ``key`` is dereferenced first, so a grown sequence keeps
+        its unchanged prefix blocks and only allocates the new tail -
+        copy-on-write falls out of block immutability.
+        """
+        rows_of = tuple(
+            np.ascontiguousarray(a)
+            for a in (entry.tokens, entry.tok_values, entry.key_values)
+        )
+        with self._lock:
+            now = self._clock()
+            self._sweep_expired_locked(now)
+            if key in self._entries:
+                self._drop_entry(key)
+            hashes: list[str] = []
+            for lo in range(0, entry.seq_len, self.block_tokens):
+                slices = tuple(a[lo : lo + self.block_tokens] for a in rows_of)
+                content_hash = block_content_hash(slices)
+                block = self._blocks.get(content_hash)
+                if block is None:
+                    copies = tuple(s.copy() for s in slices)
+                    block = _Block(
+                        content_hash,
+                        copies,
+                        n_rows=copies[0].shape[0],
+                        nbytes=sum(c.nbytes for c in copies),
+                    )
+                    self._blocks[content_hash] = block
+                else:
+                    self._blocks.move_to_end(content_hash)
+                block.refcount += 1
+                hashes.append(content_hash)
+            self._entries[key] = _PagedEntry(
+                block_hashes=tuple(hashes),
+                seq_len=entry.seq_len,
+                tok_scale=entry.tok_scale,
+                tok_max_abs=entry.tok_max_abs,
+                quantized=entry.quantized,
+                specs=tuple((str(a.dtype), a.shape[1:]) for a in rows_of),
+            )
+            self._last_used[key] = now
+            self._enforce_budget()
+            self._refresh_gauges()
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Explicitly drop one sequence's state (e.g. its session ended)."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._drop_entry(key)
+            self._refresh_gauges()
+            return True
+
+    def invalidate_prefix(self, prefix: Hashable) -> int:
+        """Drop every entry matching ``prefix``; see
+        :func:`~repro.engine.cache.prefix_matches` for the key shapes."""
+        with self._lock:
+            doomed = [k for k in self._entries if prefix_matches(k, prefix)]
+            for key in doomed:
+                self._drop_entry(key)
+            if doomed:
+                self._refresh_gauges()
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry, block and spill file (a restart over the same
+        ``spill_dir`` after a clear sees an empty cache)."""
+        with self._lock:
+            for block in self._blocks.values():
+                self._unlink_block_file(block)
+            self._entries.clear()
+            self._last_used.clear()
+            self._blocks.clear()
+            if self._spill_dir is not None:
+                (self._spill_dir / MANIFEST_NAME).unlink(missing_ok=True)
+            self._refresh_gauges()
+
+    def close(self) -> None:
+        """Release the spill tier.
+
+        An owned temporary directory is removed; an explicit ``spill_dir``
+        is left intact so a :meth:`persist`-ed cache survives the process.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._last_used.clear()
+            self._blocks.clear()
+            self._refresh_gauges()
+            if self._tmp_dir is not None:
+                self._tmp_dir.cleanup()
+                self._tmp_dir = None
+                self._spill_dir = None
+
+    # ------------------------------------------------------- counter helpers
+    def record_hit(self, reused_rows: int, appended_rows: int) -> None:
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.rows_reused += reused_rows
+            self.stats.rows_appended += appended_rows
+
+    def record_miss(self, invalidated: bool) -> None:
+        with self._lock:
+            self.stats.misses += 1
+            if invalidated:
+                self.stats.invalidations += 1
+
+    # --------------------------------------------------- restart survival
+    def persist(self) -> Path:
+        """Write every live block plus the entry manifest to ``spill_dir``.
+
+        Blocks stay RAM-resident (persisting is not spilling); a new
+        :class:`PagedDecodeCache` constructed over the same directory
+        restores the manifest with every block in the spill tier.  Returns
+        the manifest path.  Store keys must be picklable (the documented
+        key shapes - tuples of strings/ints/configs - are).
+        """
+        with self._lock:
+            root = self._spill_root()
+            for block in self._blocks.values():
+                self._write_block(block)
+            manifest = {
+                "version": 1,
+                "block_tokens": self.block_tokens,
+                "blocks": {
+                    h: (b.n_rows, b.nbytes) for h, b in self._blocks.items()
+                },
+                "entries": [
+                    (key, entry) for key, entry in self._entries.items()
+                ],
+            }
+            path = root / MANIFEST_NAME
+            with open(path, "wb") as fh:
+                pickle.dump(manifest, fh)
+            return path
+
+    def _restore(self) -> None:
+        """Adopt a persisted manifest, if the spill dir holds a valid one.
+
+        Restored entries start with every block in the spill tier (RAM
+        empty) and fault blocks back in on first :meth:`get`.  A missing
+        or unreadable manifest - or an entry whose spill files vanished -
+        is skipped silently: restoring is an optimization, never a
+        correctness dependency (the worst case is a recompute).
+        """
+        assert self._spill_dir is not None
+        path = self._spill_dir / MANIFEST_NAME
+        if not path.exists():
+            return
+        try:
+            with open(path, "rb") as fh:
+                manifest = pickle.load(fh)
+            if manifest.get("version") != 1:
+                return
+            blocks = manifest["blocks"]
+            entries = manifest["entries"]
+        except Exception:
+            return
+        now = self._clock()
+        for key, entry in entries:
+            if not isinstance(entry, _PagedEntry):
+                continue
+            if not all(
+                h in blocks and self._block_path(h).exists()
+                for h in entry.block_hashes
+            ):
+                continue
+            for h in entry.block_hashes:
+                block = self._blocks.get(h)
+                if block is None:
+                    n_rows, nbytes = blocks[h]
+                    block = _Block(h, None, n_rows=n_rows, nbytes=nbytes)
+                    self._blocks[h] = block
+                block.refcount += 1
+            self._entries[key] = entry
+            self._last_used[key] = now
+        self._enforce_budget()
+        self._refresh_gauges()

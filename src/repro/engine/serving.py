@@ -62,7 +62,7 @@ import numpy as np
 from repro.core.config import SofaConfig
 from repro.core.pipeline import SofaAttentionResult
 from repro.engine.batched import BatchedSofaAttention
-from repro.engine.cache import CacheStats, DecodeStepCache
+from repro.engine.cache import CacheStats, DecodeStepCache, make_decode_cache
 from repro.engine.executor import make_executor
 from repro.kernels import resolve_sufa_kernel_name
 
@@ -268,12 +268,24 @@ class SofaEngine:
         bit-for-bit interchangeable, so this only moves wall-clock time;
         requests carrying an explicit ``config`` keep their config's
         kernel.
-    cache / cache_entries / cache_ttl_s:
-        Share a :class:`DecodeStepCache` between engines, or size the
-        engine-owned one; ``cache_ttl_s`` bounds how long an *idle* entry
-        (an abandoned decode sequence that never invalidated itself) stays
-        resident before the cache drops it (``stats.cache_expirations``
-        counts these).
+    cache / cache_kind / cache_entries / cache_ttl_s:
+        Pass ``cache`` to share a decode-step cache between engines, or
+        let the engine build (and own) one via
+        :func:`~repro.engine.cache.make_decode_cache`:
+        ``cache_kind="paged"`` (default) is the block-pool store with
+        prefix sharing and disk spill, ``"flat"`` the whole-entry LRU.
+        ``cache_ttl_s`` bounds how long an *idle* entry (an abandoned
+        decode sequence that never invalidated itself) stays resident;
+        on top of the cache's own lazy sweeping the engine sweeps inside
+        every :meth:`step`/:meth:`flush`, so idle expiry happens even
+        when the surviving traffic never touches the cache
+        (``stats.cache_expirations`` counts drops).
+    cache_bytes / cache_block_tokens / cache_spill_dir:
+        Paged-store knobs: RAM budget (cold blocks spill to disk under
+        it), rows per block, and the spill/persistence directory (a
+        temporary one is created when needed).  ``cache_bytes`` also
+        bounds the flat store (which *evicts* under byte pressure instead
+        of spilling); the other two are paged-only.
     """
 
     #: cached pre-converted operators kept per (weights, config) identity
@@ -288,8 +300,12 @@ class SofaEngine:
         max_wait_batches: int | None = None,
         kernel: str | None = None,
         cache: DecodeStepCache | None = None,
+        cache_kind: str = "paged",
         cache_entries: int = 256,
         cache_ttl_s: float | None = None,
+        cache_bytes: int | None = None,
+        cache_block_tokens: int = 32,
+        cache_spill_dir: str | None = None,
     ):
         if max_batch_heads < 1:
             raise ValueError("max_batch_heads must be >= 1")
@@ -306,10 +322,18 @@ class SofaEngine:
         self.max_batch_heads = max_batch_heads
         self.max_wait_batches = max_wait_batches
         self.executor = make_executor(backend, max_workers=max_workers)
+        self._owns_cache = cache is None
         self.cache = (
             cache
             if cache is not None
-            else DecodeStepCache(cache_entries, ttl_s=cache_ttl_s)
+            else make_decode_cache(
+                cache_kind,
+                max_entries=cache_entries,
+                max_bytes=cache_bytes,
+                ttl_s=cache_ttl_s,
+                block_tokens=cache_block_tokens,
+                spill_dir=cache_spill_dir,
+            )
         )
         self.stats = EngineStats(cache=self.cache.stats)
         self._groups: OrderedDict[Hashable, _Group] = OrderedDict()
@@ -321,8 +345,27 @@ class SofaEngine:
         return self.executor.name
 
     def shutdown(self) -> None:
-        """Release backend resources (idle engines hold none)."""
+        """Release backend resources (idle engines hold none).
+
+        An engine-owned cache is closed too (dropping an owned temporary
+        spill directory); a shared ``cache=`` instance is left alone for
+        its other users.
+        """
         self.executor.shutdown()
+        if self._owns_cache:
+            self.cache.close()
+
+    def sweep_cache(self) -> int:
+        """Drop idle-past-TTL decode-cache entries; returns how many.
+
+        Called from every scheduling round and by the cluster worker's
+        idle loop, so abandoned sequences expire on wall-clock time even
+        when no surviving request touches the cache (lazy sweeping alone
+        would pin them until the next cache operation).
+        """
+        if self.cache.ttl_s is None:
+            return 0
+        return self.cache.sweep_expired()
 
     def __enter__(self) -> "SofaEngine":
         return self
@@ -413,6 +456,7 @@ class SofaEngine:
         than that many rounds - the starvation bound.
         """
         now = time.monotonic() if now is None else now
+        self.sweep_cache()
         ready = [k for k, g in self._groups.items() if self._ready(g, now)]
         try:
             return self._execute_keys(ready)
@@ -432,6 +476,7 @@ class SofaEngine:
         the remaining batches; the first error is re-raised once the queue
         has fully drained.
         """
+        self.sweep_cache()
         return self._execute_keys(list(self._groups.keys()))
 
     def run_until_drained(self, max_rounds: int | None = None) -> list[BatchRecord]:

@@ -51,6 +51,12 @@ def _write_quick_artifacts(directory: pathlib.Path, scale: float = 1.0,
         ],
         "engine": {"blocked_requests_per_sec": 800.0 * scale},
     }))
+    # hit rate gates as a ratio metric, the store-vs-store rps as a rate
+    (directory / "BENCH_cache_quick.json").write_text(json.dumps({
+        "paged": {"steady_hit_rate": 1.0 * kernel_scale},
+        "flat": {"steady_hit_rate": 0.0},
+        "paged_vs_flat_requests_per_sec": 1.4 * scale,
+    }))
 
 
 def test_identical_numbers_pass(gate, tmp_path):

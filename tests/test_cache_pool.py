@@ -1,0 +1,216 @@
+"""Property suite for the paged cache's block-pool invariants.
+
+Hypothesis drives random put/get/invalidate traffic (with sequences that
+extend each other, so prefix sharing actually occurs) against a shadow
+model holding the exact arrays each key should serve, and checks after
+every operation that:
+
+* refcounts are exactly the number of references from live entries (so
+  they can never go negative or leak);
+* every pooled block's bytes equal the corresponding rows of *every*
+  entry referencing it (shared blocks are bit-identical across owners);
+* copy-on-write never mutates a shared block - growing one sequence
+  leaves its prefix-sharing sibling's bits untouched;
+* spill -> load round-trips are bit-exact (the same properties hold under
+  a RAM budget tiny enough that every lookup faults blocks from disk);
+* the RAM budget is a hard invariant (``resident_bytes <= max_bytes``).
+
+Plus pinned (non-random) tests for the TTL boundary: an entry idle
+*exactly* ``ttl_s`` stays, one idle any longer drops - on both stores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import DecodeCacheEntry, make_decode_cache
+from repro.engine.paged import PagedDecodeCache
+
+H, DK = 3, 2
+MAX_ROWS = 40
+
+_KEYS = ("s0", "s1", "s2", "s3")
+_STREAMS = 3  # token streams; same stream => shared prefix across keys
+
+
+def _stream(stream_id: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The deterministic row stream entries of ``stream_id`` are cut from."""
+    rng = np.random.default_rng(1000 + stream_id)
+    tokens = rng.integers(-90, 90, size=(MAX_ROWS, H)).astype(np.float64)
+    tok_values = np.rint(tokens / 0.75).astype(np.int64)
+    key_values = rng.integers(-400, 400, size=(MAX_ROWS, DK)).astype(np.int64)
+    return tokens, tok_values, key_values
+
+
+def _entry(stream_id: int, length: int) -> DecodeCacheEntry:
+    tokens, tok_values, key_values = _stream(stream_id)
+    return DecodeCacheEntry(
+        tokens=tokens[:length].copy(),
+        tok_values=tok_values[:length].copy(),
+        tok_scale=0.75,
+        tok_max_abs=90.0,
+        key_values=key_values[:length].copy(),
+        quantized=True,
+    )
+
+
+def _assert_entries_equal(got: DecodeCacheEntry, expected: DecodeCacheEntry):
+    assert got.tokens.tobytes() == expected.tokens.tobytes()
+    assert got.tok_values.tobytes() == expected.tok_values.tobytes()
+    assert got.key_values.tobytes() == expected.key_values.tobytes()
+    assert got.tokens.dtype == expected.tokens.dtype
+    assert got.tokens.shape == expected.tokens.shape
+    assert got.tok_scale == expected.tok_scale
+    assert got.tok_max_abs == expected.tok_max_abs
+    assert got.quantized == expected.quantized
+
+
+def _check_invariants(cache: PagedDecodeCache, shadow: dict):
+    # Refcount consistency: exactly the references from live entries,
+    # never negative, never dangling, never leaked.
+    refs: dict[str, int] = {}
+    for entry in cache._entries.values():
+        for content_hash in entry.block_hashes:
+            refs[content_hash] = refs.get(content_hash, 0) + 1
+    assert set(refs) == set(cache._blocks)
+    for content_hash, block in cache._blocks.items():
+        assert block.refcount == refs[content_hash] >= 1
+    # Shared blocks bit-identical across owners: every entry's chain must
+    # reproduce that entry's shadow rows exactly, block by block.
+    for key, entry in list(cache._entries.items()):
+        expected = shadow[key]
+        row = 0
+        for content_hash in entry.block_hashes:
+            block = cache._blocks[content_hash]
+            assert cache._load_block(block)  # spill -> load is bit-exact too
+            for array, source in zip(
+                block.arrays,
+                (expected.tokens, expected.tok_values, expected.key_values),
+            ):
+                assert array.tobytes() == source[row : row + block.n_rows].tobytes()
+            row += block.n_rows
+        assert row == expected.seq_len
+    # Budget is a hard invariant (gauges refreshed by the get()s below too).
+    for key, expected in shadow.items():
+        got = cache.get(key)
+        assert got is not None  # no eviction configured: nothing may vanish
+        _assert_entries_equal(got, expected)
+        if cache.max_bytes is not None:
+            assert cache.stats.resident_bytes <= cache.max_bytes
+
+
+_op = st.one_of(
+    st.tuples(
+        st.just("put"),
+        st.sampled_from(_KEYS),
+        st.integers(0, _STREAMS - 1),
+        st.integers(1, MAX_ROWS),
+    ),
+    st.tuples(st.just("invalidate"), st.sampled_from(_KEYS)),
+    st.tuples(st.just("get"), st.sampled_from(_KEYS)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(_op, min_size=1, max_size=25),
+    block_tokens=st.sampled_from([1, 3, 7]),
+    spill=st.booleans(),
+)
+@pytest.mark.paged_cache
+def test_block_pool_invariants_hold_under_random_traffic(ops, block_tokens, spill):
+    cache = PagedDecodeCache(
+        block_tokens=block_tokens,
+        max_entries=len(_KEYS) + 1,  # never evict: every live key must serve
+        max_bytes=256 if spill else None,  # tiny: force constant spill traffic
+    )
+    shadow: dict = {}
+    try:
+        for op in ops:
+            if op[0] == "put":
+                _, key, stream_id, length = op
+                entry = _entry(stream_id, length)
+                cache.put(key, entry)
+                shadow[key] = entry
+            elif op[0] == "invalidate":
+                _, key = op
+                assert cache.invalidate(key) == (key in shadow)
+                shadow.pop(key, None)
+            else:
+                _, key = op
+                got = cache.get(key)
+                if key in shadow:
+                    _assert_entries_equal(got, shadow[key])
+                else:
+                    assert got is None
+            _check_invariants(cache, shadow)
+        cache.clear()
+        assert cache.n_blocks == 0 and len(cache) == 0
+        assert cache.stats.resident_bytes == 0
+    finally:
+        cache.close()
+
+
+@pytest.mark.paged_cache
+def test_cow_growth_never_mutates_a_shared_block():
+    """Two sequences share a prefix; growing (and re-putting) one must
+    leave the other's served bits untouched - blocks are immutable and
+    divergence only ever allocates new tail blocks."""
+    cache = PagedDecodeCache(block_tokens=4)
+    a0 = _entry(0, 12)
+    cache.put("a", a0)
+    cache.put("b", _entry(0, 12))  # same stream: fully shared chain
+    assert cache.stats.shared_blocks == 3
+    # Diverge "a": same 12-row prefix, different tail rows.
+    tokens, tok_values, key_values = _stream(0)
+    diverged = DecodeCacheEntry(
+        tokens=np.concatenate([tokens[:12], tokens[20:24] + 1.0]),
+        tok_values=np.concatenate([tok_values[:12], tok_values[20:24] + 1]),
+        tok_scale=0.75,
+        tok_max_abs=91.0,
+        key_values=np.concatenate([key_values[:12], key_values[20:24]]),
+        quantized=True,
+    )
+    cache.put("a", diverged)
+    assert cache.stats.shared_blocks == 3  # the prefix blocks, still shared
+    _assert_entries_equal(cache.get("b"), a0)  # sibling bits untouched
+    got_a = cache.get("a")
+    assert got_a.tokens.tobytes() == diverged.tokens.tobytes()
+    # Mutating a served entry's arrays must not reach the pool either.
+    got_a.tokens[:] = -1.0
+    _assert_entries_equal(cache.get("b"), a0)
+    cache.close()
+
+
+@pytest.mark.paged_cache
+def test_refcounts_drop_to_zero_and_blocks_free():
+    cache = PagedDecodeCache(block_tokens=4)
+    cache.put("a", _entry(1, 8))
+    cache.put("b", _entry(1, 8))
+    assert cache.n_blocks == 2 and cache.stats.shared_blocks == 2
+    cache.invalidate("a")
+    assert cache.n_blocks == 2 and cache.stats.shared_blocks == 0
+    cache.invalidate("b")
+    assert cache.n_blocks == 0
+    assert cache.stats.resident_bytes == 0
+    cache.close()
+
+
+# -------------------------------------------------------------- TTL boundary
+@pytest.mark.parametrize("kind", ["flat", "paged"])
+def test_ttl_boundary_idle_exactly_ttl_stays(kind):
+    """Pinned boundary: the keep rule is ``idle <= ttl_s``, so an entry
+    idle *exactly* ``ttl_s`` survives and anything past it drops - on
+    both stores, via lazy sweeping and explicit sweep_expired alike."""
+    now = [0.0]
+    cache = make_decode_cache(kind, ttl_s=10.0, clock=lambda: now[0])
+    cache.put("k", _entry(0, 6))
+    now[0] = 10.0  # idle == ttl_s exactly
+    assert cache.sweep_expired() == 0
+    assert cache.get("k") is not None  # (refreshes last_used to 10.0)
+    now[0] = float(np.nextafter(20.0, np.inf))  # one ulp past idle == ttl_s
+    assert cache.sweep_expired() == 1
+    assert cache.get("k") is None
+    assert cache.stats.expirations == 1
+    cache.close()

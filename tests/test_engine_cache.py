@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.config import SofaConfig
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
-from repro.engine.cache import DecodeCacheEntry, DecodeStepCache
+from repro.engine.cache import DecodeCacheEntry, DecodeStepCache, make_decode_cache
 from repro.utils.rng import make_rng
 
 CFG = SofaConfig(tile_cols=16, top_k=8)
@@ -72,6 +72,25 @@ def test_store_invalidate_prefix_matches_session_tuples():
     assert cache.invalidate_prefix("sess-a") == 6
     assert len(cache) == 1
     assert cache.invalidate_prefix("sess-a") == 0
+
+
+@pytest.mark.parametrize("kind", ["flat", "paged"])
+def test_invalidate_prefix_matches_scalar_and_tuple_keys(kind):
+    """Both documented key shapes must be reachable by invalidate_prefix:
+    predictor-composed ``(user_key, config, digest)`` tuples AND plain
+    scalar keys written by callers driving the store directly (these used
+    to fall through the tuple-only matcher and silently drop nothing)."""
+    cache = make_decode_cache(kind)
+    cache.put("plain-session", _entry())  # scalar store key
+    cache.put(("tuple-session", CFG, "d"), _entry())
+    cache.put((("nested-session", 0, 1), CFG, "d"), _entry())
+    cache.put(("other", CFG, "d"), _entry())
+    assert cache.invalidate_prefix("plain-session") == 1
+    assert cache.invalidate_prefix("tuple-session") == 1
+    assert cache.invalidate_prefix("nested-session") == 1
+    assert cache.invalidate_prefix("no-such-session") == 0
+    assert len(cache) == 1  # "other" untouched
+    cache.close()
 
 
 def test_store_rejects_zero_capacity():
