@@ -26,6 +26,14 @@ file                                  metric
 ``BENCH_sufa_quick``                  ``engine.blocked_requests_per_sec`` -
                                       end-to-end engine rate on the blocked
                                       kernel.
+``BENCH_sufa_quick``                  worst ``fused_vs_unfused`` across the
+                                      fused predict+select grid - the fused
+                                      kernel's speedup over the unfused
+                                      reference stages (intra-run *ratio*).
+``BENCH_sufa_quick``                  ``fused_engine.fused_requests_per_sec``
+                                      - end-to-end engine rate under the
+                                      fused predict+select mapping on the
+                                      long-selection stream.
 ``BENCH_cache_quick``                 ``paged.steady_hit_rate`` - the paged
                                       store's hit rate on the shared-prefix
                                       stream under byte pressure (the flat
@@ -99,6 +107,14 @@ def _sufa_engine_rps(record: dict[str, Any]) -> float:
     return float(record["engine"]["blocked_requests_per_sec"])
 
 
+def _sufa_min_fused_speedup(record: dict[str, Any]) -> float:
+    return min(float(k["fused_vs_unfused"]) for k in record["fused"])
+
+
+def _sufa_fused_engine_rps(record: dict[str, Any]) -> float:
+    return float(record["fused_engine"]["fused_requests_per_sec"])
+
+
 def _cache_paged_hit_rate(record: dict[str, Any]) -> float:
     return float(record["paged"]["steady_hit_rate"])
 
@@ -135,6 +151,18 @@ METRICS: list[tuple[str, str, Callable[[dict[str, Any]], float], str]] = [
         "BENCH_sufa_quick.json",
         "engine.blocked_requests_per_sec",
         _sufa_engine_rps,
+        "rate",
+    ),
+    (
+        "BENCH_sufa_quick.json",
+        "min(fused[].fused_vs_unfused)",
+        _sufa_min_fused_speedup,
+        "ratio",
+    ),
+    (
+        "BENCH_sufa_quick.json",
+        "fused_engine.fused_requests_per_sec",
+        _sufa_fused_engine_rps,
         "rate",
     ),
     (

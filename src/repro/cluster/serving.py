@@ -80,7 +80,7 @@ import pickle
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Mapping
 
 from repro.core.config import SofaConfig
 from repro.core.pipeline import SofaAttentionResult
@@ -91,8 +91,11 @@ from repro.engine.codec import (
     encode_request,
     request_fingerprint,
 )
-from repro.engine.serving import AttentionRequest, validate_request
-from repro.kernels import resolve_sufa_kernel_name
+from repro.engine.serving import (
+    AttentionRequest,
+    config_with_kernels,
+    validate_request,
+)
 from repro.cluster.routing import POLICIES, RequestInfo, make_policy
 from repro.cluster.supervisor import (
     SupervisionStats,
@@ -148,13 +151,21 @@ class ClusterFuture:
 
 @dataclass
 class WorkerStats:
-    """Last known engine counters of one worker (piggybacked on results)."""
+    """Last known engine counters of one worker (piggybacked on results).
+
+    ``kernels`` maps each pipeline stage to the kernel name the worker's
+    engine resolved *in its own process* (explicit selection, its
+    environment's ``SOFA_<STAGE>_KERNEL``, or the registry default) - the
+    observable that proves env-driven kernel selection crossed the
+    process/socket boundary.
+    """
 
     worker_id: int
     alive: bool
     n_requests: int = 0
     n_batches: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    kernels: dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -272,6 +283,7 @@ class _WorkerHandle:
             n_requests=snap.get("n_requests", 0),
             n_batches=snap.get("n_batches", 0),
             cache=CacheStats(**cache),
+            kernels=dict(snap.get("kernels") or {}),
         )
 
 
@@ -314,12 +326,13 @@ class EngineCluster:
         with prefix sharing and disk spill by default; ``cache_bytes``
         is each worker's RAM budget).  ``cache_spill_dir`` is namespaced
         per worker id on the worker side, so co-hosted workers never
-        share spill files.  (``kernel``
-        selects the SU-FA streaming kernel from the
-        :mod:`repro.kernels` registry; kernels are bit-for-bit
-        interchangeable, so it only moves wall-clock time).  The registry
-        is per-process: built-in kernels resolve everywhere, but a
-        custom-registered kernel reaches the workers only when they
+        share spill files.  (``kernel`` selects stage kernels from the
+        :mod:`repro.kernels` registries - a bare string picks the SU-FA
+        ``"stream"`` kernel, a mapping pins any of
+        ``predict``/``select``/``stream``; kernels are bit-for-bit
+        interchangeable, so it only moves wall-clock time).  The
+        registries are per-process: built-in kernels resolve everywhere,
+        but a custom-registered kernel reaches the workers only when they
         inherit the parent's registry (``fork`` start method, the Linux
         default) or register it at import time of a module the worker
         imports - under ``spawn`` (and for socket workers, which are
@@ -342,7 +355,7 @@ class EngineCluster:
         max_batch_heads: int = 64,
         max_wait_batches: int | None = None,
         backend: str = "sync",
-        kernel: str | None = None,
+        kernel: "str | Mapping[str, str] | None" = None,
         cache_kind: str = "paged",
         cache_entries: int = 256,
         cache_ttl_s: float | None = None,
@@ -376,7 +389,7 @@ class EngineCluster:
         if kernel is not None:
             # Fail a typo here, in the caller's process, instead of
             # spawning N workers that all die on engine construction.
-            resolve_sufa_kernel_name(kernel)
+            config_with_kernels(config or SofaConfig(), kernel)
         self.config = config or SofaConfig()
         self.routing = routing
         self.dedup = dedup
@@ -422,11 +435,11 @@ class EngineCluster:
             "max_batch_heads": max_batch_heads,
             "max_wait_batches": max_wait_batches,
             "backend": backend,
-            # Every worker engine resolves its SU-FA streaming kernel
-            # through the same repro.kernels registry as in-process
-            # serving, so the cross-process parity contract shares one
-            # streaming implementation too.
-            "kernel": kernel,
+            # Every worker engine resolves its stage kernels (predict/
+            # select/stream) through the same repro.kernels registries as
+            # in-process serving, so the cross-process parity contract
+            # shares one implementation per stage too.
+            "kernel": dict(kernel) if isinstance(kernel, Mapping) else kernel,
             "cache_kind": cache_kind,
             "cache_entries": cache_entries,
             "cache_ttl_s": cache_ttl_s,

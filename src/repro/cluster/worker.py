@@ -71,12 +71,18 @@ from repro.engine.serving import SofaEngine
 
 
 def stats_snapshot(engine: SofaEngine) -> dict[str, Any]:
-    """The piggybacked per-worker counters, as plain built-ins."""
+    """The piggybacked per-worker counters, as plain built-ins.
+
+    ``kernels`` is resolved by the worker's own engine against the
+    worker's own environment - it is the frontend-visible proof of which
+    per-stage kernels (env vars included) this process actually runs.
+    """
     cache = engine.stats.cache
     return {
         "n_requests": engine.stats.n_requests,
         "n_batches": engine.stats.n_batches,
         "n_steps": engine.stats.n_steps,
+        "kernels": engine.resolved_kernels(),
         "cache": {
             "hits": cache.hits,
             "misses": cache.misses,

@@ -13,12 +13,22 @@ class DlzsConfig:
     8-bit tokens, weights pre-converted to 4-bit LZ codes);
     ``intermediate_bits`` is the truncation width of the predicted K before
     attention prediction (paper: "truncated to at most 16 bit").
+
+    ``kernel`` selects the predict-stage kernel from the
+    :mod:`repro.kernels` registry (``"reference"``, ``"fused"``, or a
+    registered custom name); the default ``"auto"`` defers to the
+    ``SOFA_PREDICT_KERNEL`` environment variable and then the registry
+    default.  Kernels are bit-for-bit interchangeable, so the knob moves
+    wall-clock time only.  (``"fused"`` on both this and
+    :class:`SadsConfig` engages the fused predict+select kernel that
+    never materializes the full score matrix.)
     """
 
     token_bits: int = 8
     weight_bits: int = 8
     intermediate_bits: int = 16
     query_bits: int = 16
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -32,6 +42,13 @@ class SadsConfig:
     (max/min swap between the virtual top-k set and excluded candidates).
     ``sorter_width``/``sorter_keep`` describe the bitonic core (16-to-4 in
     the paper's engine).
+
+    ``kernel`` selects the select-stage kernel from the
+    :mod:`repro.kernels` registry (``"reference"``, ``"fused"``, or a
+    registered custom name); ``"auto"`` defers to ``SOFA_SELECT_KERNEL``
+    and then the registry default.  Bit-for-bit interchangeable; pair
+    ``"fused"`` with the predict stage to stream selection tile by tile
+    without the full ``(rows, S)`` score matrix.
     """
 
     n_segments: int = 4
@@ -39,6 +56,7 @@ class SadsConfig:
     adjust_rounds: int = 2
     sorter_width: int = 16
     sorter_keep: int = 4
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)

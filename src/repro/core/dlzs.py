@@ -140,6 +140,29 @@ class PredictionResult:
     scale: float
 
 
+@dataclass
+class PreparedPrediction:
+    """Phase-1.1 state plus the encoded query, *before* the score matmul.
+
+    Everything :meth:`DlzsPredictor.predict` produces except ``a_hat``
+    itself: the truncated key estimate, the query's signed power-of-two
+    codes, the quantization scale, and the **complete** op accounting
+    (every DLZS charge is a function of shapes and nonzero counts, so it
+    needs no score values).  ``a_hat`` equals
+    ``(pow2 @ k_hat.T).astype(float64) * scale`` - and because integer
+    matmul is exact per output element, any *column block* of it equals
+    ``(pow2 @ k_hat[lo:hi].T).astype(float64) * scale`` bit for bit, which
+    is what lets the fused predict+select kernel
+    (:mod:`repro.kernels.predict_select_fused`) stream score tiles without
+    ever materializing the full matrix.
+    """
+
+    k_hat: np.ndarray  # (S, D') int64, truncated to intermediate_bits
+    pow2: np.ndarray  # (T, D') int64 signed power-of-two query codes
+    scale: float
+    ops: OpCounter
+
+
 class DlzsPredictor:
     """Stateful cross-phase DLZS predictor with pre-converted weights.
 
@@ -187,12 +210,13 @@ class DlzsPredictor:
         ops.add_op("add", float(m) * max(tok.shape[1] - 1, 0) * self._wk_pow2.shape[1])
         return DlzsMatmulResult(values=approx.astype(np.int64), ops=ops)
 
-    def predict(self, tokens: np.ndarray, q: np.ndarray) -> PredictionResult:
-        """Full cross-phase prediction: tokens -> K_hat -> A_hat.
+    def predict_prepared(self, tokens: np.ndarray, q: np.ndarray) -> PreparedPrediction:
+        """Phases 1.1 + query encoding, stopping short of the score matmul.
 
-        Phase 1.2 converts **Q** through the 16-bit-mode configurable LZE and
-        shifts the (truncated) K_hat estimate, following the paper's error
-        containment argument.
+        Returns the :class:`PreparedPrediction` from which ``A_hat`` (or
+        any column block of it) follows by one exact integer matmul; the
+        op accounting is already complete because every DLZS charge
+        depends only on shapes and nonzero counts, never on score values.
         """
         key_res = self.predict_keys(tokens)
         ops = key_res.ops
@@ -212,22 +236,33 @@ class DlzsPredictor:
         q_signs, q_lz = lze.encode(q_int)
         ops.add_op("lzc", q_int.size)
 
-        # A_hat[t, s] = sum_d K_hat[s, d] << (W - LZ(Q[t, d])), signed.
         width = self.config.query_bits
         pow2 = q_signs * lz_decode_magnitude(q_lz, width)  # (T, D)
-        a_hat = pow2 @ k_hat.T  # (T, S)
         t, d = q_int.shape
         nonzero = int(np.count_nonzero(pow2))
         ops.add_op("shift", float(k_hat.shape[0]) * nonzero)
         ops.add_op("xor", float(k_hat.shape[0]) * nonzero)
         ops.add_op("add", float(t) * max(d - 1, 0) * k_hat.shape[0])
+        return PreparedPrediction(
+            k_hat=k_hat, pow2=pow2, scale=q_scale * k_hat_q.scale, ops=ops
+        )
 
-        scale = q_scale * k_hat_q.scale
+    def predict(self, tokens: np.ndarray, q: np.ndarray) -> PredictionResult:
+        """Full cross-phase prediction: tokens -> K_hat -> A_hat.
+
+        Phase 1.2 converts **Q** through the 16-bit-mode configurable LZE and
+        shifts the (truncated) K_hat estimate, following the paper's error
+        containment argument.  ``A_hat[t, s] = sum_d K_hat[s, d] <<
+        (W - LZ(Q[t, d]))``, signed - realized as one exact integer matmul
+        over the :meth:`predict_prepared` state.
+        """
+        prep = self.predict_prepared(tokens, q)
+        a_hat = prep.pow2 @ prep.k_hat.T  # (T, S)
         return PredictionResult(
-            a_hat=a_hat.astype(np.float64) * scale,
-            k_hat=k_hat,
-            ops=ops,
-            scale=scale,
+            a_hat=a_hat.astype(np.float64) * prep.scale,
+            k_hat=prep.k_hat,
+            ops=prep.ops,
+            scale=prep.scale,
         )
 
 
@@ -243,6 +278,24 @@ class StackedPredictionResult:
     k_hat: np.ndarray
     head_ops: list[OpCounter]
     scales: np.ndarray
+
+
+@dataclass
+class PreparedStackPrediction:
+    """Stacked phase-1.1 state plus encoded queries, before the score matmul.
+
+    The stacked twin of :class:`PreparedPrediction`: ``a_hat`` for the
+    whole stack equals ``(pow2 @ k_hat.transpose(0, 2, 1)).astype(float64)
+    * scales[:, None, None]``, and any column block of it follows from the
+    matching ``k_hat`` slice - exactly - so fused kernels can stream score
+    tiles per segment.  ``head_ops`` already carries the complete per-head
+    accounting.
+    """
+
+    k_hat: np.ndarray  # (N, S, D') int64, truncated
+    pow2: np.ndarray  # (N, T, D') int64 signed power-of-two query codes
+    scales: np.ndarray  # (N,) per-head quantization scales
+    head_ops: list[OpCounter]
 
 
 class StackedDlzsPredictor:
@@ -385,25 +438,19 @@ class StackedDlzsPredictor:
         )
         return key_values
 
-    def predict(
+    def predict_prepared(
         self,
         tokens: np.ndarray,
         q: np.ndarray,
         cache: "DecodeStepCache | None" = None,
         cache_keys: Sequence[Hashable | None] | None = None,
-    ) -> StackedPredictionResult:
-        """Stack-fused phases 1.1/1.2: ``(N, S, H)`` tokens -> ``(N, T, S)``.
+    ) -> PreparedStackPrediction:
+        """Stacked phases 1.1 + query encoding, short of the score matmul.
 
-        All heavy arithmetic is batched (integer matmuls over the whole
-        stack); only the per-head op-counter assembly iterates over heads.
-
-        When ``cache`` and ``cache_keys`` are given, phase 1.1 runs through
-        the decode-step cache head by head: head ``i`` with a non-``None``
-        ``cache_keys[i]`` reuses (and extends) its cached quantized-token /
-        ``K_hat`` state.  The result - including the per-head op counters,
-        which keep charging the nominal pipeline work - is bit-identical to
-        the uncached fused path; the cache only skips *re-doing* arithmetic
-        whose outcome is provably unchanged.
+        Same contract as :meth:`predict` (including the decode-step-cache
+        interaction) but returns the :class:`PreparedStackPrediction` from
+        which ``a_hat`` - or any column block - follows by one exact
+        integer matmul per block.
         """
         tokens = np.asarray(tokens)
         q_arr = np.asarray(q)
@@ -461,7 +508,6 @@ class StackedDlzsPredictor:
         q_signs, q_lz = lze.encode(q_int)
         width = self.config.query_bits
         pow2 = q_signs * lz_decode_magnitude(q_lz, width)  # (N, T, D)
-        a_hat = pow2 @ k_hat.transpose(0, 2, 1)  # (N, T, S), exact int64
 
         scales = q_scales * k_hat_q.scales
         s = tokens.shape[1]
@@ -482,11 +528,37 @@ class StackedDlzsPredictor:
             ops.add_op("add", float(t) * max(d - 1, 0) * s)
             head_ops.append(ops)
 
+        return PreparedStackPrediction(
+            k_hat=k_hat, pow2=pow2, scales=scales, head_ops=head_ops
+        )
+
+    def predict(
+        self,
+        tokens: np.ndarray,
+        q: np.ndarray,
+        cache: "DecodeStepCache | None" = None,
+        cache_keys: Sequence[Hashable | None] | None = None,
+    ) -> StackedPredictionResult:
+        """Stack-fused phases 1.1/1.2: ``(N, S, H)`` tokens -> ``(N, T, S)``.
+
+        All heavy arithmetic is batched (integer matmuls over the whole
+        stack); only the per-head op-counter assembly iterates over heads.
+
+        When ``cache`` and ``cache_keys`` are given, phase 1.1 runs through
+        the decode-step cache head by head: head ``i`` with a non-``None``
+        ``cache_keys[i]`` reuses (and extends) its cached quantized-token /
+        ``K_hat`` state.  The result - including the per-head op counters,
+        which keep charging the nominal pipeline work - is bit-identical to
+        the uncached fused path; the cache only skips *re-doing* arithmetic
+        whose outcome is provably unchanged.
+        """
+        prep = self.predict_prepared(tokens, q, cache=cache, cache_keys=cache_keys)
+        a_hat = prep.pow2 @ prep.k_hat.transpose(0, 2, 1)  # (N, T, S), exact int64
         return StackedPredictionResult(
-            a_hat=a_hat.astype(np.float64) * scales[:, None, None],
-            k_hat=k_hat,
-            head_ops=head_ops,
-            scales=scales,
+            a_hat=a_hat.astype(np.float64) * prep.scales[:, None, None],
+            k_hat=prep.k_hat,
+            head_ops=prep.head_ops,
+            scales=prep.scales,
         )
 
 

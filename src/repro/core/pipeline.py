@@ -39,6 +39,8 @@ from repro.core.config import SofaConfig
 from repro.core.dlzs import DlzsPredictor
 from repro.core.sads import SadsSorter
 from repro.core.sufa import UpdateOrder, sorted_updating_attention
+from repro.kernels.predict_select_fused import fused_pair
+from repro.kernels.registry import get_kernel
 from repro.numerics.complexity import OpCounter, matmul_ops
 from repro.numerics.linalg import det_matmul
 
@@ -181,26 +183,43 @@ class SofaAttention:
         k_count = cfg.resolve_top_k(s)
         n_tiles = cfg.n_tiles(s)
 
-        # ---------------------------------------------------- stage 1: DLZS
-        pred = self.predictor.predict(tokens, q)
+        # ------------------------------------------- stages 1+2: DLZS + SADS
+        # Both stages resolve through the per-stage kernel registries; when
+        # they resolve to the same fused engine, prediction and selection run
+        # tile by tile and the full (T, S) score matrix is never built.
+        # Either way the bits (indices, op tallies) are those of the
+        # reference predict -> select_stack pipeline.
+        predict_kernel = get_kernel("predict", cfg.dlzs.kernel)
+        select_kernel = get_kernel("select", cfg.sads.kernel)
+        # The coordinated tiling: the sorter's segments ARE the Bc tiles.
+        sorter = SadsSorter(cfg.sads_for(n_tiles))
+        fused = fused_pair(predict_kernel, select_kernel)
+        if fused is not None:
+            prep, stack = fused.run_single(
+                self.predictor, sorter, tokens, q, k_count
+            )
+            pred_ops = prep.ops
+        else:
+            pred = predict_kernel(self.predictor, tokens, q)
+            pred_ops = pred.ops
+            stack = select_kernel(sorter, pred.a_hat, k_count)
+        selected = stack.indices
+
         pred_dram, pred_sram = prediction_trace_bytes(
             cfg, s, tokens.shape[1], self._wk.shape[1], t
         )
-        stage1 = StageTrace("dlzs_prediction", pred.ops, pred_dram, pred_sram)
-
-        # ----------------------------------------------------- stage 2: SADS
-        # The coordinated tiling: the sorter's segments ARE the Bc tiles.
-        sorter = SadsSorter(cfg.sads_for(n_tiles))
-        sel = sorter.select(pred.a_hat, k_count)
+        stage1 = StageTrace("dlzs_prediction", pred_ops, pred_dram, pred_sram)
+        sads_ops = OpCounter()
+        sads_ops.add_op("compare", float(stack.compare_rows.sum()))
         stage2 = StageTrace(
             "sads_topk",
-            sel.ops,
+            sads_ops,
             0.0,  # Pre-Atten tiles never leave SRAM in the tiled dataflow
             sads_trace_sram(cfg, t, k_count),
         )
 
         # ------------------------------------------- stage 3: on-demand KV + SU-FA
-        unique_tokens = np.unique(sel.indices)
+        unique_tokens = np.unique(selected)
         k_mat = np.zeros((s, self._wk.shape[1]))
         k_mat[unique_tokens] = det_matmul(tokens[unique_tokens], self._wk) * k_scale
         kv_ops = matmul_ops(unique_tokens.size, tokens.shape[1], self._wk.shape[1])
@@ -219,7 +238,7 @@ class SofaAttention:
             q,
             k_mat,
             v_mat,
-            sel.indices,
+            selected,
             order=UpdateOrder.DESCENDING if cfg.sufa.descending else UpdateOrder.ASCENDING,
             max_assurance=cfg.sufa.max_assurance,
             tile_cols=cfg.tile_cols,
@@ -240,7 +259,7 @@ class SofaAttention:
 
         result = SofaAttentionResult(
             output=sufa.output,
-            selected=sel.indices,
+            selected=selected,
             stages=[stage1, stage2, stage3],
             assurance_triggers=sufa.assurance_triggers,
         )

@@ -256,6 +256,185 @@ class SadsSorter:
             indices=indices, compare_rows=compare_rows, clipped_rows=clipped_rows
         )
 
+    def select_stack_streamed(
+        self, tile_fn, n_rows: int, row_len: int, k: int
+    ) -> SadsStackResult:
+        """:meth:`select_stack` semantics over *streamed* score tiles.
+
+        ``tile_fn(seg, lo, hi)`` must return the ``(n_rows, hi - lo)``
+        float64 score block of segment ``seg`` (columns ``lo:hi`` of the
+        conceptual ``(n_rows, row_len)`` score matrix).  The selection -
+        indices, ordering, tie breaks, comparator and clipped tallies - is
+        **bit-identical** to calling :meth:`select_stack` on the full
+        matrix, but no state larger than one segment block (plus O(rows *
+        k) selection state) is ever held: this is the entry point of the
+        fused predict+select kernel, which feeds DLZS score tiles straight
+        from the prediction matmul.
+
+        Exactness argument, stage by stage:
+
+        * the per-segment pass consumes only the segment block in both
+          implementations (thresholds, quotas, stable descending argsort,
+          survivor/clipping accounting are unchanged code);
+        * the adjustive exchange needs, per round, the *maximum excluded*
+          entry under numpy's argmax tie-break (value descending, then
+          lowest index).  A per-row pool of the top-``adjust_rounds``
+          excluded candidates in exactly that order is sufficient: each
+          exchange round removes at most the pool head and re-inserts the
+          swapped-out selected value, so the pool's real population never
+          shrinks, and any excluded entry outside a segment's top-
+          ``adjust_rounds`` is dominated (value, then index) by ones
+          inside it, for every round;
+        * the final descending reorder uses the retained selected values,
+          which mirror ``take_along_axis(scores, sel, axis=1)`` by
+          construction.
+        """
+        r, s = int(n_rows), int(row_len)
+        if not 1 <= k <= s:
+            raise ValueError(f"k={k} out of range for row of length {s}")
+        n = min(self.config.n_segments, k, s)
+        bounds = np.linspace(0, s, n + 1, dtype=np.int64)
+        quotas = self._capped_quotas(k, bounds)
+        fresh = max(self.config.sorter_width - self.config.sorter_keep, 1)
+        per_pass = _bitonic_comparators(self.config.sorter_width)
+        rounds = self.config.adjust_rounds
+
+        compare_rows = np.zeros(r, dtype=np.float64)
+        clipped_rows = np.zeros(r, dtype=np.int64)
+        running_max = np.full(r, -np.inf)
+        chosen_parts: list[np.ndarray] = []
+        chosen_val_parts: list[np.ndarray] = []
+        # Excluded-candidate pool: per row, the top-`rounds` excluded
+        # (value, index) pairs in argmax tie-break order (value desc, index
+        # asc).  Padding sorts last: -inf value, out-of-range index.
+        m_pool = max(rounds, 1)
+        pool_vals = np.full((r, m_pool), -np.inf)
+        pool_idx = np.full((r, m_pool), s, dtype=np.int64)
+
+        for seg in range(n):
+            lo, hi = int(bounds[seg]), int(bounds[seg + 1])
+            block = np.asarray(tile_fn(seg, lo, hi), dtype=np.float64)
+            if block.shape != (r, hi - lo):
+                raise ValueError(
+                    f"tile_fn returned {block.shape}, expected {(r, hi - lo)}"
+                )
+            width = hi - lo
+            quota = int(quotas[seg])
+            seg_max = block.max(axis=1)
+            if quota > 0:
+                threshold = np.where(
+                    np.isfinite(running_max), running_max - self.config.radius, -np.inf
+                )
+                survivors = (block >= threshold[:, None]).sum(axis=1)
+                take = min(quota, width)
+                order = np.argsort(-block, axis=1, kind="stable")
+                chosen = order[:, :take]
+                chosen_parts.append(chosen + lo)
+                chosen_val_parts.append(np.take_along_axis(block, chosen, axis=1))
+                cand = np.where(survivors < quota, take, survivors)
+                clipped_rows += width - cand
+                compare_rows += width  # threshold check on every element
+                compare_rows += (-(-cand // fresh)) * per_pass
+                if rounds > 0 and take < width:
+                    # Segment's top excluded candidates: next entries of the
+                    # same stable descending argsort.  Merge into the pool;
+                    # the stable sort keeps (value desc, index asc) because
+                    # existing pool indices all precede this segment's.
+                    extra = order[:, take : take + rounds]
+                    extra_vals = np.take_along_axis(block, extra, axis=1)
+                    merged_vals = np.concatenate([pool_vals, extra_vals], axis=1)
+                    merged_idx = np.concatenate([pool_idx, extra + lo], axis=1)
+                    top = np.argsort(-merged_vals, axis=1, kind="stable")[:, :m_pool]
+                    pool_vals = np.take_along_axis(merged_vals, top, axis=1)
+                    pool_idx = np.take_along_axis(merged_idx, top, axis=1)
+            running_max = np.maximum(running_max, seg_max)
+
+        sel = np.concatenate(chosen_parts, axis=1)[:, :k]
+        selvals = np.concatenate(chosen_val_parts, axis=1)[:, :k]
+        compare_rows += self._pooled_exchange(
+            sel, selvals, pool_vals, pool_idx, s, k
+        )
+
+        order = np.argsort(-selvals, axis=1, kind="stable")
+        indices = np.take_along_axis(sel, order, axis=1)
+        compare_rows += _final_merge_compares(k, n)
+        return SadsStackResult(
+            indices=indices, compare_rows=compare_rows, clipped_rows=clipped_rows
+        )
+
+    def _pooled_exchange(
+        self,
+        sel: np.ndarray,
+        selvals: np.ndarray,
+        pool_vals: np.ndarray,
+        pool_idx: np.ndarray,
+        s: int,
+        k: int,
+    ) -> np.ndarray:
+        """Adjustive exchange against the excluded-candidate pool (in place).
+
+        Replicates :meth:`_adjustive_exchange_stack` without the ``(R, S)``
+        excluded mask: the pool head *is* the reference's
+        ``argmax(where(excluded, scores, -inf))`` (same value, same
+        tie-break), and a swap removes the head and re-inserts the
+        swapped-out selected entry at its (value desc, index asc) pool
+        position - the pool's real population is invariant under swaps, so
+        ``adjust_rounds`` entries are enough for ``adjust_rounds`` rounds.
+        Mutates ``sel``/``selvals``; returns per-row comparator counts.
+        """
+        rounds = self.config.adjust_rounds
+        r, k_sel = sel.shape
+        compare_rows = np.zeros(r, dtype=np.float64)
+        if rounds <= 0:
+            return compare_rows
+        rows = np.arange(r)
+        # A row has excluded candidates iff s > k - constant across rounds,
+        # because every swap removes one excluded entry and adds another.
+        alive = np.full(r, s > k_sel, dtype=bool)
+        m_pool = pool_vals.shape[1]
+        for _ in range(rounds):
+            if not alive.any():
+                break
+            min_pos = np.argmin(selvals, axis=1)
+            min_val = selvals[rows, min_pos]
+            min_idx = sel[rows, min_pos]
+            exc_val = pool_vals[:, 0]
+            exc_idx = pool_idx[:, 0]
+            compare_rows[alive] += k_sel + 1
+            swap = alive & (exc_val > min_val)
+            if swap.any():
+                sw = np.flatnonzero(swap)
+                sel[sw, min_pos[sw]] = exc_idx[sw]
+                selvals[sw, min_pos[sw]] = exc_val[sw]
+                # Pool update: drop the consumed head, then insert the
+                # swapped-out (value, index) at its sorted position (the
+                # freed padding slot absorbs the shift).
+                pv = pool_vals[sw]
+                pi = pool_idx[sw]
+                pv[:, :-1] = pv[:, 1:]
+                pi[:, :-1] = pi[:, 1:]
+                pv[:, -1] = -np.inf
+                pi[:, -1] = s
+                ins_val = min_val[sw]
+                ins_idx = min_idx[sw]
+                before = (pv > ins_val[:, None]) | (
+                    (pv == ins_val[:, None]) & (pi < ins_idx[:, None])
+                )
+                pos = before.sum(axis=1)  # prefix property: pv stays sorted
+                for j in range(m_pool):
+                    shifted_v = pv[:, j - 1] if j > 0 else ins_val
+                    shifted_i = pi[:, j - 1] if j > 0 else ins_idx
+                    keep = pos > j
+                    here = pos == j
+                    pool_vals[sw, j] = np.where(
+                        keep, pv[:, j], np.where(here, ins_val, shifted_v)
+                    )
+                    pool_idx[sw, j] = np.where(
+                        keep, pi[:, j], np.where(here, ins_idx, shifted_i)
+                    )
+            alive = swap
+        return compare_rows
+
     # ------------------------------------------------------------- internals
     def _segment_quotas(self, k: int, n: int) -> np.ndarray:
         """Distribute k across n segments (first segments absorb remainder)."""

@@ -47,6 +47,8 @@ from repro.core.pipeline import (
 )
 from repro.core.sads import SadsSorter
 from repro.core.sufa import UpdateOrder, stream_selected
+from repro.kernels.predict_select_fused import fused_pair
+from repro.kernels.registry import get_kernel
 from repro.numerics.complexity import OpCounter, matmul_ops
 from repro.numerics.linalg import det_gathered_project
 
@@ -164,15 +166,36 @@ class BatchedSofaAttention:
         k_count = cfg.resolve_top_k(s)
         n_tiles = cfg.n_tiles(s)
 
-        # ---------------------------------------------------- stage 1: DLZS
-        pred = self.predictor.predict(tokens, q, cache=cache, cache_keys=cache_keys)
-        pred_dram, pred_sram = prediction_trace_bytes(cfg, s, h, dk, t)
-
-        # ----------------------------------------------------- stage 2: SADS
+        # ------------------------------------------- stages 1+2: DLZS + SADS
+        # Both stages resolve through the per-stage kernel registries; when
+        # they resolve to the same fused engine, prediction and selection run
+        # tile by tile and the full (N*T, S) score matrix is never built.
+        # Either way the bits (indices, per-head op tallies) are those of
+        # the reference predict -> select_stack pipeline.
+        predict_kernel = get_kernel("predict", cfg.dlzs.kernel)
+        select_kernel = get_kernel("select", cfg.sads.kernel)
         # The coordinated tiling: the sorter's segments ARE the Bc tiles,
         # identical for every head in the batch (shared (S, Bc) grid).
         sorter = SadsSorter(cfg.sads_for(n_tiles))
-        stack = sorter.select_stack(pred.a_hat.reshape(n * t, s), k_count)
+        fused = fused_pair(predict_kernel, select_kernel)
+        if fused is not None:
+            prep, stack = fused.run_stacked(
+                self.predictor,
+                sorter,
+                tokens,
+                q,
+                k_count,
+                cache=cache,
+                cache_keys=cache_keys,
+            )
+            head_ops = prep.head_ops
+        else:
+            pred = predict_kernel(
+                self.predictor, tokens, q, cache=cache, cache_keys=cache_keys
+            )
+            head_ops = pred.head_ops
+            stack = select_kernel(sorter, pred.a_hat.reshape(n * t, s), k_count)
+        pred_dram, pred_sram = prediction_trace_bytes(cfg, s, h, dk, t)
         kk = stack.indices.shape[1]
         selected = stack.indices.reshape(n, t, kk)
         sads_compare = stack.compare_rows.reshape(n, t)
@@ -224,7 +247,7 @@ class BatchedSofaAttention:
         per_head: list[SofaAttentionResult] = []
         for i in range(n):
             stage1 = StageTrace(
-                "dlzs_prediction", pred.head_ops[i], pred_dram, pred_sram
+                "dlzs_prediction", head_ops[i], pred_dram, pred_sram
             )
             sads_ops = OpCounter()
             sads_ops.add_op("compare", float(sads_compare[i].sum()))

@@ -1,45 +1,82 @@
-"""``repro.kernels``: interchangeable implementations of the hot streaming cores.
+"""``repro.kernels``: per-stage registries of interchangeable stage kernels.
 
-The serving stack's hottest path is the SU-FA streaming core every tier
-bottoms out in (per-head pipeline, :class:`~repro.engine.batched.
-BatchedSofaAttention`, :class:`~repro.engine.serving.SofaEngine` backends,
-:mod:`repro.cluster` workers).  This package separates *what* that core
-computes (the contract of :func:`repro.core.sufa.stream_selected`, fixed
-bit for bit) from *how* it is executed:
+Every dynamic-sparsity stage of the pipeline resolves its implementation
+through a named registry keyed by stage (:data:`STAGES` - ``"predict"``,
+``"select"``, ``"stream"``), separating *what* a stage computes (a
+bit-for-bit fixed contract, each with a golden model in ``repro.core``)
+from *how* it is executed:
 
-* :mod:`repro.kernels.registry` - named kernel registration and the
-  selection precedence (explicit name > ``SOFA_SUFA_KERNEL`` env var >
-  ``"blocked"`` default);
-* :mod:`repro.kernels.sufa_blocked` - the tile-blocked kernel
-  (``tile_cols`` keys per Python step, per-key fallback only inside
-  blocks where the Max-Ensuring circuit fires);
-* ``"reference"`` - the original per-key loop, living next to the
-  contract in :mod:`repro.core.sufa` as the golden model.
+* :mod:`repro.kernels.registry` - registration plus the per-stage
+  selection precedence (explicit name > ``SOFA_<STAGE>_KERNEL`` env var >
+  stage default);
+* :mod:`repro.kernels.predict_select_fused` - the ``"fused"`` predict and
+  select entries: blocked DLZS score prediction with in-band SADS
+  selection per tile, never materializing the full score matrix (the
+  software analogue of the paper's coordinated tiling, engaged when both
+  stages resolve to the same fused engine - see :func:`fused_pair`);
+* :mod:`repro.kernels.sufa_blocked` - the tile-blocked SU-FA streaming
+  kernel (``tile_cols`` keys per Python step);
+* ``"reference"`` entries - the golden models themselves
+  (``DlzsPredictor.predict`` / ``SadsSorter.select_stack`` /
+  the per-key loop in :mod:`repro.core.sufa`).
 
-Because every tier resolves its kernel through this one registry, the
-engine/cluster parity contract cannot drift: all paths share a single
-streaming implementation per selection, and any registered kernel must be
-differentially bit-equal to the reference.
+Because every serving tier (per-head pipeline, batched engine, thread
+backends, cluster/socket workers) resolves all three stages through these
+registries, the cross-tier parity contract cannot drift: one
+implementation per stage per selection, and any registered kernel must be
+differentially bit-equal to its stage's golden model (enforced by the
+kernel test suites, re-run per combination by CI's kernel-matrix job).
+The same seam is where array-API backends (CuPy / torch) plug in later: a
+backend is just another registered kernel facing the same sweeps.
+
+The SU-FA-only names of PR 4 (``register_sufa_kernel`` and friends)
+remain as thin wrappers over the ``"stream"`` stage.
 """
 
+from repro.kernels.predict_select_fused import (
+    FUSED,
+    FusedPredictSelect,
+    fused_pair,
+)
 from repro.kernels.registry import (
     DEFAULT_SUFA_KERNEL,
     KERNEL_ENV_VAR,
+    STAGES,
+    Kernel,
     SufaKernel,
+    available_kernels,
     available_sufa_kernels,
+    default_kernel,
+    get_kernel,
     get_sufa_kernel,
+    kernel_env_var,
+    register_kernel,
     register_sufa_kernel,
+    resolve_kernel_name,
     resolve_sufa_kernel_name,
+    resolved_kernels,
 )
 from repro.kernels.sufa_blocked import stream_selected_blocked
 
 __all__ = [
     "DEFAULT_SUFA_KERNEL",
+    "FUSED",
+    "FusedPredictSelect",
     "KERNEL_ENV_VAR",
+    "Kernel",
+    "STAGES",
     "SufaKernel",
+    "available_kernels",
     "available_sufa_kernels",
+    "default_kernel",
+    "fused_pair",
+    "get_kernel",
     "get_sufa_kernel",
+    "kernel_env_var",
+    "register_kernel",
     "register_sufa_kernel",
+    "resolve_kernel_name",
     "resolve_sufa_kernel_name",
+    "resolved_kernels",
     "stream_selected_blocked",
 ]

@@ -1,68 +1,110 @@
-"""Registry of interchangeable SU-FA streaming kernels.
+"""Per-stage registries of interchangeable pipeline-stage kernels.
 
-Every kernel implements one signature - the streaming contract of
-:func:`repro.core.sufa.stream_selected` minus the ``kernel`` argument::
+The pipeline has three dynamic-sparsity stages, and each one resolves its
+implementation through its own named registry:
 
-    kernel(q_rows, k_sel, v_sel, *, order, max_assurance, tile_cols)
-        -> SufaStackResult
+``"predict"``
+    DLZS score prediction.  A predict kernel drives a
+    :class:`~repro.core.dlzs.DlzsPredictor` /
+    :class:`~repro.core.dlzs.StackedDlzsPredictor` with the signature
+    ``kernel(predictor, tokens, q, *, cache=None, cache_keys=None)`` and
+    returns exactly what ``predictor.predict`` returns.
+``"select"``
+    SADS top-k selection.  A select kernel drives a
+    :class:`~repro.core.sads.SadsSorter` with the signature
+    ``kernel(sorter, scores, k) -> SadsStackResult`` over a ``(R, S)``
+    stack of score rows.
+``"stream"``
+    SU-FA streaming - the contract of
+    :func:`repro.core.sufa.stream_selected` minus the ``kernel`` argument::
 
-and every registered kernel must be **bit-for-bit interchangeable**: same
-output bits, same Max-Ensuring trigger counts, same per-row op tallies as
-the ``"reference"`` golden model on any input (the differential sweep in
-``tests/test_kernels_sufa.py`` is the enforcement).  Because all serving
-tiers (per-head pipeline, batched engine, thread backends, cluster workers)
-reach SU-FA through this registry, their mutual parity contract holds by
-construction - there is only one streaming implementation per process-wide
-selection, not one per tier.
+        kernel(q_rows, k_sel, v_sel, *, order, max_assurance, tile_cols)
+            -> SufaStackResult
 
-Selection precedence, first hit wins:
+Every registered kernel must be **bit-for-bit interchangeable** within its
+stage: same output bits, same selections, same op tallies and trigger
+counts as that stage's golden model on any input (the differential sweeps
+in ``tests/test_kernels_sufa.py`` and ``tests/test_kernels_fused.py`` are
+the enforcement, re-run per registered combination by CI's kernel-matrix
+job).  Because all serving tiers (per-head pipeline, batched engine,
+thread backends, cluster workers) reach every stage through these
+registries, their mutual parity contract holds by construction - there is
+only one implementation per stage per process-wide selection, not one per
+tier.  The same seam is where array-API backends (CuPy / torch) plug in
+later: a backend is just another registered kernel facing the same
+differential sweep.
+
+Selection precedence per stage, first hit wins:
 
 1. an explicit kernel name passed by the caller (``stream_selected(...,
-   kernel="reference")`` or ``SufaConfig.sufa.kernel != "auto"``);
-2. the :data:`KERNEL_ENV_VAR` environment variable (``SOFA_SUFA_KERNEL``);
-3. :data:`DEFAULT_SUFA_KERNEL` (``"blocked"``).
+   kernel="reference")``, ``SofaEngine(kernel=...)``, or a non-``"auto"``
+   ``kernel`` field on the stage's config dataclass);
+2. the stage's environment variable (:func:`kernel_env_var`):
+   ``SOFA_PREDICT_KERNEL`` / ``SOFA_SELECT_KERNEL`` / ``SOFA_SUFA_KERNEL``
+   (the stream stage keeps its historical PR-4 name);
+3. the stage default: ``reference`` / ``reference`` / ``blocked``.
 
 Adding a kernel takes one call (or decorator use)::
 
-    from repro.kernels import register_sufa_kernel
+    from repro.kernels import register_kernel
 
-    @register_sufa_kernel("mine")
+    @register_kernel("stream", "mine")
     def stream_selected_mine(q_rows, k_sel, v_sel, *, order, ...):
         ...
 
 after which ``kernel="mine"`` (or ``SOFA_SUFA_KERNEL=mine``) routes every
-tier through it.
+tier through it.  The SU-FA-only API of PR 4 (``register_sufa_kernel`` and
+friends) is kept as thin wrappers over the ``"stream"`` stage.
 """
 
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Callable
+from typing import Callable
 
-if TYPE_CHECKING:
-    from repro.core.sufa import SufaStackResult
+#: A stage kernel; the per-stage calling conventions are documented above.
+Kernel = Callable[..., object]
 
-#: A streaming kernel: the stream_selected contract minus ``kernel``.
-SufaKernel = Callable[..., "SufaStackResult"]
+#: Legacy alias for the stream-stage callable type (PR-4 API).
+SufaKernel = Kernel
 
-#: Environment override consulted when no explicit kernel name is given.
-KERNEL_ENV_VAR = "SOFA_SUFA_KERNEL"
+#: The pipeline stages with kernel registries, in pipeline order.
+STAGES = ("predict", "select", "stream")
 
-#: Registry fallback when neither caller nor environment picks a kernel.
-DEFAULT_SUFA_KERNEL = "blocked"
+#: Per-stage environment override consulted when no explicit name is given.
+#: ``stream`` keeps its PR-4 name (``SOFA_SUFA_KERNEL``) so existing
+#: deployments and the historical docs stay valid.
+_ENV_VARS = {
+    "predict": "SOFA_PREDICT_KERNEL",
+    "select": "SOFA_SELECT_KERNEL",
+    "stream": "SOFA_SUFA_KERNEL",
+}
+
+#: Per-stage registry fallback when neither caller nor environment picks.
+_DEFAULTS = {"predict": "reference", "select": "reference", "stream": "blocked"}
+
+#: Legacy names for the stream stage (PR-4 API surface).
+KERNEL_ENV_VAR = _ENV_VARS["stream"]
+DEFAULT_SUFA_KERNEL = _DEFAULTS["stream"]
 
 #: Names a caller may pass to mean "apply env/default precedence".
 _AUTO_NAMES = (None, "", "auto")
 
-_REGISTRY: dict[str, SufaKernel] = {}
+_REGISTRIES: dict[str, dict[str, Kernel]] = {stage: {} for stage in STAGES}
 _builtins_loaded = False
+
+
+def _check_stage(stage: str) -> str:
+    if stage not in _REGISTRIES:
+        raise ValueError(f"unknown kernel stage {stage!r}; stages: {STAGES}")
+    return stage
 
 
 def _load_builtins() -> None:
     """Register the in-tree kernels (lazily, to dodge import cycles).
 
-    ``repro.core.sufa`` must stay importable without this package and this
-    package needs the reference kernel from it, so the linkage happens on
+    ``repro.core`` must stay importable without this package while this
+    package needs the golden models from it, so the linkage happens on
     first registry use instead of at import time.
     """
     global _builtins_loaded
@@ -70,53 +112,140 @@ def _load_builtins() -> None:
         return
     _builtins_loaded = True
     from repro.core.sufa import stream_selected_reference
+    from repro.kernels.predict_select_fused import (
+        fused_predict_stage,
+        fused_select_stage,
+        predict_reference,
+        select_reference,
+    )
     from repro.kernels.sufa_blocked import stream_selected_blocked
 
-    _REGISTRY.setdefault("reference", stream_selected_reference)
-    _REGISTRY.setdefault("blocked", stream_selected_blocked)
+    _REGISTRIES["predict"].setdefault("reference", predict_reference)
+    _REGISTRIES["predict"].setdefault("fused", fused_predict_stage)
+    _REGISTRIES["select"].setdefault("reference", select_reference)
+    _REGISTRIES["select"].setdefault("fused", fused_select_stage)
+    _REGISTRIES["stream"].setdefault("reference", stream_selected_reference)
+    _REGISTRIES["stream"].setdefault("blocked", stream_selected_blocked)
 
 
-def register_sufa_kernel(
-    name: str, fn: SufaKernel | None = None, *, overwrite: bool = False
+def kernel_env_var(stage: str) -> str:
+    """The environment variable that overrides ``stage``'s kernel."""
+    return _ENV_VARS[_check_stage(stage)]
+
+
+def default_kernel(stage: str) -> str:
+    """The registry fallback name for ``stage``."""
+    return _DEFAULTS[_check_stage(stage)]
+
+
+def register_kernel(
+    stage: str, name: str, fn: Kernel | None = None, *, overwrite: bool = False
 ):
-    """Register ``fn`` under ``name``; usable as a decorator when ``fn`` is None.
+    """Register ``fn`` under ``stage``/``name``; decorator form when ``fn`` is None.
 
     Names are case-sensitive identifiers; re-registering an existing name
     raises unless ``overwrite=True`` (so a typo cannot silently shadow the
     built-ins the parity contract stands on).
     """
+    _check_stage(stage)
     if not name or name in _AUTO_NAMES:
         raise ValueError(f"kernel name {name!r} is reserved")
 
-    def _register(kernel: SufaKernel) -> SufaKernel:
+    def _register(kernel: Kernel) -> Kernel:
         _load_builtins()
-        if not overwrite and name in _REGISTRY and _REGISTRY[name] is not kernel:
-            raise ValueError(f"SU-FA kernel {name!r} is already registered")
-        _REGISTRY[name] = kernel
+        registry = _REGISTRIES[stage]
+        if not overwrite and name in registry and registry[name] is not kernel:
+            raise ValueError(f"{stage} kernel {name!r} is already registered")
+        registry[name] = kernel
         return kernel
 
     return _register if fn is None else _register(fn)
 
 
-def available_sufa_kernels() -> tuple[str, ...]:
-    """Registered kernel names, sorted."""
+def available_kernels(stage: str) -> tuple[str, ...]:
+    """Registered kernel names for ``stage``, sorted."""
+    _check_stage(stage)
     _load_builtins()
-    return tuple(sorted(_REGISTRY))
+    return tuple(sorted(_REGISTRIES[stage]))
 
 
-def resolve_sufa_kernel_name(name: str | None = None) -> str:
-    """Apply the selection precedence and validate the resulting name."""
+def resolve_kernel_name(stage: str, name: str | None = None) -> str:
+    """Apply the selection precedence for ``stage`` and validate the result.
+
+    An unknown name raises a :class:`ValueError` that says which stage was
+    being resolved, which **source** supplied the bad name (the explicit
+    argument, the stage's environment variable, or the registry default),
+    and what names *are* registered for that stage - so a typo'd env var in
+    a worker process is diagnosable from the error text alone.
+    """
+    _check_stage(stage)
     _load_builtins()
+    source = "explicit kernel argument"
     if name in _AUTO_NAMES:
-        name = os.environ.get(KERNEL_ENV_VAR) or DEFAULT_SUFA_KERNEL
-    if name not in _REGISTRY:
+        env_var = _ENV_VARS[stage]
+        env_value = os.environ.get(env_var)
+        if env_value:
+            name, source = env_value, f"environment variable {env_var}"
+        else:
+            name, source = _DEFAULTS[stage], "registry default"
+    if name not in _REGISTRIES[stage]:
         raise ValueError(
-            f"unknown SU-FA kernel {name!r}; available: {available_sufa_kernels()}"
+            f"unknown {stage} kernel {name!r} (from {source}); "
+            f"registered {stage} kernels: {available_kernels(stage)}"
         )
     return name
 
 
-def get_sufa_kernel(name: str | None = None) -> SufaKernel:
-    """The kernel callable for ``name`` (``None``/``"auto"`` -> env/default)."""
+def get_kernel(stage: str, name: str | None = None) -> Kernel:
+    """The kernel callable for ``stage``/``name`` (auto -> env/default)."""
     _load_builtins()
-    return _REGISTRY[resolve_sufa_kernel_name(name)]
+    return _REGISTRIES[_check_stage(stage)][resolve_kernel_name(stage, name)]
+
+
+def resolved_kernels(config) -> dict[str, str]:
+    """The per-stage kernel names a :class:`~repro.core.config.SofaConfig`
+    resolves to right now (env vars included) - the observability hook the
+    cluster workers report through their stats snapshots."""
+    return {
+        "predict": resolve_kernel_name("predict", config.dlzs.kernel),
+        "select": resolve_kernel_name("select", config.sads.kernel),
+        "stream": resolve_kernel_name("stream", config.sufa.kernel),
+    }
+
+
+# ------------------------------------------------------ PR-4 stream-only API
+def register_sufa_kernel(
+    name: str, fn: SufaKernel | None = None, *, overwrite: bool = False
+):
+    """Register a stream-stage kernel (PR-4 API; ``register_kernel`` wrapper).
+
+    Kept because external code and the bench suite register SU-FA kernels
+    through it; errors keep the legacy "SU-FA kernel" wording via the
+    stream stage.
+    """
+    if not name or name in _AUTO_NAMES:
+        raise ValueError(f"kernel name {name!r} is reserved")
+    return register_kernel("stream", name, fn, overwrite=overwrite)
+
+
+def available_sufa_kernels() -> tuple[str, ...]:
+    """Registered stream-stage kernel names, sorted (PR-4 API)."""
+    return available_kernels("stream")
+
+
+def resolve_sufa_kernel_name(name: str | None = None) -> str:
+    """Resolve a stream-stage kernel name (PR-4 API).
+
+    The legacy error wording ("unknown SU-FA kernel") is preserved on top
+    of the per-stage diagnostics, because serving-tier tests and callers
+    match on it.
+    """
+    try:
+        return resolve_kernel_name("stream", name)
+    except ValueError as error:
+        raise ValueError(f"unknown SU-FA kernel: {error}") from None
+
+
+def get_sufa_kernel(name: str | None = None) -> SufaKernel:
+    """The stream kernel callable for ``name`` (PR-4 API)."""
+    return _REGISTRIES["stream"][resolve_sufa_kernel_name(name)]

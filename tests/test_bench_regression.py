@@ -50,6 +50,10 @@ def _write_quick_artifacts(directory: pathlib.Path, scale: float = 1.0,
             {"blocked_vs_seed_loop": 6.8 * kernel_scale},
         ],
         "engine": {"blocked_requests_per_sec": 800.0 * scale},
+        "fused": [
+            {"fused_vs_unfused": 1.2 * kernel_scale},
+        ],
+        "fused_engine": {"fused_requests_per_sec": 25.0 * scale},
     }))
     # hit rate gates as a ratio metric, the store-vs-store rps as a rate
     (directory / "BENCH_cache_quick.json").write_text(json.dumps({
