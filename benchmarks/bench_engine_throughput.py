@@ -4,7 +4,9 @@ Three measurements, three artifacts:
 
 * ``BENCH_engine.json`` (PR 1): requests/sec of the fused batched engine vs
   a Python loop of per-head ``SofaAttention`` calls.  Acceptance anchor: on
-  an 8-head batch the engine must at least match the loop.
+  an 8-head batch the engine must at least match the loop.  PR 8 added
+  per-request latency quantiles (p50/p90/p99) read from the telemetry
+  plane's ``sofa_engine_request_latency_seconds`` histogram.
 * ``BENCH_engine_continuous.json``: the continuous serving paths - one
   mixed-shape stream through ``backend="sync"`` vs ``backend="threads"``,
   and a growing-sequence decode loop with the decode-step cache cold vs
@@ -43,6 +45,7 @@ import time
 import numpy as np
 import pytest
 
+import repro.obs as obs
 from repro.cluster import EngineCluster
 from repro.core.config import SofaConfig
 from repro.core.pipeline import SofaAttention
@@ -106,6 +109,25 @@ def _bit_identical(a_results, b_results) -> bool:
     )
 
 
+def _engine_request_latency() -> dict:
+    """Per-request latency quantiles of one engine pass over the workload,
+    read from the telemetry plane's latency histogram (submit to resolve,
+    queueing included - what a caller actually waits)."""
+    obs.reset_telemetry(enabled=True)
+    try:
+        _run_engine(_make_requests())
+        snap = obs.get_telemetry().registry.snapshot()
+        hist = snap["histograms"]["sofa_engine_request_latency_seconds"]
+    finally:
+        obs.reset_telemetry()  # back to the environment's verdict
+    return {
+        "p50_s": hist["p50"],
+        "p90_s": hist["p90"],
+        "p99_s": hist["p99"],
+        "count": hist["count"],
+    }
+
+
 def measure() -> dict:
     """One full measurement: both paths plus a parity confirmation."""
     requests = _make_requests()
@@ -128,6 +150,7 @@ def measure() -> dict:
         "sequential_requests_per_sec": seq_rps,
         "engine_requests_per_sec": eng_rps,
         "speedup": eng_rps / seq_rps,
+        "engine_request_latency": _engine_request_latency(),
         "bit_identical": exact,
     }
 

@@ -39,6 +39,11 @@ file                                  metric
                                       stream under byte pressure (the flat
                                       LRU scores ~0 there; a drop means
                                       sharing or spill broke).
+``BENCH_obs_quick``                   ``obs_overhead_ratio`` - telemetry-
+                                      enabled vs -disabled serving rate on
+                                      the long-selection stream (a *ratio*
+                                      near 1.0; a drop means the obs plane
+                                      grew a hot-path cost).
 ``BENCH_cache_quick``                 ``paged_vs_flat_requests_per_sec`` -
                                       the paged store's serving-rate win
                                       over the flat LRU on that stream.
@@ -115,6 +120,10 @@ def _sufa_fused_engine_rps(record: dict[str, Any]) -> float:
     return float(record["fused_engine"]["fused_requests_per_sec"])
 
 
+def _obs_overhead_ratio(record: dict[str, Any]) -> float:
+    return float(record["obs_overhead_ratio"])
+
+
 def _cache_paged_hit_rate(record: dict[str, Any]) -> float:
     return float(record["paged"]["steady_hit_rate"])
 
@@ -164,6 +173,12 @@ METRICS: list[tuple[str, str, Callable[[dict[str, Any]], float], str]] = [
         "fused_engine.fused_requests_per_sec",
         _sufa_fused_engine_rps,
         "rate",
+    ),
+    (
+        "BENCH_obs_quick.json",
+        "obs_overhead_ratio",
+        _obs_overhead_ratio,
+        "ratio",
     ),
     (
         "BENCH_cache_quick.json",

@@ -33,6 +33,13 @@ contribution:
     cross-request dedup, failure re-routing and opt-in supervision
     (heartbeats, auto-respawn/reconnect), plus an ``AsyncSofaClient``
     for asyncio serving loops.
+``repro.obs``
+    The telemetry plane: a metrics registry (counters/gauges/latency
+    histograms, JSON snapshots and Prometheus text), request-lifecycle
+    span tracing with Chrome trace-event export stitched across the
+    cluster's process line, and a global switch (``SOFA_TELEMETRY=1``)
+    that makes every hook a no-op when off - serving stays bit-identical
+    either way.
 ``repro.hw``
     A cycle-approximate model of the SOFA accelerator: engines, SRAM/DRAM,
     RASS scheduling and area/power accounting.
@@ -51,7 +58,7 @@ from repro.core.sufa import sorted_updating_attention
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
 from repro.kernels import available_sufa_kernels, get_sufa_kernel, register_sufa_kernel
 
-__version__ = "1.5.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "SofaConfig",

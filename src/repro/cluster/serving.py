@@ -79,6 +79,7 @@ from __future__ import annotations
 import pickle
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping
 
@@ -96,6 +97,7 @@ from repro.engine.serving import (
     config_with_kernels,
     validate_request,
 )
+from repro.obs import get_telemetry
 from repro.cluster.routing import POLICIES, RequestInfo, make_policy
 from repro.cluster.supervisor import (
     SupervisionStats,
@@ -158,6 +160,14 @@ class WorkerStats:
     environment's ``SOFA_<STAGE>_KERNEL``, or the registry default) - the
     observable that proves env-driven kernel selection crossed the
     process/socket boundary.
+
+    ``snapshot_received`` distinguishes "this worker has genuinely served
+    nothing" from "no snapshot has arrived yet": every counter below
+    defaults to zero, so without the flag a freshly started (or
+    never-routed-to) worker was indistinguishable from an idle one.
+    ``telemetry`` carries the worker's own metrics-registry snapshot when
+    the telemetry plane is enabled (merge across workers with
+    :func:`repro.obs.merge_snapshots`), else ``None``.
     """
 
     worker_id: int
@@ -166,6 +176,8 @@ class WorkerStats:
     n_batches: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     kernels: dict[str, str] = field(default_factory=dict)
+    snapshot_received: bool = False
+    telemetry: dict[str, Any] | None = None
 
 
 @dataclass
@@ -251,6 +263,11 @@ class _InFlight:
     worker: int | None
     futures: list[ClusterFuture] = field(default_factory=list)
     rerouted: int = 0
+    #: telemetry: the frontend root span (cluster.request, submit to
+    #: resolution) and the per-dispatch cluster.rpc span - both ``None``
+    #: with the plane disabled.
+    span: Any = None
+    rpc_span: Any = None
 
 
 class _WorkerHandle:
@@ -275,6 +292,9 @@ class _WorkerHandle:
         self.snapshot: dict[str, Any] | None = None
 
     def stats(self) -> WorkerStats:
+        # "No snapshot yet" must not masquerade as an idle worker's zeros:
+        # the flag is the only honest signal before the first result frame.
+        received = self.snapshot is not None
         snap = self.snapshot or {}
         cache = snap.get("cache") or {}
         return WorkerStats(
@@ -284,6 +304,8 @@ class _WorkerHandle:
             n_batches=snap.get("n_batches", 0),
             cache=CacheStats(**cache),
             kernels=dict(snap.get("kernels") or {}),
+            snapshot_received=received,
+            telemetry=snap.get("telemetry"),
         )
 
 
@@ -430,6 +452,10 @@ class EngineCluster:
         self._n_errors = 0
         self._shut_down = False
 
+        obs = get_telemetry()
+        if obs.enabled:
+            self._register_metrics(obs)
+
         self._engine_kwargs = {
             "config": encode_config(self.config),
             "max_batch_heads": max_batch_heads,
@@ -480,6 +506,40 @@ class EngineCluster:
             self.shutdown()
             raise ClusterError("one or more cluster workers failed to start")
 
+    def _register_metrics(self, obs) -> None:
+        """Frontend counters as weakref-backed callback gauges.
+
+        A retired cluster reads 0 instead of being pinned by telemetry;
+        gauge callbacks run outside the registry lock (see
+        :meth:`repro.obs.MetricsRegistry.snapshot`), so taking this
+        cluster's re-entrant lock here cannot deadlock against metric
+        updates made while it is held.
+        """
+        ref = weakref.ref(self)
+
+        def gauge(name: str, read: Callable[["EngineCluster"], float]) -> None:
+            def callback() -> float:
+                cluster = ref()
+                return float(read(cluster)) if cluster is not None else 0.0
+
+            obs.register_gauge(name, callback)
+
+        def locked_pending(cluster: "EngineCluster") -> float:
+            with cluster._lock:
+                return sum(len(r.futures) for r in cluster._inflight.values())
+
+        gauge("sofa_cluster_submitted_total", lambda c: c._n_submitted)
+        gauge("sofa_cluster_deduped_total", lambda c: c._n_deduped)
+        gauge("sofa_cluster_rerouted_total", lambda c: c._n_rerouted)
+        gauge("sofa_cluster_worker_failures_total", lambda c: c._n_failures)
+        gauge("sofa_cluster_completed_total", lambda c: c._n_completed)
+        gauge("sofa_cluster_errors_total", lambda c: c._n_errors)
+        gauge("sofa_cluster_pending_requests", locked_pending)
+        gauge(
+            "sofa_cluster_live_workers",
+            lambda c: sum(1 for w in c._slots if w.alive and w.ready),
+        )
+
     # ---------------------------------------------------------------- topology
     def _dead_count(self) -> int:
         return sum(1 for w in self._slots if not w.alive)
@@ -514,7 +574,23 @@ class EngineCluster:
             if self._shut_down:
                 raise ClusterError("cluster is shut down")
             validate_request(request, self.config)
-            payload = encode_request(request)
+            obs = get_telemetry()
+            span = None
+            if obs.enabled:
+                # The root span's identity rides in the frame's optional
+                # "trace" field so the worker can stitch its spans under
+                # this request's timeline (fingerprints exclude it - see
+                # encode_request - so tracing never splits dedup).
+                span = obs.start_span(
+                    "cluster.request", attrs={"tag": request.tag or ""}
+                )
+                t_enc = obs.clock()
+                payload = encode_request(
+                    request, trace=(span.trace_id, span.span_id)
+                )
+                obs.observe_since("sofa_codec_encode_seconds", t_enc)
+            else:
+                payload = encode_request(request)
             # The fingerprint hashes every tensor byte - only worth it when
             # dedup can use it (sha256 digests are never empty, so "" can
             # not collide with a real fingerprint).
@@ -526,6 +602,9 @@ class EngineCluster:
                 primary = self._dedup_window[fingerprint]
                 self._inflight[primary].futures.append(future)
                 self._n_deduped += 1
+                # This submission shares the primary's execution; its own
+                # span ends here as the dedup-hit marker.
+                obs.end_span(span, deduped=True)
                 return future
 
             info = self._request_info(payload, fingerprint)
@@ -540,11 +619,13 @@ class EngineCluster:
                 payload=payload, info=info, fingerprint=fingerprint, worker=None
             )
             record.futures.append(future)
+            record.span = span
             self._inflight[req_id] = record
             if self.dedup:
                 self._dedup_window[fingerprint] = req_id
             if live:
                 record.worker = self._policy.route(info, live)
+                record.rpc_span = self._start_rpc_span(record)
                 self._workers[record.worker].link.send(("req", req_id, payload))
             # else: parked - replayed when supervision recovers a worker
             return future
@@ -558,6 +639,26 @@ class EngineCluster:
             self._supervisor is not None
             and self._supervisor.can_recover()
         )
+
+    def _start_rpc_span(self, record: _InFlight) -> Any:
+        """Open one cluster.rpc span for the record's current dispatch."""
+        if record.span is None:
+            return None
+        return get_telemetry().start_span(
+            "cluster.rpc",
+            trace_id=record.span.trace_id,
+            parent_id=record.span.span_id,
+            attrs={"worker": record.worker, "rerouted": record.rerouted},
+        )
+
+    def _finish_record_spans(self, record: _InFlight, error: str | None = None) -> None:
+        """Close a resolved (or failed) record's rpc and root spans."""
+        obs = get_telemetry()
+        extra = {} if error is None else {"error": error}
+        obs.end_span(record.rpc_span, **extra)
+        obs.end_span(record.span, **extra)
+        record.rpc_span = None
+        record.span = None
 
     def _request_info(self, payload: dict[str, Any], fingerprint: str) -> RequestInfo:
         """Build the routing view: shape key, cache key, S*T cost."""
@@ -662,11 +763,20 @@ class EngineCluster:
             return None  # note_seen above is the whole point
         if kind == "result":
             _, _, req_id, result_payload, snapshot = message
+            obs = get_telemetry()
+            # The worker's finished spans ride home piggybacked on the
+            # snapshot; pop them regardless of the local enabled flag so
+            # they never linger in the stored stats dict.
+            spans = snapshot.pop("spans", None) if isinstance(snapshot, dict) else None
+            if spans and obs.enabled:
+                obs.tracer.ingest(spans)
             if handle is not None:
                 handle.snapshot = snapshot
             record = self._inflight.pop(req_id, None)
             if record is None:  # resolved by a re-route race; stats still count
                 return None
+            obs.end_span(record.rpc_span)
+            record.rpc_span = None
             self._dedup_window.pop(record.fingerprint, None)
             if record.worker is not None:
                 self._policy.retire(record.worker, record.info.cost)
@@ -675,7 +785,10 @@ class EngineCluster:
                 # Each future decodes its own tensors so callers never
                 # share (and can never cross-mutate) result arrays.
                 try:
-                    future.set_result(decode_result(result_payload))
+                    t_dec = obs.clock()
+                    result = decode_result(result_payload)
+                    obs.observe_since("sofa_codec_decode_seconds", t_dec)
+                    future.set_result(result)
                 except Exception as error:  # noqa: BLE001 - codec failure
                     # A result payload this frontend cannot decode (codec
                     # skew, corruption) fails the future instead of
@@ -686,6 +799,10 @@ class EngineCluster:
                         first_decode_error = error
                 else:
                     self._n_completed += 1
+            self._finish_record_spans(
+                record,
+                error=None if first_decode_error is None else repr(first_decode_error),
+            )
             return first_decode_error
         if kind == "error":
             _, _, req_id, error_bytes = message
@@ -696,6 +813,7 @@ class EngineCluster:
             if record.worker is not None:
                 self._policy.retire(record.worker, record.info.cost)
             error = pickle.loads(error_bytes)
+            self._finish_record_spans(record, error=repr(error))
             for future in record.futures:
                 future.set_error(error)
                 self._n_errors += 1
@@ -759,10 +877,14 @@ class EngineCluster:
                 continue  # its result arrived in the drain above
             assert record.worker is not None
             self._policy.retire(record.worker, record.info.cost)
+            if record.rpc_span is not None:
+                get_telemetry().end_span(record.rpc_span, error="worker_died")
+                record.rpc_span = None
             if live:
                 record.worker = self._policy.route(record.info, live)
                 record.rerouted += 1
                 self._n_rerouted += 1
+                record.rpc_span = self._start_rpc_span(record)
                 self._workers[record.worker].link.send(
                     ("req", req_id, record.payload)
                 )
@@ -779,6 +901,7 @@ class EngineCluster:
                     error.__cause__ = handle.link.error
                 if first_error is None:
                     first_error = error
+                self._finish_record_spans(record, error=repr(error))
                 for future in record.futures:
                     future.set_error(error)
                     self._n_errors += 1
@@ -795,6 +918,7 @@ class EngineCluster:
             record.worker = self._policy.route(record.info, live)
             record.rerouted += 1
             self._n_rerouted += 1
+            record.rpc_span = self._start_rpc_span(record)
             self._workers[record.worker].link.send(
                 ("req", req_id, record.payload)
             )
@@ -813,6 +937,7 @@ class EngineCluster:
                 "supervision exhausted its recovery attempts with no live "
                 "worker left"
             )
+            self._finish_record_spans(record, error=repr(error))
             for future in record.futures:
                 future.set_error(error)
                 self._n_errors += 1
@@ -1041,6 +1166,7 @@ class EngineCluster:
                 pass
             error = ClusterError("cluster shut down with requests in flight")
             for record in self._inflight.values():
+                self._finish_record_spans(record, error=repr(error))
                 for future in record.futures:
                     if not future.done():
                         future.set_error(error)

@@ -49,6 +49,7 @@ from typing import Any
 import multiprocessing as mp
 
 from repro.engine.codec import FrameDecoder, FrameError, encode_frame
+from repro.obs import get_telemetry
 
 
 class TransportError(RuntimeError):
@@ -290,11 +291,16 @@ class _SocketWorkerLink(WorkerLink):
                 except FrameError as error:
                     self._error = error
                 break
+            obs = get_telemetry()
+            if obs.enabled:
+                obs.inc("sofa_transport_bytes_received_total", float(len(data)))
             try:
                 messages = decoder.feed(data)
             except FrameError as error:
                 self._error = error
                 break
+            if messages and obs.enabled:
+                obs.inc("sofa_transport_frames_received_total", float(len(messages)))
             for message in messages:
                 self._deliveries.put(message)
         self._alive = False
@@ -303,12 +309,18 @@ class _SocketWorkerLink(WorkerLink):
         if not self.is_alive():
             return False
         frame = encode_frame(message)
+        obs = get_telemetry()
+        t0 = obs.clock()
         try:
             with self._send_lock:
                 self._sock.sendall(frame)
         except OSError:
             self._alive = False
             return False
+        if obs.enabled:
+            obs.observe_since("sofa_transport_send_seconds", t0)
+            obs.inc("sofa_transport_frames_sent_total")
+            obs.inc("sofa_transport_bytes_sent_total", float(len(frame)))
         return True
 
     def is_alive(self) -> bool:

@@ -66,8 +66,14 @@ import pickle
 import queue
 from typing import Any, Callable
 
-from repro.engine.codec import decode_config, decode_request, encode_result
+from repro.engine.codec import (
+    decode_config,
+    decode_request,
+    encode_result,
+    request_trace_context,
+)
 from repro.engine.serving import SofaEngine
+from repro.obs import get_telemetry, reset_telemetry
 
 
 def stats_snapshot(engine: SofaEngine) -> dict[str, Any]:
@@ -76,9 +82,15 @@ def stats_snapshot(engine: SofaEngine) -> dict[str, Any]:
     ``kernels`` is resolved by the worker's own engine against the
     worker's own environment - it is the frontend-visible proof of which
     per-stage kernels (env vars included) this process actually runs.
+
+    With telemetry enabled the snapshot additionally carries this
+    worker's metrics registry (``"telemetry"``) and *drains* its finished
+    spans (``"spans"``) - the piggyback channel that stitches worker
+    spans into the frontend's trace without a separate control
+    round-trip.
     """
     cache = engine.stats.cache
-    return {
+    snap: dict[str, Any] = {
         "n_requests": engine.stats.n_requests,
         "n_batches": engine.stats.n_batches,
         "n_steps": engine.stats.n_steps,
@@ -99,6 +111,11 @@ def stats_snapshot(engine: SofaEngine) -> dict[str, Any]:
             "spill_loads": cache.spill_loads,
         },
     }
+    obs = get_telemetry()
+    if obs.enabled:
+        snap["telemetry"] = obs.registry.snapshot()
+        snap["spans"] = obs.tracer.drain()
+    return snap
 
 
 def _pickle_exception(error: Exception) -> bytes:
@@ -124,22 +141,35 @@ class EngineMessageServer:
         self.engine = engine
         self.send = send
         self.running = True
-        self._served: list[tuple[int, Any]] = []
+        self._served: list[tuple[int, Any, Any]] = []
 
     def handle(self, message: tuple) -> None:
         kind = message[0]
         if kind == "req":
             _, req_id, payload = message
+            obs = get_telemetry()
+            span = None
+            if obs.enabled:
+                # Parent this worker's span under the frontend's propagated
+                # (trace_id, span_id) context when the frame carries one.
+                ctx = request_trace_context(payload)
+                span = obs.start_span(
+                    "worker.request",
+                    trace_id=ctx[0] if ctx else None,
+                    parent_id=ctx[1] if ctx else None,
+                    attrs={"worker": self.worker_id, "req_id": req_id},
+                )
             try:
                 # decode_request raises CodecError on truncated/skewed
                 # payloads - reported per request, never loop-fatal.
                 future = self.engine.submit(decode_request(payload))
             except Exception as error:  # noqa: BLE001 - reported per request
+                obs.end_span(span, error=repr(error))
                 self.send(
                     ("error", self.worker_id, req_id, _pickle_exception(error))
                 )
                 return
-            self._served.append((req_id, future))
+            self._served.append((req_id, future, span))
         elif kind == "invalidate":
             _, ctl_id, key_bytes = message
             dropped = self.engine.invalidate_cache(pickle.loads(key_bytes))
@@ -172,14 +202,19 @@ class EngineMessageServer:
             # run_until_drained re-raises the first batch error after the
             # drain; each failed future already holds its own.
             pass
-        for req_id, future in served:
+        obs = get_telemetry()
+        for req_id, future, span in served:
             try:
                 result = future.result()
             except Exception as error:  # noqa: BLE001 - reported per request
+                obs.end_span(span, error=repr(error))
                 self.send(
                     ("error", self.worker_id, req_id, _pickle_exception(error))
                 )
             else:
+                # End before the snapshot below so this request's own span
+                # rides home in the very result frame that resolves it.
+                obs.end_span(span)
                 self.send(
                     (
                         "result",
@@ -205,6 +240,12 @@ def _build_engine(engine_kwargs: dict[str, Any], worker_id: int | None = None) -
     co-hosted workers each get their own spill/persistence subdirectory
     instead of clobbering one another's manifests.
     """
+    # Fresh telemetry first: a forked local worker inherits the frontend's
+    # singleton - its spans and counters included - and must not re-ship
+    # the frontend's own telemetry back to it.  (Socket sessions get a
+    # clean registry per engine/session for the same reason.)  The engine
+    # constructed below registers its gauges into this fresh singleton.
+    reset_telemetry()
     kwargs = dict(engine_kwargs)
     kwargs["config"] = decode_config(kwargs.get("config"))
     if worker_id is not None and kwargs.get("cache_spill_dir"):
@@ -297,7 +338,12 @@ def _serve_connection(conn) -> bool:
     decoder = FrameDecoder()
 
     def send(message: tuple) -> None:
-        conn.sendall(encode_frame(message))
+        frame = encode_frame(message)
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.inc("sofa_transport_frames_sent_total")
+            obs.inc("sofa_transport_bytes_sent_total", float(len(frame)))
+        conn.sendall(frame)
 
     try:
         first = _recv_greedy(conn, decoder)

@@ -49,6 +49,7 @@ from repro.core.sads import SadsSorter
 from repro.core.sufa import UpdateOrder, stream_selected
 from repro.kernels.predict_select_fused import fused_pair
 from repro.kernels.registry import get_kernel
+from repro.obs import get_telemetry
 from repro.numerics.complexity import OpCounter, matmul_ops
 from repro.numerics.linalg import det_gathered_project
 
@@ -178,23 +179,42 @@ class BatchedSofaAttention:
         # identical for every head in the batch (shared (S, Bc) grid).
         sorter = SadsSorter(cfg.sads_for(n_tiles))
         fused = fused_pair(predict_kernel, select_kernel)
+        # Telemetry wraps the stage *calls*, never the registry callables:
+        # fused_pair detects fusion by kernel identity (fused_owner), so the
+        # kernels themselves must stay unwrapped.
+        obs = get_telemetry()
         if fused is not None:
-            prep, stack = fused.run_stacked(
-                self.predictor,
-                sorter,
-                tokens,
-                q,
-                k_count,
-                cache=cache,
-                cache_keys=cache_keys,
-            )
+            with obs.span(
+                "stage.predict_select_fused",
+                attrs={"rows": n * t, "s": s},
+                hist="sofa_stage_predict_select_fused_seconds",
+            ):
+                prep, stack = fused.run_stacked(
+                    self.predictor,
+                    sorter,
+                    tokens,
+                    q,
+                    k_count,
+                    cache=cache,
+                    cache_keys=cache_keys,
+                )
             head_ops = prep.head_ops
         else:
-            pred = predict_kernel(
-                self.predictor, tokens, q, cache=cache, cache_keys=cache_keys
-            )
+            with obs.span(
+                "stage.predict",
+                attrs={"rows": n * t, "s": s},
+                hist="sofa_stage_predict_seconds",
+            ):
+                pred = predict_kernel(
+                    self.predictor, tokens, q, cache=cache, cache_keys=cache_keys
+                )
             head_ops = pred.head_ops
-            stack = select_kernel(sorter, pred.a_hat.reshape(n * t, s), k_count)
+            with obs.span(
+                "stage.select",
+                attrs={"rows": n * t, "k": k_count},
+                hist="sofa_stage_select_seconds",
+            ):
+                stack = select_kernel(sorter, pred.a_hat.reshape(n * t, s), k_count)
         pred_dram, pred_sram = prediction_trace_bytes(cfg, s, h, dk, t)
         kk = stack.indices.shape[1]
         selected = stack.indices.reshape(n, t, kk)
@@ -202,6 +222,7 @@ class BatchedSofaAttention:
         sads_sram = sads_trace_sram(cfg, t, k_count)
 
         # ------------------------------------------- stage 3: on-demand KV + SU-FA
+        t_kv = obs.clock()
         sel_mask = np.zeros((n, s), dtype=bool)
         np.put_along_axis(sel_mask, selected.reshape(n, t * kk), True, axis=1)
         head_idx, tok_idx = np.nonzero(sel_mask)  # per head, ascending tokens
@@ -228,15 +249,21 @@ class BatchedSofaAttention:
         head_arange = np.arange(n)[:, None, None]
         k_sel = k_mat[head_arange, selected]  # (N, T, kk, Dk)
         v_sel = v_mat[head_arange, selected]  # (N, T, kk, Dv)
-        stream = stream_selected(
-            q.reshape(n * t, d),
-            k_sel.reshape(n * t, kk, dk),
-            v_sel.reshape(n * t, kk, dv),
-            order=UpdateOrder.DESCENDING if cfg.sufa.descending else UpdateOrder.ASCENDING,
-            max_assurance=cfg.sufa.max_assurance,
-            tile_cols=cfg.tile_cols,
-            kernel=cfg.sufa.kernel,
-        )
+        obs.observe_since("sofa_stage_kv_gather_seconds", t_kv)
+        with obs.span(
+            "stage.stream",
+            attrs={"rows": n * t, "k": kk},
+            hist="sofa_stage_stream_seconds",
+        ):
+            stream = stream_selected(
+                q.reshape(n * t, d),
+                k_sel.reshape(n * t, kk, dk),
+                v_sel.reshape(n * t, kk, dv),
+                order=UpdateOrder.DESCENDING if cfg.sufa.descending else UpdateOrder.ASCENDING,
+                max_assurance=cfg.sufa.max_assurance,
+                tile_cols=cfg.tile_cols,
+                kernel=cfg.sufa.kernel,
+            )
         outputs = stream.output.reshape(n, t, dv)
         sufa_ops_rows = {
             op: counts.reshape(n, t) for op, counts in stream.op_rows.items()

@@ -69,6 +69,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
+from repro.obs import get_telemetry
+
 import numpy as np
 
 
@@ -161,6 +163,35 @@ class CacheStats:
             spilled_blocks=self.spilled_blocks,
             spilled_bytes=self.spilled_bytes,
             spill_loads=self.spill_loads,
+        )
+
+    def register_metrics(self, registry, prefix: str = "sofa_cache") -> None:
+        """Expose every counter field as a callback gauge on ``registry``.
+
+        Weakref-backed (:func:`repro.obs.register_stats_gauges`): a retired
+        cache reads 0 instead of being pinned by its telemetry.
+        """
+        from repro.obs import register_stats_gauges
+
+        register_stats_gauges(
+            registry,
+            prefix,
+            self,
+            (
+                "hits",
+                "misses",
+                "invalidations",
+                "evictions",
+                "expirations",
+                "rows_reused",
+                "rows_appended",
+                "resident_bytes",
+                "resident_blocks",
+                "shared_blocks",
+                "spilled_blocks",
+                "spilled_bytes",
+                "spill_loads",
+            ),
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -331,6 +362,8 @@ class DecodeStepCache:
 
     def get(self, key: Hashable) -> DecodeCacheEntry | None:
         """Return the live entry for ``key`` (marking it recently used)."""
+        obs = get_telemetry()
+        t0 = obs.clock()
         with self._lock:
             now = self._clock()
             self._sweep_expired_locked(now)
@@ -338,7 +371,8 @@ class DecodeStepCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._last_used[key] = now
-            return entry
+        obs.observe_since("sofa_cache_lookup_seconds", t0)
+        return entry
 
     def put(self, key: Hashable, entry: DecodeCacheEntry) -> None:
         """Insert/replace the entry for ``key``, evicting LRU overflow.

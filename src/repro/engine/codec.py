@@ -239,8 +239,20 @@ def decode_config(payload: dict[str, Any] | None) -> SofaConfig | None:
     )
 
 
-def encode_request(request: AttentionRequest) -> dict[str, Any]:
-    """One request as a flat, transport-agnostic payload."""
+def encode_request(
+    request: AttentionRequest,
+    trace: tuple[str, str] | None = None,
+) -> dict[str, Any]:
+    """One request as a flat, transport-agnostic payload.
+
+    ``trace`` optionally carries the frontend's ``(trace_id, span_id)``
+    telemetry context so the worker can parent its spans under the
+    submitting request's timeline.  The field is additive and
+    observability-only: old decoders ignore unknown keys, frames without
+    it decode exactly as before (``CODEC_VERSION`` is unchanged), and
+    :func:`request_fingerprint` hashes a fixed key list that excludes it,
+    so tracing can never split request dedup.
+    """
     if request.cache_key is not None:
         # The key must survive the hop intact (workers namespace their cache
         # with it); pickling here keeps arbitrary hashables working while the
@@ -248,7 +260,7 @@ def encode_request(request: AttentionRequest) -> dict[str, Any]:
         cache_key = pickle.dumps(request.cache_key, protocol=pickle.HIGHEST_PROTOCOL)
     else:
         cache_key = None
-    return {
+    payload = {
         "v": CODEC_VERSION,
         "tokens": _encode_array(np.asarray(request.tokens)),
         "q": _encode_array(np.asarray(request.q)),
@@ -264,6 +276,26 @@ def encode_request(request: AttentionRequest) -> dict[str, Any]:
         "cache_key": cache_key,
         "deadline": request.deadline,
     }
+    if trace is not None:
+        payload["trace"] = (str(trace[0]), str(trace[1]))
+    return payload
+
+
+def request_trace_context(payload: dict[str, Any]) -> tuple[str, str] | None:
+    """The ``(trace_id, span_id)`` a request frame carries, if any.
+
+    Defensive on purpose: frames from older encoders have no ``trace``
+    key, and a malformed field is treated as absent rather than failing
+    a request over telemetry metadata.
+    """
+    trace = payload.get("trace")
+    if (
+        isinstance(trace, (tuple, list))
+        and len(trace) == 2
+        and all(isinstance(part, str) and part for part in trace)
+    ):
+        return (trace[0], trace[1])
+    return None
 
 
 def decode_request(payload: dict[str, Any]) -> AttentionRequest:

@@ -56,6 +56,7 @@ from typing import Callable, Hashable
 import numpy as np
 
 from repro.engine.cache import CacheStats, DecodeCacheEntry, prefix_matches
+from repro.obs import get_telemetry
 
 #: order of the per-row arrays inside a block / spill file.
 _FIELDS = ("tokens", "tok_values", "key_values")
@@ -196,8 +197,11 @@ class PagedDecodeCache:
         if block.on_disk:
             return
         assert block.arrays is not None
+        obs = get_telemetry()
+        t0 = obs.clock()
         np.savez(self._block_path(block.content_hash),
                  **dict(zip(_FIELDS, block.arrays)))
+        obs.observe_since("sofa_cache_spill_write_seconds", t0)
         block.on_disk = True
 
     def _spill_block(self, block: _Block) -> None:
@@ -211,11 +215,14 @@ class PagedDecodeCache:
         """Fault a spilled block back into RAM; False if unreadable."""
         if block.resident:
             return True
+        obs = get_telemetry()
+        t0 = obs.clock()
         try:
             with np.load(self._block_path(block.content_hash)) as archive:
                 block.arrays = tuple(archive[name] for name in _FIELDS)
         except Exception:
             return False
+        obs.observe_since("sofa_cache_spill_load_seconds", t0)
         self.stats.spill_loads += 1
         return True
 
@@ -332,6 +339,13 @@ class PagedDecodeCache:
         callers can never write through to pooled blocks.  An unreadable
         spill file demotes every entry referencing that block to a miss.
         """
+        obs = get_telemetry()
+        t0 = obs.clock()
+        entry = self._get_entry(key)
+        obs.observe_since("sofa_cache_lookup_seconds", t0)
+        return entry
+
+    def _get_entry(self, key: Hashable) -> DecodeCacheEntry | None:
         with self._lock:
             now = self._clock()
             self._sweep_expired_locked(now)

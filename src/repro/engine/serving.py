@@ -53,6 +53,7 @@ import hashlib
 import math
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Hashable, Mapping
@@ -70,6 +71,7 @@ from repro.kernels import (
     resolve_sufa_kernel_name,
     resolved_kernels,
 )
+from repro.obs import get_telemetry
 
 
 def config_with_kernels(
@@ -146,6 +148,10 @@ class AttentionFuture:
         self._engine = engine
         self._result: SofaAttentionResult | None = None
         self._error: Exception | None = None
+        #: monotonic submission stamp - queue-wait accounting reads it
+        self.submitted_at = time.monotonic()
+        #: open telemetry span for this request (None when telemetry is off)
+        self.span = None
 
     def done(self) -> bool:
         return self._result is not None or self._error is not None
@@ -213,13 +219,21 @@ def validate_request(request: AttentionRequest, default_config: SofaConfig) -> N
 
 @dataclass
 class BatchRecord:
-    """One executed batch: its grid, size, and how long it waited."""
+    """One executed batch: its grid, size, and how long it waited.
+
+    ``queue_wait_s`` is the monotonic-clock span from the *earliest*
+    member's submission to the batch starting to execute; ``execute_s``
+    the fused call's own duration.  Both are recorded unconditionally
+    (two clock reads per batch), independent of the telemetry plane.
+    """
 
     n_heads: int
     seq_len: int
     n_queries: int
     tile_cols: int
     waited_rounds: int = 0
+    queue_wait_s: float = 0.0
+    execute_s: float = 0.0
 
 
 @dataclass
@@ -265,6 +279,22 @@ class EngineStats:
     def cache_expirations(self) -> int:
         """Decode-cache entries dropped by the idle TTL (abandoned sequences)."""
         return self.cache.expirations
+
+    def register_metrics(self, registry, prefix: str = "sofa_engine") -> None:
+        """Expose these counters through a metrics registry (callback gauges).
+
+        Part of the :mod:`repro.obs` plane: the registry reads the live
+        attributes at export time (weakref-held, so a retired engine's
+        stats decay to 0), and the engine's decode-cache counters register
+        alongside under ``<prefix>_cache_*``.
+        """
+        from repro.obs import register_stats_gauges
+
+        register_stats_gauges(
+            registry, prefix, self,
+            ("n_requests", "n_batches", "n_steps", "mean_batch_heads"),
+        )
+        self.cache.register_metrics(registry, prefix=f"{prefix}_cache")
 
 
 @dataclass
@@ -371,6 +401,14 @@ class SofaEngine:
         self._groups: OrderedDict[Hashable, _Group] = OrderedDict()
         self._operators: OrderedDict[Hashable, BatchedSofaAttention] = OrderedDict()
         self._op_lock = threading.Lock()  # worker threads share the LRU
+        obs = get_telemetry()
+        if obs.enabled:
+            self.stats.register_metrics(obs.registry)
+            engine_ref = weakref.ref(self)
+            obs.register_gauge(
+                "sofa_engine_pending_requests",
+                lambda: float(e.pending) if (e := engine_ref()) else 0.0,
+            )
 
     @property
     def backend(self) -> str:
@@ -425,8 +463,20 @@ class SofaEngine:
         group for its grid, including groups formed in earlier rounds that
         have not executed yet.
         """
+        obs = get_telemetry()
+        t0 = obs.clock()
         validate_request(request, self.config)
+        obs.observe_since("sofa_engine_validate_seconds", t0)
         future = AttentionFuture(self)
+        if obs.enabled:
+            obs.inc("sofa_engine_requests_total")
+            tokens = np.asarray(request.tokens)
+            future.span = obs.start_span(
+                "engine.request",
+                attrs={"s": int(tokens.shape[0]),
+                       "t": int(np.asarray(request.q).shape[0]),
+                       "tag": request.tag or ""},
+            )
         key = self._batch_key(request)
         group = self._groups.get(key)
         if group is None:
@@ -596,10 +646,13 @@ class SofaEngine:
 
         records: list[BatchRecord] = []
         first_error: Exception | None = None
+        obs = get_telemetry()
         for (chunk, _age), outcome in zip(chunks, outcomes):
             if isinstance(outcome, Exception):
                 for _, future in chunk:
                     future.set_error(outcome)
+                    obs.end_span(future.span, error=repr(outcome))
+                    future.span = None
                 if first_error is None:
                     first_error = outcome
             else:
@@ -642,6 +695,7 @@ class SofaEngine:
         chunk: list[tuple[AttentionRequest, AttentionFuture]],
         waited_rounds: int = 0,
     ) -> BatchRecord:
+        start = time.monotonic()
         requests = [r for r, _ in chunk]
         cfg = requests[0].config or self.config
         wk = np.stack([np.asarray(r.wk, dtype=np.float64) for r in requests])
@@ -658,23 +712,46 @@ class SofaEngine:
             cache_keys = [r.cache_key for r in requests]
 
         op = self._operator(wk, wv, cfg)
-        result = op(
-            tokens,
-            q,
-            k_scale=k_scales,
-            v_scale=v_scales,
-            v=v,
-            cache=self.cache if cache_keys is not None else None,
-            cache_keys=cache_keys,
-        )
+        obs = get_telemetry()
+        with obs.span(
+            "engine.batch",
+            attrs={"n_heads": len(chunk), "s": int(tokens.shape[1]),
+                   "waited_rounds": waited_rounds},
+        ):
+            result = op(
+                tokens,
+                q,
+                k_scale=k_scales,
+                v_scale=v_scales,
+                v=v,
+                cache=self.cache if cache_keys is not None else None,
+                cache_keys=cache_keys,
+            )
+        end = time.monotonic()
         for (_, future), head_result in zip(chunk, result.per_head):
             future.set_result(head_result)
+            obs.end_span(future.span)
+            future.span = None
+        queue_wait = max(
+            0.0, start - min(f.submitted_at for _, f in chunk)
+        )
+        if obs.enabled:
+            obs.inc("sofa_engine_batches_total")
+            obs.observe("sofa_engine_queue_wait_seconds", queue_wait)
+            obs.observe("sofa_engine_execute_seconds", end - start)
+            for _, future in chunk:
+                obs.observe(
+                    "sofa_engine_request_latency_seconds",
+                    max(0.0, end - future.submitted_at),
+                )
         return BatchRecord(
             n_heads=len(chunk),
             seq_len=tokens.shape[1],
             n_queries=q.shape[1],
             tile_cols=cfg.tile_cols,
             waited_rounds=waited_rounds,
+            queue_wait_s=queue_wait,
+            execute_s=end - start,
         )
 
     # ------------------------------------------------------------ convenience

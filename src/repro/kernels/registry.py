@@ -197,9 +197,23 @@ def resolve_kernel_name(stage: str, name: str | None = None) -> str:
 
 
 def get_kernel(stage: str, name: str | None = None) -> Kernel:
-    """The kernel callable for ``stage``/``name`` (auto -> env/default)."""
+    """The kernel callable for ``stage``/``name`` (auto -> env/default).
+
+    With telemetry enabled each resolution bumps
+    ``sofa_kernel_resolutions_total_<stage>`` and records the winning name
+    in the ``sofa_kernels`` info metric.  The callable itself is returned
+    *unwrapped*: ``fused_pair`` detects fusability by kernel identity
+    (``fused_owner``), so this hook must never decorate it.
+    """
     _load_builtins()
-    return _REGISTRIES[_check_stage(stage)][resolve_kernel_name(stage, name)]
+    resolved = resolve_kernel_name(stage, name)
+    from repro.obs import get_telemetry
+
+    obs = get_telemetry()
+    if obs.enabled:
+        obs.inc(f"sofa_kernel_resolutions_total_{stage}")
+        obs.set_info("sofa_kernels", {stage: resolved})
+    return _REGISTRIES[_check_stage(stage)][resolved]
 
 
 def resolved_kernels(config) -> dict[str, str]:

@@ -55,6 +55,11 @@ def _write_quick_artifacts(directory: pathlib.Path, scale: float = 1.0,
         ],
         "fused_engine": {"fused_requests_per_sec": 25.0 * scale},
     }))
+    # telemetry overhead is an intra-run ratio (enabled vs disabled rps)
+    (directory / "BENCH_obs_quick.json").write_text(json.dumps({
+        "obs_overhead_ratio": 1.0 * kernel_scale,
+        "bit_identical": True,
+    }))
     # hit rate gates as a ratio metric, the store-vs-store rps as a rate
     (directory / "BENCH_cache_quick.json").write_text(json.dumps({
         "paged": {"steady_hit_rate": 1.0 * kernel_scale},

@@ -1,0 +1,210 @@
+"""Unit tests for :mod:`repro.obs.tracing` and the Telemetry switchboard.
+
+Pins the span model (nesting via the per-thread stack, cross-thread
+start/end pairs, cross-process parentage via explicit ids), the bounded
+ring buffer, and the Chrome trace-event export shape.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import Tracer, new_span_id, new_trace_id
+
+
+# ------------------------------------------------------------------ id utils
+def test_ids_are_64_bit_hex_and_distinct():
+    a, b = new_trace_id(), new_trace_id()
+    assert a != b
+    assert len(a) == 16
+    int(a, 16)  # valid hex
+    assert len(new_span_id()) == 16
+
+
+# ------------------------------------------------------------- span lifecycle
+def test_start_end_produces_a_finished_record():
+    tracer = Tracer()
+    span = tracer.start("engine.request", attrs={"s": 32})
+    record = tracer.end(span, outcome="ok")
+    assert record["name"] == "engine.request"
+    assert record["trace_id"] == span.trace_id
+    assert record["span_id"] == span.span_id
+    assert record["parent_id"] is None
+    assert record["duration_s"] >= 0.0
+    assert record["attrs"] == {"s": 32, "outcome": "ok"}
+    assert tracer.spans() == [record]
+
+
+def test_context_manager_spans_nest_through_the_thread_stack():
+    tracer = Tracer()
+    with tracer.span("engine.batch") as outer:
+        with tracer.span("stage.predict") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    names = [r["name"] for r in tracer.spans()]
+    assert names == ["stage.predict", "engine.batch"]  # inner finishes first
+
+
+def test_start_end_pairs_do_not_touch_the_nesting_stack():
+    # A request span starts on the submit path and ends on an executor
+    # thread; it must not become the parent of unrelated ctx spans.
+    tracer = Tracer()
+    request_span = tracer.start("engine.request")
+    with tracer.span("engine.batch") as batch:
+        assert batch.parent_id is None  # not parented under request_span
+        assert batch.trace_id != request_span.trace_id
+    tracer.end(request_span)
+
+
+def test_explicit_ids_override_the_stack_for_cross_process_parentage():
+    tracer = Tracer()
+    child = tracer.start("worker.request", trace_id="t" * 16, parent_id="p" * 16)
+    record = tracer.end(child)
+    assert record["trace_id"] == "t" * 16
+    assert record["parent_id"] == "p" * 16
+
+
+def test_context_manager_records_errors_and_reraises():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError, match="boom"):
+        with tracer.span("engine.batch"):
+            raise RuntimeError("boom")
+    (record,) = tracer.spans()
+    assert "RuntimeError" in record["attrs"]["error"]
+    assert tracer.current_span() is None  # the stack unwound
+
+
+def test_spans_cross_threads():
+    tracer = Tracer()
+    span = tracer.start("engine.request")
+    worker = threading.Thread(target=tracer.end, args=(span,))
+    worker.start()
+    worker.join()
+    (record,) = tracer.spans()
+    assert record["name"] == "engine.request"
+
+
+# --------------------------------------------------------------- ring buffer
+def test_ring_buffer_drops_oldest_beyond_capacity():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.end(tracer.start(f"s{i}"))
+    assert [r["name"] for r in tracer.spans()] == ["s2", "s3", "s4"]
+    with pytest.raises(ValueError, match="capacity"):
+        Tracer(capacity=0)
+
+
+def test_drain_empties_and_ingest_merges():
+    tracer = Tracer()
+    tracer.end(tracer.start("a"))
+    drained = tracer.drain()
+    assert [r["name"] for r in drained] == ["a"]
+    assert tracer.spans() == []
+    # the piggyback channel: a worker's drained spans merge into the
+    # frontend's buffer; junk entries are ignored, not fatal
+    assert tracer.ingest(drained + ["junk", {"no_name": 1}]) == 1
+    assert [r["name"] for r in tracer.spans()] == ["a"]
+
+
+# -------------------------------------------------------------- chrome export
+def test_chrome_trace_export_shape():
+    tracer = Tracer(process_label="frontend")
+    with tracer.span("engine.batch", attrs={"n_heads": 2}):
+        pass
+    trace = tracer.chrome_trace()
+    json.dumps(trace)  # must serialize as-is
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 1 and meta[0]["args"]["name"] == "frontend"
+    (event,) = complete
+    assert event["name"] == "engine.batch"
+    assert event["cat"] == "sofa"
+    assert event["ts"] > 0 and event["dur"] >= 0  # microseconds
+    assert event["args"]["n_heads"] == 2
+    assert event["args"]["trace_id"]
+
+
+def test_chrome_trace_names_each_distinct_pid():
+    tracer = Tracer(process_label="frontend")
+    tracer.end(tracer.start("local"))
+    tracer.ingest([{
+        "name": "worker.request", "trace_id": "t", "span_id": "s",
+        "parent_id": None, "start_wall": 1.0, "duration_s": 0.5,
+        "pid": 99999, "tid": 1, "process": "worker-0", "attrs": {},
+    }])
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in tracer.chrome_trace()["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert meta[99999] == "worker-0"
+    assert len(meta) == 2
+
+
+# ------------------------------------------------------------- the switchboard
+@pytest.fixture
+def fresh_telemetry():
+    yield obs.reset_telemetry(enabled=False)
+    obs.reset_telemetry()  # back to the environment's verdict
+
+
+def test_disabled_telemetry_is_a_no_op(fresh_telemetry):
+    t = fresh_telemetry
+    assert not t.enabled
+    assert t.clock() == 0.0
+    assert t.start_span("x") is None
+    t.end_span(None)  # no-op, no raise
+    t.inc("c")
+    t.observe("h", 1.0)
+    t.observe_since("h", 0.0)
+    with t.span("x", hist="h"):
+        pass
+    snap = t.registry.snapshot()
+    assert snap["counters"] == {} and snap["histograms"] == {}
+    assert t.tracer.spans() == []
+
+
+def test_enabled_telemetry_records_and_times(fresh_telemetry):
+    t = obs.enable()
+    t.inc("req_total", 2)
+    t0 = t.clock()
+    assert t0 > 0.0
+    t.observe_since("lat", t0)
+    with t.span("engine.batch", attrs={"n": 1}, hist="batch_lat"):
+        pass
+    snap = t.registry.snapshot()
+    assert snap["counters"]["req_total"] == 2.0
+    assert snap["histograms"]["lat"]["count"] == 1
+    assert snap["histograms"]["batch_lat"]["count"] == 1
+    assert [r["name"] for r in t.tracer.spans()] == ["engine.batch"]
+
+
+def test_end_span_lands_after_mid_stream_disable(fresh_telemetry):
+    t = obs.enable()
+    span = t.start_span("engine.request")
+    obs.disable()
+    t.end_span(span)  # opened before the disable: must not leak
+    assert [r["name"] for r in t.tracer.spans()] == ["engine.request"]
+
+
+def test_reset_telemetry_replaces_registry_and_tracer(fresh_telemetry):
+    t = obs.enable()
+    t.inc("c")
+    t.end_span(t.start_span("s"))
+    fresh = obs.reset_telemetry(enabled=True)
+    assert fresh is obs.get_telemetry()
+    assert fresh.registry.snapshot()["counters"] == {}
+    assert fresh.tracer.spans() == []
+
+
+def test_env_var_seeds_the_singleton(fresh_telemetry, monkeypatch):
+    monkeypatch.setenv(obs.ENV_VAR, "1")
+    assert obs.reset_telemetry().enabled
+    monkeypatch.setenv(obs.ENV_VAR, "off")
+    assert not obs.reset_telemetry().enabled
+    monkeypatch.delenv(obs.ENV_VAR)
+    assert not obs.reset_telemetry().enabled
