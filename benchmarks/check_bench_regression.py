@@ -52,6 +52,16 @@ file                                  metric
                                       phases, so runner contention can
                                       skew it asymmetrically - gated with
                                       the wider rate knob.
+``BENCH_gateway_quick``               ``overload_p99_bound_ratio`` - how far
+                                      the gateway's served-request p99
+                                      under overload protection sits below
+                                      2x the unloaded p99 (>= 1.0 = bound
+                                      held).  Unloaded and protected
+                                      phases are timed separately, so it
+                                      gets the wider rate knob.
+``BENCH_gateway_quick``               ``protected_completed_rps`` - served
+                                      throughput the protected gateway
+                                      sustains during the overload drive.
 ====================================  =======================================
 
 Tolerances: a metric regresses when ``fresh < (1 - tolerance) * baseline``.
@@ -132,6 +142,14 @@ def _cache_paged_vs_flat_rps(record: dict[str, Any]) -> float:
     return float(record["paged_vs_flat_requests_per_sec"])
 
 
+def _gateway_p99_bound_ratio(record: dict[str, Any]) -> float:
+    return float(record["overload_p99_bound_ratio"])
+
+
+def _gateway_protected_rps(record: dict[str, Any]) -> float:
+    return float(record["protected_completed_rps"])
+
+
 #: (file name, human metric name, extractor, kind).  All metrics are
 #: higher-is-better; "ratio" metrics are intra-run speedups (hardware-class
 #: independent, tight tolerance), "rate" metrics are raw requests/sec
@@ -191,6 +209,19 @@ METRICS: list[tuple[str, str, Callable[[dict[str, Any]], float], str]] = [
         "BENCH_cache_quick.json",
         "paged_vs_flat_requests_per_sec",
         _cache_paged_vs_flat_rps,
+        "rate",
+    ),
+    # Also separate-phase (quiet unloaded run vs loaded protected run).
+    (
+        "BENCH_gateway_quick.json",
+        "overload_p99_bound_ratio",
+        _gateway_p99_bound_ratio,
+        "rate",
+    ),
+    (
+        "BENCH_gateway_quick.json",
+        "protected_completed_rps",
+        _gateway_protected_rps,
         "rate",
     ),
 ]

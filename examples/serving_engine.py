@@ -1,7 +1,7 @@
 """Serving demo: batching, backends, decode caching, and the cluster tier.
 
 Simulates production traffic against :class:`~repro.engine.serving.SofaEngine`
-in seven acts:
+in eight acts:
 
 1. **Continuous batching** - requests arrive in waves *between* scheduling
    rounds; new arrivals join not-yet-executed shape groups, under-full
@@ -40,6 +40,18 @@ in seven acts:
    can open in Perfetto, plus a merged frontend+worker metrics snapshot
    with per-request latency quantiles - all without moving a single
    output bit.
+8. **HTTP gateway** - the front door over a 2-worker socket cluster:
+   two tenants (a high-priority ``pro`` plan and a tightly rate-limited
+   ``free`` plan) flood :class:`~repro.gateway.SofaGateway` with more
+   concurrent requests than the pool can absorb.  Admission control
+   answers the excess *fast* (429 for the free tenant's exhausted token
+   bucket, 503 + Retry-After when the bounded queue fills, deadline
+   sheds at dispatch), the admission backlog feeds the cluster's
+   autoscaler through :meth:`~repro.cluster.EngineCluster.
+   set_queue_depth_hook` so the pool grows mid-burst, every completed
+   response is bit-identical to the sequential operator after its JSON
+   round trip, and one ``GET /metrics`` scrape reads the whole story
+   back in Prometheus text.
 
 Run:  python examples/serving_engine.py
 """
@@ -64,7 +76,8 @@ from repro import (
     SofaConfig,
     SofaEngine,
 )
-from repro.cluster import SupervisorConfig
+from repro.cluster import AutoscalerConfig, SupervisorConfig
+from repro.gateway import GatewayClient, GatewayConfig, SofaGateway, TenantPolicy
 from repro.utils.rng import make_rng
 
 
@@ -395,6 +408,101 @@ def act_telemetry(rng: np.random.Generator) -> None:
     print(f"  metrics snapshot        : {out_dir / 'metrics.json'}")
 
 
+def act_gateway(rng: np.random.Generator) -> None:
+    print("\n[8] HTTP gateway: mixed-tenant overload, shedding + autoscale")
+    print("-" * 60)
+    config = SofaConfig(tile_cols=32, top_k=0.15)
+    requests = make_wave(rng, 24, "http")
+    sequential = [SofaAttention(r.wk, r.wv, config)(r.tokens, r.q) for r in requests]
+
+    def body(i: int, tenant: str, deadline_ms: float) -> dict:
+        r = requests[i]
+        return {
+            "tokens": r.tokens.tolist(), "q": r.q.tolist(),
+            "wk": r.wk.tolist(), "wv": r.wv.tolist(),
+            "tenant": tenant, "deadline_ms": deadline_ms,
+        }
+
+    gw_config = GatewayConfig(
+        max_queue=6,          # small on purpose: the flood must hit the bound
+        overbook_factor=2.0,  # ...but deadline-carrying requests may overbook
+        tenants={
+            "pro": TenantPolicy(rate=500.0, burst=50.0, priority=0),
+            "free": TenantPolicy(rate=2.0, burst=2.0, priority=2),
+        },
+    )
+    # Demo-pace autoscaler: act on the first hot observation (hold_up_s=0)
+    # so one burst is enough to watch the pool grow; production holds are
+    # seconds, not zero.
+    scaler = AutoscalerConfig(
+        min_workers=2, max_workers=3, queue_high=1.0, queue_low=0.1,
+        hold_up_s=0.0, hold_down_s=60.0, cooldown_s=0.0,
+    )
+
+    async def serve() -> None:
+        cluster = EngineCluster(
+            n_workers=2, config=config, transport="socket",
+            supervisor=True, autoscaler=scaler,
+        )
+        async with AsyncSofaClient(cluster) as client:
+            async with SofaGateway(
+                client, gw_config, max_inflight=2
+            ) as gateway:
+
+                async def post(i: int, tenant: str, deadline_ms: float):
+                    # One connection per in-flight request: the keep-alive
+                    # client is deliberately not a pipelining one.
+                    async with GatewayClient("127.0.0.1", gateway.port) as c:
+                        return i, await c.attention(body(i, tenant, deadline_ms))
+
+                # The flood: every request at once, tenants interleaved,
+                # every one sheddable (a deadline makes overbooking legal).
+                outcomes = await asyncio.gather(*[
+                    post(i, "free" if i % 3 == 2 else "pro", 10_000.0)
+                    for i in range(len(requests))
+                ])
+
+                by_status: dict[int, int] = {}
+                exact = True
+                for i, (status, _headers, reply) in outcomes:
+                    by_status[status] = by_status.get(status, 0) + 1
+                    if status == 200:
+                        got = np.asarray(reply["output"], dtype=np.float64)
+                        exact &= got.tobytes() == sequential[i].output.tobytes()
+                stats = cluster.stats
+                async with GatewayClient("127.0.0.1", gateway.port) as c:
+                    scrape = await c.metrics()
+                    health_status, health = await c.healthz()
+
+                print(f"  concurrent flood        : {len(requests)} requests, "
+                      f"2 tenants, queue bound {gw_config.max_queue} "
+                      f"(overbook x{gw_config.overbook_factor})")
+                print(f"  responses by status     : "
+                      + ", ".join(f"{n}x {s}" for s, n in sorted(by_status.items())))
+                print(f"  completed bit-identical : {exact} "
+                      f"(float64 survives the JSON round trip)")
+                print(f"  autoscale               : {stats.n_scale_ups} scale-up(s), "
+                      f"pool now {len(stats.workers)} worker slot(s) "
+                      f"[{health_status} /healthz, "
+                      f"{len(health['live_workers'])} live]")
+                wanted = {
+                    "sofa_gateway_requests_total",
+                    "sofa_gateway_completed_total",
+                    "sofa_gateway_rate_limited_total",
+                    "sofa_gateway_shed_queue_total",
+                    "sofa_gateway_shed_deadline_total",
+                    "sofa_gateway_request_latency_seconds_count",
+                }
+                print("  /metrics scrape (one Prometheus text page, merged "
+                      "gateway + worker registries):")
+                for line in scrape.splitlines():
+                    if line.split(" ")[0] in wanted:
+                        print(f"    {line}")
+        cluster.shutdown()
+
+    asyncio.run(serve())
+
+
 def main() -> None:
     rng = make_rng(11)
     print("SOFA serving engine demo")
@@ -406,6 +514,7 @@ def main() -> None:
     act_socket_supervised(rng)
     act_paged_cache(rng)
     act_telemetry(rng)
+    act_gateway(rng)
 
 
 if __name__ == "__main__":

@@ -31,8 +31,16 @@ contribution:
     behind pluggable transports (local processes or socket-framed
     standalone workers across hosts) with pluggable routing,
     cross-request dedup, failure re-routing and opt-in supervision
-    (heartbeats, auto-respawn/reconnect), plus an ``AsyncSofaClient``
-    for asyncio serving loops.
+    (heartbeats, auto-respawn/reconnect) and autoscaling (spawn/retire
+    workers from queue-depth and latency signals), plus an
+    ``AsyncSofaClient`` for asyncio serving loops.
+``repro.gateway``
+    The HTTP front door: an asyncio JSON server over ``AsyncSofaClient``
+    with per-tenant token-bucket rate limits, a bounded priority queue
+    with a deadline-only overbook band, deadline-aware shedding
+    (429/503 + Retry-After), ``/metrics`` (merged Prometheus view) and
+    ``/healthz`` - responses bit-identical to direct Python calls.
+    ``docs/architecture.md`` walks one request through the whole stack.
 ``repro.obs``
     The telemetry plane: a metrics registry (counters/gauges/latency
     histograms, JSON snapshots and Prometheus text), request-lifecycle
@@ -58,7 +66,7 @@ from repro.core.sufa import sorted_updating_attention
 from repro.engine import AttentionRequest, BatchedSofaAttention, SofaEngine
 from repro.kernels import available_sufa_kernels, get_sufa_kernel, register_sufa_kernel
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "SofaConfig",

@@ -22,6 +22,10 @@ tiling across spatial lanes, Occamy partitioning across chiplets):
 :class:`~repro.cluster.supervisor.WorkerSupervisor`
     Heartbeat liveness plus bounded-exponential-backoff respawn (local
     workers) / reconnect (remote workers), with in-flight replay.
+:class:`~repro.cluster.supervisor.PoolAutoscaler`
+    Opt-in autoscaling (``EngineCluster(autoscaler=...)``): the pool
+    grows under sustained queue-depth/p99 pressure and drains idle
+    workers back down, with hysteresis and min/max bounds.
 :class:`~repro.cluster.aio.AsyncSofaClient`
     ``async``/``await`` over the same futures, for asyncio serving loops.
 :mod:`repro.cluster.routing`
@@ -48,7 +52,12 @@ from repro.cluster.serving import (
     WorkerStats,
     WorkerUnavailableError,
 )
-from repro.cluster.supervisor import SupervisorConfig, WorkerSupervisor
+from repro.cluster.supervisor import (
+    AutoscalerConfig,
+    PoolAutoscaler,
+    SupervisorConfig,
+    WorkerSupervisor,
+)
 from repro.cluster.transport import (
     TRANSPORTS,
     ClusterTransport,
@@ -59,6 +68,7 @@ from repro.cluster.transport import (
 
 __all__ = [
     "AsyncSofaClient",
+    "AutoscalerConfig",
     "ClusterError",
     "ClusterFuture",
     "ClusterStats",
@@ -66,6 +76,7 @@ __all__ = [
     "EngineCluster",
     "LocalTransport",
     "POLICIES",
+    "PoolAutoscaler",
     "RequestInfo",
     "SocketTransport",
     "SupervisorConfig",

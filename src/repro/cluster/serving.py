@@ -52,6 +52,20 @@ Responsibilities of this frontend:
   did not survive); rendezvous-hashed affinity keeps every surviving
   worker's keys in place.  ``respawns`` / ``reconnects`` /
   ``heartbeat_timeouts`` surface in :class:`ClusterStats`.
+* **Autoscaling** (opt-in: ``autoscaler=AutoscalerConfig(...)`` or
+  ``autoscaler=True``; requires nothing else, composes with
+  supervision) - a :class:`~repro.cluster.supervisor.PoolAutoscaler`
+  watches per-live-worker queue depth (optionally widened by a
+  frontend's admission backlog via :meth:`EngineCluster.
+  set_queue_depth_hook`) and the recent request p99, and under
+  sustained pressure **spawns** extra workers in fresh slots - the
+  serving-time analogue of RASS lane balancing - up to
+  ``max_workers``; when load stays low it **retires** the
+  least-loaded worker by draining it (no new traffic, finishes its
+  in-flight work, then stops - never a failure).  All hysteresis
+  (hold periods, cooldown, min/max bounds) lives in the pure policy;
+  ``n_scale_ups`` / ``n_scale_downs`` / ``request_p99_s`` surface in
+  :class:`ClusterStats`.
 * **Aggregated statistics** - every result piggybacks the worker's
   engine counters; :attr:`EngineCluster.stats` merges them with the
   frontend's own (submitted/deduped/rerouted/failures) into a
@@ -71,7 +85,12 @@ invalidate_cache / stats / shutdown`` - e.g.
 :class:`~repro.model.inference.SparseDecodeSession` accept one via their
 ``engine`` parameter.  Submissions are expected from one caller thread
 (mirroring the engine's contract); :class:`~repro.cluster.aio.
-AsyncSofaClient` layers ``async``/``await`` on top for asyncio servers.
+AsyncSofaClient` layers ``async``/``await`` on top for asyncio servers -
+most prominently :class:`repro.gateway.SofaGateway`, the repo's HTTP
+front door, which adds per-tenant admission control and deadline-aware
+shedding in front of this frontend and feeds its admission backlog into
+the autoscaler.  The full request path is walked in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -80,6 +99,7 @@ import pickle
 import threading
 import time
 import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping
 
@@ -100,6 +120,8 @@ from repro.engine.serving import (
 from repro.obs import get_telemetry
 from repro.cluster.routing import POLICIES, RequestInfo, make_policy
 from repro.cluster.supervisor import (
+    AutoscalerConfig,
+    PoolAutoscaler,
     SupervisionStats,
     SupervisorConfig,
     WorkerSupervisor,
@@ -178,6 +200,9 @@ class WorkerStats:
     kernels: dict[str, str] = field(default_factory=dict)
     snapshot_received: bool = False
     telemetry: dict[str, Any] | None = None
+    #: autoscale-down in progress: the worker finishes its in-flight
+    #: requests but takes no new routed traffic, then stops.
+    draining: bool = False
 
 
 @dataclass
@@ -207,6 +232,12 @@ class ClusterStats:
     n_respawns: int = 0
     n_reconnects: int = 0
     n_heartbeat_timeouts: int = 0
+    n_scale_ups: int = 0
+    n_scale_downs: int = 0
+    #: p99 of the frontend's submit-to-resolve latency over a recent
+    #: window (``None`` until enough requests resolved) - the signal the
+    #: autoscaler reads, surfaced for dashboards and the gateway.
+    request_p99_s: float | None = None
     workers: list[WorkerStats] = field(default_factory=list)
 
     @property
@@ -263,6 +294,9 @@ class _InFlight:
     worker: int | None
     futures: list[ClusterFuture] = field(default_factory=list)
     rerouted: int = 0
+    #: monotonic submission stamp; resolve time minus this feeds the
+    #: frontend's latency window (the autoscaler's p99 signal).
+    submitted_at: float = 0.0
     #: telemetry: the frontend root span (cluster.request, submit to
     #: resolution) and the per-dispatch cluster.rpc span - both ``None``
     #: with the plane disabled.
@@ -285,6 +319,11 @@ class _WorkerHandle:
         self.link = link
         self.alive = True
         self.ready = False
+        #: autoscale-down: draining takes no new traffic; once its
+        #: in-flight requests resolve it is stopped and marked retired.
+        self.draining = False
+        self.stop_sent = False
+        self.retired = False
         #: None for initial workers; "respawn"/"reconnect" when this
         #: incarnation was brought up by supervision (counted on ready).
         self.recovered = recovered
@@ -306,6 +345,7 @@ class _WorkerHandle:
             kernels=dict(snap.get("kernels") or {}),
             snapshot_received=received,
             telemetry=snap.get("telemetry"),
+            draining=self.draining,
         )
 
 
@@ -337,6 +377,16 @@ class EngineCluster:
         behaviour).  ``True`` enables it with default
         :class:`~repro.cluster.supervisor.SupervisorConfig`; pass an
         instance to tune heartbeat cadence and respawn backoff.
+    autoscaler:
+        ``None``/``False`` keeps the pool fixed at ``n_workers``.
+        ``True`` enables autoscaling with default
+        :class:`~repro.cluster.supervisor.AutoscalerConfig`; pass an
+        instance to tune thresholds, hold periods and ``min_workers`` /
+        ``max_workers`` bounds (``n_workers`` must not exceed
+        ``max_workers``).  Scaled-up workers get fresh identities in new
+        slots; scale-downs drain before stopping.  See the module
+        docstring's autoscaling bullet and
+        :meth:`EngineCluster.set_queue_depth_hook`.
     start_method:
         ``multiprocessing`` start method for the local transport (default:
         ``fork`` where available, else ``spawn``).
@@ -374,6 +424,7 @@ class EngineCluster:
         transport: str | ClusterTransport = "local",
         worker_addresses: list[str | None] | None = None,
         supervisor: SupervisorConfig | bool | None = None,
+        autoscaler: "AutoscalerConfig | bool | None" = None,
         max_batch_heads: int = 64,
         max_wait_batches: int | None = None,
         backend: str = "sync",
@@ -436,6 +487,23 @@ class EngineCluster:
         self._supervisor: WorkerSupervisor | None = None
         self._supervisor_config = supervisor
         self._sup_stats = SupervisionStats()
+        if autoscaler is True:
+            autoscaler = AutoscalerConfig()
+        elif autoscaler is False:
+            autoscaler = None
+        if autoscaler is not None and n_workers > autoscaler.max_workers:
+            raise ValueError(
+                f"n_workers={n_workers} exceeds the autoscaler's "
+                f"max_workers={autoscaler.max_workers}"
+            )
+        # Constructed only after startup (the ready drain below pumps
+        # _supervise/_autoscale, which must see a quiet scaler until the
+        # initial pool is actually up).
+        self._autoscaler: PoolAutoscaler | None = None
+        self._autoscaler_config = autoscaler
+        #: recent submit-to-resolve latencies; the autoscaler's p99 signal.
+        self._latencies: deque[float] = deque(maxlen=512)
+        self._queue_depth_hook: "Callable[[], int] | None" = None
 
         self._lock = threading.RLock()
         self._inflight: dict[int, _InFlight] = {}
@@ -505,6 +573,8 @@ class EngineCluster:
         if self._dead_count():
             self.shutdown()
             raise ClusterError("one or more cluster workers failed to start")
+        if autoscaler is not None:
+            self._autoscaler = PoolAutoscaler(autoscaler, time.monotonic())
 
     def _register_metrics(self, obs) -> None:
         """Frontend counters as weakref-backed callback gauges.
@@ -545,8 +615,13 @@ class EngineCluster:
         return sum(1 for w in self._slots if not w.alive)
 
     def _live_ids(self) -> list[int]:
-        """Workers that can take routed traffic: link up *and* engine ready."""
-        return [w.worker_id for w in self._slots if w.alive and w.ready]
+        """Workers that can take routed traffic: link up, engine ready,
+        and not draining toward autoscale retirement."""
+        return [
+            w.worker_id
+            for w in self._slots
+            if w.alive and w.ready and not w.draining
+        ]
 
     @property
     def n_workers(self) -> int:
@@ -610,13 +685,18 @@ class EngineCluster:
             info = self._request_info(payload, fingerprint)
             self._reap_dead_workers()
             self._supervise()
+            self._autoscale()
             live = self._live_ids()
             if not live and not self._can_park():
                 raise WorkerUnavailableError("no live worker to route to")
             req_id = self._next_req_id
             self._next_req_id += 1
             record = _InFlight(
-                payload=payload, info=info, fingerprint=fingerprint, worker=None
+                payload=payload,
+                info=info,
+                fingerprint=fingerprint,
+                worker=None,
+                submitted_at=time.monotonic(),
             )
             record.futures.append(future)
             record.span = span
@@ -691,6 +771,7 @@ class EngineCluster:
                 n += self._drain_some(timeout)
             self._reap_dead_workers()
             self._supervise()
+            self._autoscale()
             return n
 
     def _drain_available(self) -> int:
@@ -724,6 +805,7 @@ class EngineCluster:
                     if reap_error is not None and first_error is None:
                         first_error = reap_error
                     self._supervise()
+                    self._autoscale()
                     if deadline is not None and time.monotonic() > deadline:
                         raise TimeoutError(
                             "cluster drain timed out with "
@@ -775,6 +857,8 @@ class EngineCluster:
             record = self._inflight.pop(req_id, None)
             if record is None:  # resolved by a re-route race; stats still count
                 return None
+            if record.submitted_at:
+                self._latencies.append(time.monotonic() - record.submitted_at)
             obs.end_span(record.rpc_span)
             record.rpc_span = None
             self._dedup_window.pop(record.fingerprint, None)
@@ -859,9 +943,16 @@ class EngineCluster:
         self._ready.discard(handle.worker_id)
         if self._shut_down:
             return None  # a stopping worker's exit is not a failure
-        self._n_failures += 1
-        if self._supervisor is not None:
-            self._supervisor.note_down(handle.slot, time.monotonic())
+        if handle.draining or handle.retired:
+            # A retiring worker going away is lifecycle, not failure: the
+            # supervisor must not respawn its slot.  Stragglers it still
+            # held (it crashed mid-drain) are recovered below as usual.
+            if self._supervisor is not None:
+                self._supervisor.note_retired(handle.slot)
+        else:
+            self._n_failures += 1
+            if self._supervisor is not None:
+                self._supervisor.note_down(handle.slot, time.monotonic())
         orphans = [
             (req_id, rec)
             for req_id, rec in self._inflight.items()
@@ -1021,6 +1112,119 @@ class EngineCluster:
         self._next_worker_id += 1
         return worker_id
 
+    # ------------------------------------------------------------- autoscaling
+    def _autoscale(self) -> None:
+        """One autoscaler tick: finish pending drains, act on the verdict.
+
+        Runs right after every supervision pass (submit / poll / drains),
+        so the pool reacts exactly as fast as callers pump the cluster -
+        the same no-background-thread design as supervision itself.
+        """
+        scaler = self._autoscaler
+        if scaler is None or self._shut_down:
+            return
+        self._finish_drains()
+        now = time.monotonic()
+        live = self._live_ids()
+        backlog = len(self._inflight)
+        hook = self._queue_depth_hook
+        if hook is not None:
+            try:
+                backlog += int(hook())
+            except Exception:
+                pass  # a dead frontend must not take supervision down
+        decision = scaler.decide(now, len(live), backlog, self._request_p99())
+        if decision > 0:
+            self._scale_up(now)
+        elif decision < 0:
+            self._scale_down(live)
+
+    def set_queue_depth_hook(self, hook: "Callable[[], int] | None") -> None:
+        """Fold a frontend's queue depth into the autoscaling signal.
+
+        A frontend that bounds its own concurrency (the gateway's
+        ``max_inflight``) hides demand from the cluster: in-flight count
+        saturates at the cap no matter how deep the admission queue
+        grows.  ``hook`` (a zero-argument callable returning the number
+        of admitted-but-undispatched requests) restores visibility - the
+        autoscaler's queue-depth signal becomes in-flight plus frontend
+        backlog, so the pool grows on real demand, not just on what the
+        frontend happened to dispatch.  Pass ``None`` to detach.
+        """
+        self._queue_depth_hook = hook
+
+    def _request_p99(self) -> float | None:
+        """p99 of the recent submit-to-resolve window, or ``None`` while
+        the window is too small for a tail to mean anything."""
+        n = len(self._latencies)
+        if n < 8:
+            return None
+        ordered = sorted(self._latencies)
+        return ordered[min(n - 1, int(0.99 * n))]
+
+    def _scale_up(self, now: float) -> None:
+        """Provision a new slot and spawn a fresh-identity worker in it."""
+        assert self._autoscaler is not None
+        provisioned = sum(1 for w in self._slots if w.alive and not w.draining)
+        if provisioned >= self._autoscaler.config.max_workers:
+            return  # an earlier spawn is still warming up toward ready
+        slot = len(self._slots)
+        n_slots = getattr(self._transport, "n_slots", None)
+        if n_slots is None or slot >= n_slots:
+            self._transport.add_slot()
+        # Scaled-up workers always get a fresh id: slot-indexed ids are
+        # only safe for the initial pool (reconnects may already have
+        # allocated past it).
+        worker_id = self._alloc_worker_id()
+        try:
+            link = self._transport.start_worker(
+                slot, worker_id, self._engine_kwargs
+            )
+        except Exception:  # noqa: BLE001 - a later tick simply retries
+            return
+        handle = _WorkerHandle(slot, worker_id, link)
+        self._slots.append(handle)
+        self._workers[worker_id] = handle
+        if self._supervisor is not None:
+            self._supervisor.add_slot(now)
+        self._sup_stats.scale_ups += 1
+        # Joins the routable set when its "ready" arrives; until then the
+        # provisioned-count guard above stops repeat spawns.
+
+    def _scale_down(self, live: list[int]) -> None:
+        """Drain the least-loaded live worker toward retirement."""
+        if not live:
+            return
+        counts: dict[int, int] = {wid: 0 for wid in live}
+        for record in self._inflight.values():
+            if record.worker in counts:
+                counts[record.worker] += 1
+        # Fewest in-flight first; ties prefer the youngest identity (the
+        # most recently scaled-up worker is the natural one to retire).
+        victim = min(live, key=lambda wid: (counts[wid], -wid))
+        handle = self._workers[victim]
+        handle.draining = True
+        self._sup_stats.scale_downs += 1
+        self._maybe_stop_drained(handle)
+
+    def _finish_drains(self) -> None:
+        """Stop any draining worker whose in-flight work has resolved."""
+        for handle in self._slots:
+            if handle.draining and handle.alive and not handle.stop_sent:
+                self._maybe_stop_drained(handle)
+
+    def _maybe_stop_drained(self, handle: _WorkerHandle) -> None:
+        """If nothing is in flight on ``handle``, stop and retire it."""
+        if any(
+            rec.worker == handle.worker_id for rec in self._inflight.values()
+        ):
+            return  # still draining; checked again on the next tick
+        handle.stop_sent = True
+        handle.retired = True
+        handle.link.send(("stop",))
+        if self._supervisor is not None:
+            self._supervisor.note_retired(handle.slot)
+
     # ------------------------------------------------------------------ drains
     def flush(self) -> None:
         """Block until every in-flight request resolved; re-raise the first
@@ -1095,6 +1299,9 @@ class EngineCluster:
                 n_respawns=self._sup_stats.respawns,
                 n_reconnects=self._sup_stats.reconnects,
                 n_heartbeat_timeouts=self._sup_stats.heartbeat_timeouts,
+                n_scale_ups=self._sup_stats.scale_ups,
+                n_scale_downs=self._sup_stats.scale_downs,
+                request_p99_s=self._request_p99(),
                 workers=[
                     handle.stats()
                     for _, handle in sorted(self._workers.items())

@@ -1,4 +1,4 @@
-"""Worker supervision: heartbeats, bounded-backoff respawn/reconnect.
+"""Worker supervision: heartbeats, backoff respawn/reconnect, autoscaling.
 
 The cluster frontend detects a worker that *exits* for free (dead process,
 socket EOF); what it cannot see without help is a worker that is alive but
@@ -29,6 +29,19 @@ While a slot is down and recoverable, in-flight requests that cannot be
 re-routed (no other live worker) are *parked* by the frontend instead of
 failed, then replayed once a recovery succeeds - requests fail only when
 every slot has been abandoned.
+
+Beyond *healing* the pool, this module also lets the frontend *scale* it:
+:class:`PoolAutoscaler` is the serving-time analogue of the paper's RASS
+lane balancing - where RASS redistributes attention heads across fixed
+hardware lanes, the autoscaler changes the number of lanes.  It watches
+queue depth (in-flight requests per live worker) and tail latency (the
+frontend's p99 over a recent window) and decides when to spawn a new
+worker or retire an idle one, with hysteresis (a signal must *persist*
+for a hold period before acting), a cooldown between consecutive actions
+(so one burst cannot flap the pool), and hard ``min_workers``/
+``max_workers`` bounds.  Like the supervisor it is a pure state machine:
+the cluster feeds it observations and performs the IO, so the
+no-flapping guarantees are unit-testable with a fake clock.
 """
 
 from __future__ import annotations
@@ -86,6 +99,9 @@ class _SlotState:
     next_retry_at: float = 0.0
     recovering: bool = False  # a respawn/reconnect awaits its "ready"
     abandoned: bool = False
+    #: retired by the autoscaler: intentionally stopped, never pinged,
+    #: never respawned, and excluded from the recoverable set.
+    retired: bool = False
 
 
 class WorkerSupervisor:
@@ -98,6 +114,24 @@ class WorkerSupervisor:
         self._slots = [
             _SlotState(last_seen=now, last_ping=now) for _ in range(n_slots)
         ]
+
+    # -------------------------------------------------------------- topology
+    def add_slot(self, now: float) -> int:
+        """Register a new worker slot (autoscale-up); returns its index."""
+        self._slots.append(_SlotState(last_seen=now, last_ping=now))
+        return len(self._slots) - 1
+
+    def note_retired(self, slot: int) -> None:
+        """The slot's worker was *intentionally* stopped (autoscale-down).
+
+        A retired slot owes no pongs, is never respawned, and does not
+        count as recoverable - it is simply no longer part of the pool.
+        """
+        state = self._slots[slot]
+        state.retired = True
+        state.down = True
+        state.recovering = False
+        state.ping_outstanding = False
 
     # ------------------------------------------------------------ heartbeats
     def note_seen(self, slot: int, now: float) -> None:
@@ -187,6 +221,7 @@ class WorkerSupervisor:
         state = self._slots[slot]
         return (
             state.down
+            and not state.retired
             and not state.recovering
             and not state.abandoned
             and self.config.max_attempts > 0
@@ -219,7 +254,7 @@ class WorkerSupervisor:
         if self.config.max_attempts == 0:
             return False
         return any(
-            s.down and not s.abandoned for s in self._slots
+            s.down and not s.abandoned and not s.retired for s in self._slots
         )
 
     def abandoned_slots(self) -> list[int]:
@@ -233,3 +268,116 @@ class SupervisionStats:
     respawns: int = 0
     reconnects: int = 0
     heartbeat_timeouts: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+
+
+# --------------------------------------------------------------- autoscaling
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Knobs for :class:`PoolAutoscaler` (see module docstring).
+
+    The two pressure signals are *per-live-worker queue depth* (in-flight
+    requests divided by live workers - the backlog one more lane would
+    absorb) and, optionally, the frontend's recent *p99 request latency*.
+    Scale-up needs either signal above its high threshold continuously
+    for ``hold_up_s``; scale-down needs queue depth below ``queue_low``
+    (and latency below the high bar) continuously for ``hold_down_s``.
+    ``hold_down_s`` should sit well above ``hold_up_s``: adding capacity
+    is cheap to regret (retire it later), dropping capacity under
+    oscillating load is how pools flap.  ``cooldown_s`` further separates
+    *consecutive* actions so one long burst grows the pool one worker at
+    a time, observing each addition's effect before the next.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    queue_high: float = 4.0
+    queue_low: float = 0.5
+    p99_high_s: float | None = None
+    hold_up_s: float = 0.25
+    hold_down_s: float = 2.0
+    cooldown_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.queue_high <= self.queue_low:
+            raise ValueError("queue_high must be > queue_low")
+        if self.p99_high_s is not None and self.p99_high_s <= 0:
+            raise ValueError("p99_high_s must be > 0")
+        if self.hold_up_s < 0 or self.hold_down_s < 0:
+            raise ValueError("hold periods must be >= 0")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+class PoolAutoscaler:
+    """Pure scaling policy: observations in, spawn/retire decisions out.
+
+    The serving-time analogue of RASS lane balancing: instead of
+    redistributing heads across a fixed lane count, the pool itself grows
+    under sustained pressure and shrinks when idle.  All hysteresis lives
+    here (hold periods, cooldown, min/max bounds), so the cluster
+    frontend only has to act on the returned decision - and tests can
+    drive the whole state machine with a fake clock.
+    """
+
+    def __init__(self, config: AutoscalerConfig, now: float):
+        self.config = config
+        self._high_since: float | None = None
+        self._low_since: float | None = None
+        self._last_action_at = now  # startup counts as an action: no
+        # scale verdict before one full hold period of real observation.
+
+    def decide(
+        self,
+        now: float,
+        live_workers: int,
+        inflight: int,
+        p99_s: float | None = None,
+    ) -> int:
+        """One observation tick; returns +1 (spawn), -1 (retire), or 0.
+
+        ``live_workers`` counts workers that can take routed traffic
+        (ready, not draining); ``inflight`` the requests dispatched or
+        queued against them.  A pool that is mid-recovery (zero live
+        workers) never scales - supervision owns that state.
+        """
+        cfg = self.config
+        if live_workers <= 0:
+            self._high_since = self._low_since = None
+            return 0
+        depth = inflight / live_workers
+        hot = depth >= cfg.queue_high or (
+            cfg.p99_high_s is not None
+            and p99_s is not None
+            and p99_s >= cfg.p99_high_s
+        )
+        cold = depth <= cfg.queue_low and not hot
+        self._high_since = (self._high_since or now) if hot else None
+        self._low_since = (self._low_since or now) if cold else None
+        if now - self._last_action_at < cfg.cooldown_s:
+            return 0
+        if (
+            hot
+            and live_workers < cfg.max_workers
+            and now - self._high_since >= cfg.hold_up_s
+        ):
+            self._note_action(now)
+            return 1
+        if (
+            cold
+            and live_workers > cfg.min_workers
+            and now - self._low_since >= cfg.hold_down_s
+        ):
+            self._note_action(now)
+            return -1
+        return 0
+
+    def _note_action(self, now: float) -> None:
+        self._last_action_at = now
+        self._high_since = None
+        self._low_since = None

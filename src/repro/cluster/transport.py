@@ -125,6 +125,16 @@ class ClusterTransport:
     ) -> WorkerLink:
         raise NotImplementedError
 
+    def add_slot(self) -> None:
+        """Provision one more worker slot (autoscale-up).
+
+        The local transport needs no bookkeeping (any slot index spawns a
+        child); the socket transport appends a spawn-on-localhost slot.
+        Externally addressed workers cannot be conjured, so socket
+        clusters pinned to ``worker_addresses`` grow with spawned
+        localhost workers beyond their addressed set.
+        """
+
     def owns_process(self, slot: int) -> bool:
         """True when this side can (re)spawn the slot's worker process."""
         raise NotImplementedError
@@ -398,6 +408,10 @@ class SocketTransport(ClusterTransport):
     @property
     def n_slots(self) -> int:
         return len(self._slot_addresses)
+
+    def add_slot(self) -> None:
+        self._slot_addresses.append(None)  # spawned on localhost on start
+        self._external.append(False)
 
     def owns_process(self, slot: int) -> bool:
         return not self._external[slot]

@@ -45,6 +45,14 @@ backends produce bit-identical results in deterministic arrival order; the
 executor and the cache only change *when* work happens, never what it
 computes.  Submissions are expected from one caller thread; worker threads
 are engine-internal.
+
+This engine is the innermost serving tier.  :class:`repro.cluster.EngineCluster`
+shards many of them across worker processes (with supervision, autoscaling
+and a choice of local-pipe or socket transport), and
+:class:`repro.gateway.SofaGateway` puts an HTTP front door with per-tenant
+admission control and deadline-aware shedding in front of a cluster.  The
+full request path from HTTP POST down to the fused kernels is walked in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,68 @@
+"""``repro.gateway``: the HTTP front door of the serving stack.
+
+ROADMAP item 4.  Everything below this package speaks Python
+(:class:`~repro.engine.serving.SofaEngine` futures,
+:class:`~repro.cluster.EngineCluster` sharding,
+:class:`~repro.cluster.AsyncSofaClient` coroutines); this package is
+where the network starts - an asyncio HTTP/JSON server that admits,
+queues, dispatches, and answers requests while holding the repo's two
+standing contracts:
+
+* **bit parity** - a gateway response carries exactly the result a
+  direct :meth:`~repro.cluster.AsyncSofaClient.submit` of the same
+  request produces (floats cross the wire through ``repr``-faithful
+  JSON, which round-trips every finite float64);
+* **graceful overload** - a saturated deployment answers *fast* with
+  429/503 + Retry-After instead of growing its queue without bound
+  (``BENCH_gateway.json`` records both behaviors side by side).
+
+The pieces:
+
+:class:`~repro.gateway.admission.AdmissionController`
+    Pure admission policy: per-tenant token buckets, priority queue,
+    bounded depth with a Tailors-style overbook band for sheddable
+    (deadline-carrying) requests, deadline shedding at the door and at
+    dispatch.  Fake-clock testable; no I/O.
+:class:`~repro.gateway.server.SofaGateway`
+    The asyncio HTTP server: ``POST /v1/attention``, ``GET /metrics``
+    (merged gateway + telemetry + worker registries, Prometheus text),
+    ``GET /healthz`` (supervisor/autoscaler state).
+:class:`~repro.gateway.client.GatewayClient`
+    Stdlib-only keep-alive HTTP client for tests/benchmarks/examples.
+
+Pairs naturally with ``EngineCluster(autoscaler=...)``: the gateway
+sheds what the pool cannot absorb *right now*, the
+:class:`~repro.cluster.supervisor.PoolAutoscaler` grows the pool so
+less needs shedding a moment later.  ``docs/architecture.md`` walks one
+request end-to-end through both.
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    Decision,
+    GatewayConfig,
+    TenantPolicy,
+    Ticket,
+    TokenBucket,
+)
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import (
+    GatewayError,
+    SofaGateway,
+    request_from_json,
+    result_to_json,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Decision",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "SofaGateway",
+    "TenantPolicy",
+    "Ticket",
+    "TokenBucket",
+    "request_from_json",
+    "result_to_json",
+]

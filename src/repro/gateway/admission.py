@@ -1,0 +1,274 @@
+"""Admission control: token buckets, priority queue, deadline shedding.
+
+Everything here is *pure policy* - no sockets, no asyncio, no wall clock.
+Callers pass ``now`` explicitly (the gateway passes ``time.monotonic()``,
+tests pass a fake clock), and get back :class:`Decision` verdicts plus
+:class:`Ticket` handles, so every admission edge (bucket exhaustion
+mid-burst, overbook band, zero-deadline requests, shed-on-pop) is
+deterministically testable without a running server.
+
+The policy follows the Tailors observation (see ``PAPERS.md``): a hard
+queue cap wastes capacity because admission-time load estimates are
+conservative, so the queue *overbooks* past its nominal bound - but only
+with requests that carry a deadline and can therefore be shed cheaply at
+dispatch time if the optimism was wrong.  Deadline-less requests stop at
+the nominal bound: they can never be shed, so every one admitted is a
+hard promise.
+
+Order of checks in :meth:`AdmissionController.offer` (each maps to one
+HTTP status in the gateway):
+
+1. an already-expired deadline is shed immediately (503 - retrying the
+   same request cannot help, but a fresh one with a fresh deadline may);
+2. the tenant's token bucket must yield a token (429 + Retry-After:
+   exactly when the bucket refills - per-tenant isolation means one
+   chatty tenant starves only itself);
+3. the bounded queue must have room - nominal room for any request,
+   overbook room only for sheddable (deadline-carrying) ones (503 +
+   Retry-After when full: the queue is the shared resource).
+
+Tickets pop in ``(priority, arrival)`` order and expired tickets are
+shed *at pop time* too: under overload the queue never spends worker
+time on a request whose client has already given up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "AdmissionController",
+    "Decision",
+    "GatewayConfig",
+    "TenantPolicy",
+    "Ticket",
+    "TokenBucket",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    Lazy refill (tokens accrue on observation, no timers) and explicit
+    clocks keep it exact under a fake clock; :meth:`try_take` never
+    blocks - it either takes a token or says how long until one exists.
+    """
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate <= 0 or not math.isfinite(rate):
+            raise ValueError("rate must be finite and > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1 token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)  # a fresh tenant may burst immediately
+        self._refilled_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token if available; returns seconds until one is.
+
+        ``0.0`` means the token was taken (admit); a positive value is
+        the exact Retry-After for a 429.
+        """
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current (last-refill) token count - observability only."""
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's rate limit and scheduling class.
+
+    ``priority`` orders dispatch (lower dispatches first); within one
+    priority, arrival order holds.  Rate limits isolate tenants from each
+    other; priority decides who waits when the queue is contended.
+    """
+
+    rate: float = 100.0  # sustained requests/second
+    burst: float = 20.0  # bucket capacity (instantaneous burst headroom)
+    priority: int = 1    # lower = dispatched first
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or not math.isfinite(self.rate):
+            raise ValueError("rate must be finite and > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway-level admission knobs.
+
+    ``max_queue`` bounds admitted-but-undispatched requests;
+    ``overbook_factor`` opens the Tailors band above it for sheddable
+    requests only (``1.0`` disables overbooking).  ``default_deadline_s``
+    assigns a deadline budget to requests that did not bring one - set
+    it to make *every* request sheddable, or leave ``None`` to let
+    deadline-less requests hold their hard-promise semantics.
+    """
+
+    max_queue: int = 128
+    overbook_factor: float = 1.25
+    default_tenant: TenantPolicy = field(default_factory=TenantPolicy)
+    tenants: Mapping[str, TenantPolicy] = field(default_factory=dict)
+    default_deadline_s: float | None = None
+    #: Retry-After for queue-full rejections: half the nominal queue at
+    #: the observed drain rate is unknowable here, so a flat hint is
+    #: honest - clients with deadlines re-offer with fresh ones anyway.
+    queue_full_retry_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.overbook_factor < 1.0:
+            raise ValueError("overbook_factor must be >= 1.0")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be > 0")
+        if self.queue_full_retry_s <= 0:
+            raise ValueError("queue_full_retry_s must be > 0")
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.tenants.get(tenant, self.default_tenant)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict; maps 1:1 onto the gateway's HTTP reply."""
+
+    admitted: bool
+    status: int = 200          # 200 admitted / 429 rate limit / 503 load
+    reason: str = ""
+    retry_after_s: float | None = None
+
+
+@dataclass
+class Ticket:
+    """One admitted request waiting for dispatch."""
+
+    tenant: str
+    priority: int
+    seq: int
+    enqueued_at: float
+    deadline: float | None  # absolute clock seconds; None = unsheddable
+    payload: Any = None     # the gateway parks its response future here
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class AdmissionController:
+    """Bounded, tenant-aware, deadline-shedding admission queue."""
+
+    def __init__(self, config: GatewayConfig, now: float):
+        self.config = config
+        self._buckets: dict[str, TokenBucket] = {}
+        self._heap: list[tuple[int, int, Ticket]] = []
+        self._seq = 0
+        self._now0 = now
+        # Tallies for the gateway's metrics (the controller itself stays
+        # import-light: no repro.obs dependency in the policy layer).
+        self.n_offered = 0
+        self.n_admitted = 0
+        self.n_rate_limited = 0
+        self.n_shed_queue = 0
+        self.n_shed_deadline = 0
+
+    # ---------------------------------------------------------------- admission
+    def offer(
+        self,
+        tenant: str,
+        now: float,
+        deadline: float | None = None,
+        payload: Any = None,
+    ) -> tuple[Decision, Ticket | None]:
+        """Run the admission checks for one request.
+
+        ``deadline`` is absolute clock seconds (same clock as ``now``);
+        ``None`` falls back to ``config.default_deadline_s`` from now.
+        Returns the verdict and, when admitted, the queued ticket.
+        """
+        self.n_offered += 1
+        policy = self.config.policy_for(tenant)
+        if deadline is None and self.config.default_deadline_s is not None:
+            deadline = now + self.config.default_deadline_s
+        if deadline is not None and now >= deadline:
+            # A zero (or negative) budget can never be served in time;
+            # shedding at the door is the whole point of deadlines.
+            self.n_shed_deadline += 1
+            return Decision(False, 503, "deadline_expired"), None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(policy.rate, policy.burst, now)
+            self._buckets[tenant] = bucket
+        wait = bucket.try_take(now)
+        if wait > 0.0:
+            self.n_rate_limited += 1
+            return Decision(False, 429, "rate_limited", retry_after_s=wait), None
+        depth = len(self._heap)
+        nominal = self.config.max_queue
+        overbooked = int(nominal * self.config.overbook_factor)
+        if depth >= nominal and (deadline is None or depth >= overbooked):
+            self.n_shed_queue += 1
+            return (
+                Decision(
+                    False, 503, "queue_full",
+                    retry_after_s=self.config.queue_full_retry_s,
+                ),
+                None,
+            )
+        ticket = Ticket(
+            tenant=tenant,
+            priority=policy.priority,
+            seq=self._seq,
+            enqueued_at=now,
+            deadline=deadline,
+            payload=payload,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, (ticket.priority, ticket.seq, ticket))
+        self.n_admitted += 1
+        return Decision(True, 200, "admitted"), ticket
+
+    # ----------------------------------------------------------------- dispatch
+    def pop(self, now: float) -> tuple[Ticket | None, list[Ticket]]:
+        """Next dispatchable ticket plus any shed on the way to it.
+
+        Expired tickets between the heap top and the first live one are
+        drained and returned so the caller can fail their futures - a
+        full queue of expired work therefore *empties* in one pop call
+        instead of hanging dispatch.
+        """
+        shed: list[Ticket] = []
+        while self._heap:
+            _, _, ticket = heapq.heappop(self._heap)
+            if ticket.expired(now):
+                self.n_shed_deadline += 1
+                shed.append(ticket)
+                continue
+            return ticket, shed
+        return None, shed
+
+    def drain(self) -> list[Ticket]:
+        """Remove and return every queued ticket (gateway shutdown)."""
+        tickets = [t for _, _, t in self._heap]
+        self._heap.clear()
+        return tickets
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,118 @@
+"""GatewayClient: a minimal asyncio HTTP/1.1 client for the gateway.
+
+Tests, benchmarks, and the example all need to speak plain HTTP at
+:class:`~repro.gateway.server.SofaGateway` without pulling in an HTTP
+library the container may not have; this is the smallest client that
+does it honestly - one persistent keep-alive connection, explicit
+status/headers/body, JSON helpers for the three endpoints.  It is *not*
+a general HTTP client: no chunked encoding, no redirects, no TLS - the
+gateway never emits any of those.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = ["GatewayClient"]
+
+
+class GatewayClient:
+    """One keep-alive connection to a running gateway."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "GatewayClient":
+        await self._connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------- HTTP
+    async def request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round-trip; returns ``(status, headers, body)``.
+
+        Reconnects once if the server closed the idle keep-alive
+        connection between calls.
+        """
+        for attempt in (0, 1):
+            await self._connect()
+            try:
+                return await self._round_trip(method, path, body)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.aclose()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _round_trip(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, dict[str, str], bytes]:
+        assert self._reader is not None and self._writer is not None
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+        raw = await self._reader.readuntil(b"\r\n\r\n")
+        status_line, *header_lines = raw.decode("latin-1").split("\r\n")
+        status = int(status_line.split(" ", 2)[1])
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        response = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection") == "close":
+            await self.aclose()
+        return status, headers, response
+
+    # ------------------------------------------------------------- endpoints
+    async def attention(
+        self, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        """POST one attention request; returns (status, headers, body)."""
+        status, headers, body = await self.request(
+            "POST", "/v1/attention", json.dumps(payload).encode()
+        )
+        return status, headers, json.loads(body)
+
+    async def metrics(self) -> str:
+        status, _, body = await self.request("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"/metrics returned {status}")
+        return body.decode()
+
+    async def healthz(self) -> tuple[int, dict[str, Any]]:
+        status, _, body = await self.request("GET", "/healthz")
+        return status, json.loads(body)

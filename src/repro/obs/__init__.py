@@ -51,6 +51,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
     register_stats_gauges,
+    render_prometheus_snapshot,
 )
 from repro.obs.tracing import Span, Tracer, new_span_id, new_trace_id
 
@@ -71,6 +72,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "merge_snapshots",
     "register_stats_gauges",
+    "render_prometheus_snapshot",
     "Tracer",
     "Span",
     "new_trace_id",

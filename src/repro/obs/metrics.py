@@ -61,6 +61,7 @@ __all__ = [
     "MetricsRegistry",
     "merge_snapshots",
     "register_stats_gauges",
+    "render_prometheus_snapshot",
 ]
 
 #: Default histogram bucket upper bounds (seconds): 50us .. 10s, log-ish.
@@ -431,6 +432,41 @@ def merge_snapshots(*snapshots: Mapping[str, Any]) -> dict[str, Any]:
         "histograms": hists,
         "infos": infos,
     }
+
+
+def render_prometheus_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text exposition of a :meth:`MetricsRegistry.snapshot`.
+
+    :meth:`MetricsRegistry.render_prometheus` renders one live registry;
+    this renders the *wire shape* instead - typically a
+    :func:`merge_snapshots` fold of the gateway's own registry, the
+    frontend telemetry registry, and every worker's piggybacked snapshot -
+    which is exactly what a ``/metrics`` endpoint on a multi-process
+    deployment needs to serve.  Names render in sorted order so scrapes
+    are deterministic.
+    """
+    lines: list[str] = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    for name, h in sorted((snapshot.get("histograms") or {}).items()):
+        lines.append(f"# TYPE {name} histogram")
+        counts = list(h["counts"])
+        cumulative = 0
+        for bound, c in zip(h["buckets"], counts):
+            cumulative += c
+            lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative + counts[-1]}')
+        lines.append(f"{name}_sum {_fmt(h['sum'])}")
+        lines.append(f"{name}_count {int(h['count'])}")
+    for name, labels in sorted((snapshot.get("infos") or {}).items()):
+        lines.append(f"# TYPE {name} gauge")
+        rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        lines.append(f"{name}{{{rendered}}} 1")
+    return "\n".join(lines) + "\n"
 
 
 def register_stats_gauges(

@@ -66,6 +66,11 @@ def _write_quick_artifacts(directory: pathlib.Path, scale: float = 1.0,
         "flat": {"steady_hit_rate": 0.0},
         "paged_vs_flat_requests_per_sec": 1.4 * scale,
     }))
+    # gateway overload protection: both separate-phase, both gated as rates
+    (directory / "BENCH_gateway_quick.json").write_text(json.dumps({
+        "overload_p99_bound_ratio": 1.2 * scale,
+        "protected_completed_rps": 9.0 * scale,
+    }))
 
 
 def test_identical_numbers_pass(gate, tmp_path):

@@ -1,0 +1,219 @@
+"""Autoscaler tests: hysteresis on a fake clock, pool churn for real.
+
+The policy (:class:`PoolAutoscaler`) is pure - observations in,
+spawn/retire verdicts out - so flapping resistance, hold periods,
+cooldown, and bounds are exact fake-clock assertions.  The integration
+tests then spawn a real cluster and watch it grow under a burst and
+drain back down when idle.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import AutoscalerConfig, EngineCluster, PoolAutoscaler
+from repro.core.config import SofaConfig
+from repro.engine import AttentionRequest
+from repro.utils.rng import make_rng
+
+CFG = SofaConfig(tile_cols=16, top_k=0.25)
+
+
+# ---------------------------------------------------------------- policy (pure)
+class TestAutoscalerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(queue_high=1.0, queue_low=1.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(p99_high_s=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cooldown_s=-1.0)
+
+
+def make_scaler(**kwargs) -> PoolAutoscaler:
+    defaults = dict(
+        min_workers=1, max_workers=4, queue_high=4.0, queue_low=0.5,
+        hold_up_s=1.0, hold_down_s=5.0, cooldown_s=2.0,
+    )
+    defaults.update(kwargs)
+    return PoolAutoscaler(AutoscalerConfig(**defaults), now=0.0)
+
+
+class TestPoolAutoscaler:
+    def test_scale_up_needs_sustained_pressure(self):
+        scaler = make_scaler()
+        # Hot from t=2 (past cooldown), but the hold period must elapse.
+        assert scaler.decide(2.0, live_workers=1, inflight=10) == 0
+        assert scaler.decide(2.5, live_workers=1, inflight=10) == 0
+        assert scaler.decide(3.0, live_workers=1, inflight=10) == 1
+
+    def test_blip_resets_the_hold(self):
+        scaler = make_scaler()
+        scaler.decide(2.0, live_workers=1, inflight=10)
+        scaler.decide(2.5, live_workers=1, inflight=0)   # pressure vanished
+        assert scaler.decide(3.0, live_workers=1, inflight=10) == 0
+        assert scaler.decide(4.0, live_workers=1, inflight=10) == 1
+
+    def test_no_flapping_under_oscillating_load(self):
+        # Load flips hot/cold faster than either hold period: the scaler
+        # must do exactly nothing, forever.
+        scaler = make_scaler(hold_up_s=1.0, hold_down_s=5.0)
+        now, verdicts = 0.0, []
+        for tick in range(200):
+            inflight = 10 if tick % 2 == 0 else 0
+            verdicts.append(scaler.decide(now, live_workers=2, inflight=inflight))
+            now += 0.4  # shorter than hold_up_s
+        assert verdicts == [0] * 200
+
+    def test_scale_down_needs_long_idle(self):
+        scaler = make_scaler(hold_down_s=5.0)
+        for t in (2.0, 4.0, 6.9):
+            assert scaler.decide(t, live_workers=3, inflight=0) == 0
+        assert scaler.decide(7.0, live_workers=3, inflight=0) == -1
+
+    def test_cooldown_separates_consecutive_actions(self):
+        scaler = make_scaler(hold_up_s=0.0, cooldown_s=2.0)
+        assert scaler.decide(3.0, live_workers=1, inflight=10) == 1
+        # Still hot, but inside the cooldown window.
+        assert scaler.decide(4.0, live_workers=2, inflight=10) == 0
+        assert scaler.decide(5.5, live_workers=2, inflight=10) == 1
+
+    def test_bounds_are_hard(self):
+        scaler = make_scaler(hold_up_s=0.0, hold_down_s=0.0, cooldown_s=0.0)
+        assert scaler.decide(1.0, live_workers=4, inflight=100) == 0  # at max
+        assert scaler.decide(2.0, live_workers=1, inflight=0) == 0    # at min
+
+    def test_p99_signal_triggers_scale_up(self):
+        scaler = make_scaler(p99_high_s=0.5, hold_up_s=0.0)
+        # Queue depth is fine; latency alone crosses the bar.
+        assert scaler.decide(3.0, live_workers=2, inflight=1, p99_s=0.8) == 1
+
+    def test_high_latency_blocks_scale_down(self):
+        scaler = make_scaler(
+            p99_high_s=0.5, hold_down_s=0.0, cooldown_s=0.0
+        )
+        assert scaler.decide(1.0, live_workers=2, inflight=0, p99_s=0.8) == 0
+        assert scaler.decide(2.0, live_workers=2, inflight=0, p99_s=0.1) == -1
+
+    def test_zero_live_workers_never_scales(self):
+        # Mid-recovery the supervisor owns the pool; the scaler stands down.
+        scaler = make_scaler(hold_up_s=0.0, cooldown_s=0.0)
+        assert scaler.decide(1.0, live_workers=0, inflight=50) == 0
+
+
+# ------------------------------------------------------------------ integration
+def _requests(seed: int, n: int) -> list[AttentionRequest]:
+    rng = make_rng(seed)
+    return [
+        AttentionRequest(
+            tokens=rng.integers(-100, 100, size=(64, 8)).astype(np.float64),
+            q=rng.normal(size=(4, 8)),
+            wk=rng.normal(size=(8, 8)),
+            wv=rng.normal(size=(8, 8)),
+        )
+        for _ in range(n)
+    ]
+
+
+AGGRESSIVE = AutoscalerConfig(
+    min_workers=1, max_workers=3, queue_high=2.0, queue_low=0.25,
+    hold_up_s=0.0, hold_down_s=0.15, cooldown_s=0.0,
+)
+
+
+@pytest.mark.cluster
+class TestClusterAutoscaling:
+    def test_pool_grows_under_burst_and_drains_when_idle(self):
+        with EngineCluster(
+            n_workers=1, config=CFG, supervisor=True, autoscaler=AGGRESSIVE
+        ) as cluster:
+            futures = [cluster.submit(r) for r in _requests(0, 60)]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                cluster.poll(0.02)
+                if all(f.done() for f in futures):
+                    break
+            results = [f.result() for f in futures]
+            assert len(results) == 60
+            stats = cluster.stats
+            assert stats.n_scale_ups >= 1
+            assert stats.n_worker_failures == 0  # growth is not failure
+            # Idle pumping drains the pool back to min_workers.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                cluster.poll(0.02)
+                if len(cluster.live_workers) == 1:
+                    break
+            stats = cluster.stats
+            assert len(cluster.live_workers) == 1
+            assert stats.n_scale_downs >= 1
+            assert any(w.draining for w in stats.workers)
+            # The shrunk pool still serves, bit-identically.
+            future = cluster.submit(_requests(1, 1)[0])
+            cluster.flush()
+            assert future.done()
+
+    def test_scaled_up_workers_get_fresh_identities(self):
+        with EngineCluster(
+            n_workers=1, config=CFG, supervisor=True, autoscaler=AGGRESSIVE
+        ) as cluster:
+            futures = [cluster.submit(r) for r in _requests(2, 60)]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                cluster.poll(0.02)
+                if cluster.stats.n_scale_ups >= 1:
+                    break
+            assert cluster.stats.n_scale_ups >= 1
+            ids = [w.worker_id for w in cluster.stats.workers]
+            assert len(ids) == len(set(ids))  # no identity reuse
+            cluster.flush()
+            assert all(f.done() for f in futures)
+
+    def test_request_p99_surfaces_in_stats(self):
+        with EngineCluster(
+            n_workers=1, config=CFG, supervisor=True, autoscaler=AGGRESSIVE
+        ) as cluster:
+            assert cluster.stats.request_p99_s is None  # window still empty
+            for r in _requests(3, 12):
+                cluster.submit(r)
+            cluster.flush()
+            p99 = cluster.stats.request_p99_s
+            assert p99 is not None and p99 > 0.0
+
+    def test_queue_depth_hook_feeds_the_scaling_signal(self):
+        # A frontend that caps dispatch concurrency (the gateway's
+        # max_inflight) hides demand: cluster in-flight stays tiny no
+        # matter how deep the admission queue is.  The hook folds that
+        # backlog into the depth signal, so the pool grows with ZERO
+        # requests actually submitted.
+        with EngineCluster(
+            n_workers=1, config=CFG, supervisor=True, autoscaler=AGGRESSIVE
+        ) as cluster:
+            cluster.set_queue_depth_hook(lambda: 50)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                cluster.poll(0.02)
+                if cluster.stats.n_scale_ups >= 1:
+                    break
+            assert cluster.stats.n_scale_ups >= 1
+            # Detaching (and a hook that throws) leaves supervision alive.
+            cluster.set_queue_depth_hook(None)
+            cluster.poll(0.0)
+            cluster.set_queue_depth_hook(lambda: 1 // 0)
+            cluster.poll(0.0)
+            future = cluster.submit(_requests(4, 1)[0])
+            cluster.flush()
+            assert future.done()
+
+    def test_n_workers_above_max_is_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            EngineCluster(
+                n_workers=4,
+                config=CFG,
+                autoscaler=AutoscalerConfig(max_workers=2),
+            )

@@ -1,0 +1,179 @@
+"""Admission-policy tests: every edge on a fake clock, no server.
+
+The controller is pure (callers pass ``now``), so token-bucket refill
+math, the Tailors overbook band, deadline shedding at the door and at
+pop, and priority ordering are all exact assertions here - the HTTP
+tests only need to prove the wiring.
+"""
+
+import pytest
+
+from repro.gateway import (
+    AdmissionController,
+    GatewayConfig,
+    TenantPolicy,
+    TokenBucket,
+)
+
+
+# ------------------------------------------------------------------ TokenBucket
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=0.0)
+        assert [bucket.try_take(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(0.1)  # 1 token at 10/s
+        # Exactly one refill interval later the token exists again.
+        assert bucket.try_take(0.1) == 0.0
+        assert bucket.try_take(0.1) > 0.0
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+        bucket.try_take(1000.0)
+        assert bucket.tokens == pytest.approx(1.0)  # refilled to 2, took 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0, now=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5, now=0.0)
+
+
+# ----------------------------------------------------------------- config shape
+class TestConfigValidation:
+    def test_tenant_policy(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(rate=-1.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(burst=0.0)
+
+    def test_gateway_config(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(overbook_factor=0.9)
+        with pytest.raises(ValueError):
+            GatewayConfig(default_deadline_s=0.0)
+
+    def test_policy_lookup_falls_back_to_default(self):
+        config = GatewayConfig(tenants={"vip": TenantPolicy(priority=0)})
+        assert config.policy_for("vip").priority == 0
+        assert config.policy_for("anyone") is config.default_tenant
+
+
+# -------------------------------------------------------------------- admission
+def make_controller(**kwargs) -> AdmissionController:
+    return AdmissionController(GatewayConfig(**kwargs), now=0.0)
+
+
+class TestOffer:
+    def test_admit_returns_ticket(self):
+        ctl = make_controller()
+        decision, ticket = ctl.offer("t", now=0.0, payload="p")
+        assert decision.admitted and decision.status == 200
+        assert ticket is not None and ticket.payload == "p"
+        assert ctl.depth == 1
+
+    def test_zero_deadline_is_shed_at_the_door(self):
+        ctl = make_controller()
+        decision, ticket = ctl.offer("t", now=5.0, deadline=5.0)
+        assert not decision.admitted
+        assert decision.status == 503
+        assert decision.reason == "deadline_expired"
+        assert ticket is None and ctl.depth == 0
+        assert ctl.n_shed_deadline == 1
+
+    def test_bucket_exhaustion_mid_burst(self):
+        ctl = make_controller(
+            default_tenant=TenantPolicy(rate=10.0, burst=2.0)
+        )
+        verdicts = [ctl.offer("t", now=0.0)[0] for _ in range(4)]
+        assert [v.admitted for v in verdicts] == [True, True, False, False]
+        assert verdicts[2].status == 429
+        # Retry-After is exactly the bucket's one-token refill horizon
+        # (a rejected offer consumes nothing, so both rejects see it).
+        assert verdicts[2].retry_after_s == pytest.approx(0.1)
+        assert verdicts[3].retry_after_s == pytest.approx(0.1)
+        # ... and honoring it admits again.
+        assert ctl.offer("t", now=0.1)[0].admitted
+        assert ctl.n_rate_limited == 2
+
+    def test_tenants_rate_limit_independently(self):
+        ctl = make_controller(default_tenant=TenantPolicy(rate=1.0, burst=1.0))
+        assert ctl.offer("a", now=0.0)[0].admitted
+        assert not ctl.offer("a", now=0.0)[0].admitted
+        assert ctl.offer("b", now=0.0)[0].admitted  # b has its own bucket
+
+    def test_queue_full_hard_caps_deadline_less_requests(self):
+        ctl = make_controller(max_queue=2, overbook_factor=2.0)
+        assert ctl.offer("t", now=0.0)[0].admitted
+        assert ctl.offer("t", now=0.0)[0].admitted
+        decision, _ = ctl.offer("t", now=0.0)  # no deadline: unsheddable
+        assert not decision.admitted
+        assert decision.status == 503 and decision.reason == "queue_full"
+        assert decision.retry_after_s is not None
+        assert ctl.n_shed_queue == 1
+
+    def test_overbook_band_admits_only_sheddable_requests(self):
+        ctl = make_controller(max_queue=2, overbook_factor=2.0)
+        ctl.offer("t", now=0.0)
+        ctl.offer("t", now=0.0)
+        # Past nominal: a deadline-carrying request may overbook ...
+        decision, _ = ctl.offer("t", now=0.0, deadline=10.0)
+        assert decision.admitted
+        assert ctl.depth == 3
+        # ... until the overbooked bound (2 * 2 = 4) also fills.
+        assert ctl.offer("t", now=0.0, deadline=10.0)[0].admitted
+        decision, _ = ctl.offer("t", now=0.0, deadline=10.0)
+        assert not decision.admitted and decision.reason == "queue_full"
+
+    def test_default_deadline_makes_requests_sheddable(self):
+        ctl = make_controller(max_queue=4, default_deadline_s=1.0)
+        for _ in range(4):
+            ctl.offer("t", now=0.0)
+        # Nominal is full, but every request carries the default deadline
+        # so the overbook band (int(4 * 1.25) = 5) stays open to it.
+        decision, ticket = ctl.offer("t", now=0.0)
+        assert decision.admitted
+        assert ticket.deadline == pytest.approx(1.0)
+
+
+class TestPop:
+    def test_priority_then_fifo(self):
+        ctl = make_controller(
+            default_tenant=TenantPolicy(priority=1),
+            tenants={"vip": TenantPolicy(priority=0)},
+        )
+        ctl.offer("slow", now=0.0, payload="a")
+        ctl.offer("slow", now=0.0, payload="b")
+        ctl.offer("vip", now=0.0, payload="c")
+        order = [ctl.pop(0.0)[0].payload for _ in range(3)]
+        assert order == ["c", "a", "b"]
+        assert ctl.pop(0.0) == (None, [])
+
+    def test_pop_sheds_expired_tickets(self):
+        ctl = make_controller()
+        ctl.offer("t", now=0.0, deadline=1.0, payload="dead")
+        ctl.offer("t", now=0.0, deadline=10.0, payload="live")
+        ticket, shed = ctl.pop(now=2.0)
+        assert ticket.payload == "live"
+        assert [t.payload for t in shed] == ["dead"]
+        assert ctl.n_shed_deadline == 1
+
+    def test_full_queue_of_expired_work_empties_in_one_pop(self):
+        # The never-hangs guarantee: nothing live in the queue means pop
+        # returns every ticket as shed, not a wedged dispatcher.
+        ctl = make_controller(max_queue=8)
+        for i in range(8):
+            ctl.offer("t", now=0.0, deadline=0.5, payload=i)
+        ticket, shed = ctl.pop(now=1.0)
+        assert ticket is None
+        assert sorted(t.payload for t in shed) == list(range(8))
+        assert ctl.depth == 0
+
+    def test_drain_empties_the_queue(self):
+        ctl = make_controller()
+        ctl.offer("t", now=0.0, payload="x")
+        ctl.offer("t", now=0.0, payload="y")
+        assert {t.payload for t in ctl.drain()} == {"x", "y"}
+        assert ctl.depth == 0

@@ -1,0 +1,288 @@
+"""Gateway HTTP tests: the differential sweep and the overload edges.
+
+The standing contract crosses the wire intact: a gateway JSON response
+must be bit-identical - outputs, selections, op counters - to serving
+the same request through a plain sequential :class:`SofaEngine`, over
+every backend shape (in-process engine, local cluster, socket cluster).
+Overload behavior is exercised with the cluster's fault-injection stall
+hook so queue buildup is deterministic: 429s carry Retry-After, full
+queues answer 503 instead of hanging, and expired tickets shed.
+"""
+
+import asyncio
+import json
+from contextlib import asynccontextmanager
+
+import numpy as np
+import pytest
+
+from repro.cluster import AsyncSofaClient, AutoscalerConfig, EngineCluster
+from repro.core.config import SofaConfig
+from repro.engine import SofaEngine
+from repro.gateway import (
+    GatewayClient,
+    GatewayConfig,
+    SofaGateway,
+    TenantPolicy,
+    request_from_json,
+    result_to_json,
+)
+from repro.utils.rng import make_rng
+
+pytestmark = pytest.mark.gateway
+
+CFG = SofaConfig(tile_cols=16, top_k=0.25)
+
+
+def _bodies(seed: int, n: int, **extra) -> list[dict]:
+    rng = make_rng(seed)
+    return [
+        {
+            "tokens": rng.integers(-100, 100, size=(32, 8)).astype(float).tolist(),
+            "q": rng.normal(size=(2, 8)).tolist(),
+            "wk": rng.normal(size=(8, 8)).tolist(),
+            "wv": rng.normal(size=(8, 8)).tolist(),
+            "tag": f"req-{seed}-{i}",
+            **extra,
+        }
+        for i in range(n)
+    ]
+
+
+def _reference_json(bodies: list[dict]) -> list[dict]:
+    """Serve the same requests on a sequential engine; JSON round-trip."""
+    with SofaEngine(CFG) as engine:
+        results = engine.run([request_from_json(b) for b in bodies])
+    return [json.loads(json.dumps(result_to_json(r))) for r in results]
+
+
+@asynccontextmanager
+async def _gateway(backend, config=None, **gw_kwargs):
+    async with AsyncSofaClient(backend) as client:
+        async with SofaGateway(client, config=config, **gw_kwargs) as gw:
+            async with GatewayClient("127.0.0.1", gw.port) as http:
+                yield gw, client, http
+
+
+async def _post_concurrently(port: int, bodies: list[dict]) -> list:
+    """One connection per request, all in flight together."""
+
+    async def one(body):
+        async with GatewayClient("127.0.0.1", port) as http:
+            return await http.attention(body)
+
+    return await asyncio.gather(*(one(b) for b in bodies))
+
+
+def _make_backend(kind: str):
+    if kind == "engine":
+        return SofaEngine(CFG)
+    if kind == "local":
+        return EngineCluster(n_workers=2, config=CFG)
+    assert kind == "socket"
+    return EngineCluster(n_workers=2, config=CFG, transport="socket")
+
+
+# --------------------------------------------------------------- parity sweep
+@pytest.mark.parametrize("kind", ["engine", "local", "socket"])
+def test_differential_sweep_bit_parity(kind):
+    bodies = _bodies(seed=11, n=6)
+    expected = _reference_json(bodies)
+
+    async def main():
+        async with _gateway(_make_backend(kind)) as (_gw, _client, http):
+            responses = []
+            for body in bodies:
+                status, _, resp = await http.attention(body)
+                assert status == 200, resp
+                responses.append(resp)
+            return responses
+
+    got = asyncio.run(main())
+    # Floats crossed the wire through repr-faithful JSON: every value -
+    # outputs, selections, op counters - must match the sequential
+    # engine's result exactly, not approximately.
+    assert got == expected
+
+
+def test_concurrent_posts_keep_parity():
+    bodies = _bodies(seed=12, n=8)
+    expected = {b["tag"]: r for b, r in zip(bodies, _reference_json(bodies))}
+
+    async def main():
+        async with _gateway(EngineCluster(n_workers=2, config=CFG)) as (
+            _gw, _client, http,
+        ):
+            del http  # concurrency needs one connection per request
+            return await _post_concurrently(_gw.port, bodies)
+
+    for body, (status, _, resp) in zip(bodies, asyncio.run(main())):
+        assert status == 200
+        assert resp == expected[body["tag"]]
+
+
+# ------------------------------------------------------------------ endpoints
+def test_healthz_and_metrics_and_routing():
+    async def main():
+        async with _gateway(EngineCluster(n_workers=2, config=CFG)) as (
+            gw, _client, http,
+        ):
+            status, health = await http.healthz()
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["backend"] == "cluster"
+            assert len(health["live_workers"]) == 2
+            assert health["n_scale_ups"] == 0
+
+            for body in _bodies(seed=13, n=3):
+                status, _, _resp = await http.attention(body)
+                assert status == 200
+            text = await http.metrics()
+            assert "# TYPE sofa_gateway_requests_total counter" in text
+            assert "sofa_gateway_requests_total 3" in text
+            assert "sofa_gateway_completed_total 3" in text
+            assert "sofa_gateway_queue_depth 0" in text
+            assert "sofa_gateway_request_latency_seconds_count 3" in text
+
+            status, _, resp = await http.request("GET", "/nope")
+            assert status == 404
+            status, _, resp = await http.request("GET", "/v1/attention")
+            assert status == 405
+            status, _, resp = await http.request(
+                "POST", "/v1/attention", b"not json"
+            )
+            assert status == 400
+            status, _, resp = await http.request(
+                "POST", "/v1/attention", json.dumps({"tokens": [[1.0]]}).encode()
+            )
+            assert status == 400  # missing q/wk/wv
+
+    asyncio.run(main())
+
+
+def test_healthz_on_plain_engine_backend():
+    async def main():
+        async with _gateway(SofaEngine(CFG)) as (_gw, _client, http):
+            status, health = await http.healthz()
+            assert status == 200
+            assert health == {"status": "ok", "backend": "engine"}
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------------------- overload
+def test_tenant_bucket_exhaustion_returns_429_with_retry_after():
+    config = GatewayConfig(
+        tenants={"limited": TenantPolicy(rate=0.5, burst=1.0)},
+    )
+
+    async def main():
+        async with _gateway(
+            EngineCluster(n_workers=1, config=CFG), config=config
+        ) as (_gw, _client, http):
+            first, second = _bodies(seed=14, n=2, tenant="limited")
+            status, _, _resp = await http.attention(first)
+            assert status == 200
+            status, headers, resp = await http.attention(second)
+            assert status == 429
+            assert resp == {"error": "rate_limited"}
+            assert float(headers["retry-after"]) > 0.0
+            # Rate limits isolate tenants: another tenant sails through.
+            other = _bodies(seed=15, n=1, tenant="spacious")[0]
+            status, _, _resp = await http.attention(other)
+            assert status == 200
+
+    asyncio.run(main())
+
+
+def test_full_queue_sheds_with_503_not_unbounded_growth():
+    config = GatewayConfig(max_queue=2, overbook_factor=1.0)
+
+    async def main():
+        cluster = EngineCluster(n_workers=1, config=CFG)
+        async with _gateway(
+            cluster, config=config, max_inflight=1
+        ) as (gw, _client, _http):
+            cluster.stall_worker(cluster.live_workers[0], 1.0)
+            outcomes = await asyncio.wait_for(
+                _post_concurrently(gw.port, _bodies(seed=16, n=8)),
+                timeout=60.0,
+            )
+            statuses = sorted(s for s, _, _ in outcomes)
+            # The bounded queue admitted a handful; everything else was
+            # answered 503 immediately instead of queueing unboundedly.
+            assert statuses.count(200) >= 2
+            assert statuses.count(503) >= 4
+            assert set(statuses) <= {200, 503}
+            for status, headers, resp in outcomes:
+                if status == 503:
+                    assert resp == {"error": "queue_full"}
+                    assert float(headers["retry-after"]) > 0.0
+
+    asyncio.run(main())
+
+
+def test_expired_queue_sheds_and_never_hangs():
+    config = GatewayConfig(max_queue=8)
+
+    async def main():
+        cluster = EngineCluster(n_workers=1, config=CFG)
+        async with _gateway(
+            cluster, config=config, max_inflight=1
+        ) as (gw, _client, _http):
+            # Stall the only worker past every queued deadline: the queue
+            # fills with doomed tickets, and the wait_for proves the shed
+            # path resolves every future instead of wedging dispatch.
+            cluster.stall_worker(cluster.live_workers[0], 1.0)
+            bodies = _bodies(seed=17, n=5, deadline_ms=200.0)
+            outcomes = await asyncio.wait_for(
+                _post_concurrently(gw.port, bodies), timeout=60.0
+            )
+            statuses = [s for s, _, _ in outcomes]
+            assert statuses.count(200) >= 1  # the dispatched one survived
+            assert statuses.count(503) >= 3  # the stalled queue shed
+            for status, _, resp in outcomes:
+                if status == 503:
+                    assert resp == {"error": "deadline_expired"}
+
+    asyncio.run(main())
+
+
+def test_zero_deadline_request_is_shed_at_the_door():
+    async def main():
+        async with _gateway(EngineCluster(n_workers=1, config=CFG)) as (
+            _gw, _client, http,
+        ):
+            body = _bodies(seed=18, n=1, deadline_ms=0)[0]
+            status, _, resp = await http.attention(body)
+            assert status == 503
+            assert resp == {"error": "deadline_expired"}
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------- autoscale end-to-end
+def test_overload_through_gateway_triggers_autoscale():
+    scaler = AutoscalerConfig(
+        min_workers=1, max_workers=2, queue_high=2.0, queue_low=0.25,
+        hold_up_s=0.0, hold_down_s=5.0, cooldown_s=0.0,
+    )
+
+    async def main():
+        cluster = EngineCluster(
+            n_workers=1, config=CFG, supervisor=True, autoscaler=scaler
+        )
+        roomy = GatewayConfig(
+            default_tenant=TenantPolicy(rate=1000.0, burst=100.0)
+        )
+        async with _gateway(cluster, config=roomy) as (gw, _client, http):
+            outcomes = await asyncio.wait_for(
+                _post_concurrently(gw.port, _bodies(seed=19, n=40)),
+                timeout=120.0,
+            )
+            assert all(s == 200 for s, _, _ in outcomes)
+            status, health = await http.healthz()
+            assert status == 200
+            assert health["n_scale_ups"] >= 1
+
+    asyncio.run(main())

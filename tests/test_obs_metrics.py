@@ -195,6 +195,32 @@ def test_merge_snapshots_sums_counters_gauges_and_histograms():
     assert merged["infos"]["kernels"] == {"predict": "fused", "stream": "tiled"}
 
 
+def test_render_prometheus_snapshot_matches_live_rendering():
+    # The snapshot renderer (what a gateway /metrics serves for merged
+    # multi-process views) must agree with the live registry's own text
+    # exposition, modulo the HELP lines a snapshot does not carry.
+    reg = MetricsRegistry()
+    reg.counter("req_total").inc(2)
+    reg.gauge("pending").set(1)
+    h = reg.histogram("lat", buckets=(0.5, 1.0))
+    for v in (0.2, 0.7, 9.0):
+        h.observe(v)
+    reg.info("kernels").update({"predict": "fused"})
+    from repro.obs import render_prometheus_snapshot
+
+    text = render_prometheus_snapshot(reg.snapshot())
+    live = [
+        line for line in reg.render_prometheus().splitlines()
+        if not line.startswith("# HELP")
+    ]
+    assert sorted(text.splitlines()) == sorted(live)
+    # And it renders a merged view without needing any live registry.
+    merged = merge_snapshots(reg.snapshot(), reg.snapshot())
+    doubled = render_prometheus_snapshot(merged)
+    assert "req_total 4" in doubled
+    assert 'lat_bucket{le="+Inf"} 6' in doubled
+
+
 def test_merge_snapshots_rejects_mismatched_bucket_layouts():
     a = MetricsRegistry()
     b = MetricsRegistry()
